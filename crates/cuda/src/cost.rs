@@ -1,0 +1,98 @@
+//! The virtual-time cost model.
+//!
+//! Constants are calibrated so the simulated workloads land in the same
+//! regime as the paper's testbed (AWS g4dn: 16 vCPUs, NVIDIA T4, local
+//! NVMe): sequential read bandwidth of a few GB/s, microsecond-scale
+//! kernel dispatch, and per-element fatbin registration work. Absolute
+//! fidelity is not the goal — *relative* behaviour (load time scales
+//! with bytes touched; tracing overhead scales with events) is what the
+//! experiments rely on.
+
+/// Tunable virtual-time costs, all in nanoseconds (per unit noted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost per byte read from disk while opening a library (≈ 2 GB/s).
+    pub disk_read_ns_per_byte: f64,
+    /// Cost per symbol processed while linking a library.
+    pub link_ns_per_symbol: u64,
+    /// Cost to walk one fatbin element header at registration time.
+    pub register_element_ns: u64,
+    /// Cost per byte to stage + upload GPU code at module load
+    /// (host-side decompress/copy plus PCIe transfer, ≈ 1.5 GB/s).
+    pub module_load_ns_per_byte: f64,
+    /// Fixed cost per element actually loaded onto the device.
+    pub module_load_per_element_ns: u64,
+    /// Driver dispatch cost of one kernel launch.
+    pub launch_dispatch_ns: u64,
+    /// Base cost of a host library function call.
+    pub host_call_ns: u64,
+    /// Additional host call cost per body byte (instruction fetch).
+    pub host_call_ns_per_byte: f64,
+    /// Cost per byte of a host↔device memcpy (≈ 10 GB/s effective).
+    pub memcpy_ns_per_byte: f64,
+    /// Fixed cost of a device allocation.
+    pub alloc_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            disk_read_ns_per_byte: 0.5,
+            link_ns_per_symbol: 150,
+            register_element_ns: 1_500,
+            module_load_ns_per_byte: 0.7,
+            module_load_per_element_ns: 8_000,
+            launch_dispatch_ns: 4_000,
+            host_call_ns: 120,
+            host_call_ns_per_byte: 0.2,
+            memcpy_ns_per_byte: 0.1,
+            alloc_ns: 1_000,
+        }
+    }
+}
+
+impl CostModel {
+    /// Virtual cost of reading `bytes` from disk.
+    pub fn disk_read(&self, bytes: u64) -> u64 {
+        (bytes as f64 * self.disk_read_ns_per_byte) as u64
+    }
+
+    /// Virtual cost of staging/uploading `bytes` of GPU code.
+    pub fn module_load(&self, bytes: u64, elements: u64) -> u64 {
+        (bytes as f64 * self.module_load_ns_per_byte) as u64
+            + elements * self.module_load_per_element_ns
+    }
+
+    /// Virtual cost of executing a host function with a `body_len`-byte
+    /// body.
+    pub fn host_call(&self, body_len: u64) -> u64 {
+        self.host_call_ns + (body_len as f64 * self.host_call_ns_per_byte) as u64
+    }
+
+    /// Virtual cost of a host↔device copy.
+    pub fn memcpy(&self, bytes: u64) -> u64 {
+        (bytes as f64 * self.memcpy_ns_per_byte) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_scale_with_bytes() {
+        let m = CostModel::default();
+        assert!(m.disk_read(2_000_000) > m.disk_read(1_000_000));
+        assert!(m.module_load(1000, 1) > m.module_load(1000, 0));
+        assert!(m.host_call(1000) > m.host_call(0));
+        assert_eq!(m.host_call(0), m.host_call_ns);
+    }
+
+    #[test]
+    fn default_is_nonzero_everywhere() {
+        let m = CostModel::default();
+        assert!(m.disk_read_ns_per_byte > 0.0);
+        assert!(m.launch_dispatch_ns > 0);
+        assert!(m.register_element_ns > 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulated GPU devices.
+
+use fatbin::SmArch;
+use std::fmt;
+
+/// The GPU models used across the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GpuModel {
+    /// NVIDIA V100 (Volta, sm_70).
+    V100,
+    /// NVIDIA T4 (Turing, sm_75) — the paper's primary testbed GPU.
+    T4,
+    /// NVIDIA A10 (Ampere, sm_86).
+    A10,
+    /// NVIDIA A100 40 GB (Ampere, sm_80) — distributed inference GPUs.
+    A100,
+    /// NVIDIA L4 (Ada, sm_89).
+    L4,
+    /// NVIDIA H100 80 GB (Hopper, sm_90) — eager/lazy loading testbed.
+    H100,
+}
+
+impl GpuModel {
+    /// Compute capability of this model.
+    pub fn arch(self) -> SmArch {
+        match self {
+            GpuModel::V100 => SmArch::SM70,
+            GpuModel::T4 => SmArch::SM75,
+            GpuModel::A10 => SmArch::SM86,
+            GpuModel::A100 => SmArch::SM80,
+            GpuModel::L4 => SmArch::SM89,
+            GpuModel::H100 => SmArch::SM90,
+        }
+    }
+
+    /// Device memory in MiB (model units — matches the paper's MB
+    /// figures).
+    pub fn memory_mib(self) -> u64 {
+        match self {
+            GpuModel::V100 => 16 * 1024,
+            GpuModel::T4 => 16 * 1024,
+            GpuModel::A10 => 24 * 1024,
+            GpuModel::A100 => 40 * 1024,
+            GpuModel::L4 => 24 * 1024,
+            GpuModel::H100 => 96 * 1024,
+        }
+    }
+
+    /// Device memory in bytes (model units).
+    pub fn memory_bytes(self) -> u64 {
+        self.memory_mib() * 1024 * 1024
+    }
+
+    /// Marketing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuModel::V100 => "V100",
+            GpuModel::T4 => "T4",
+            GpuModel::A10 => "A10",
+            GpuModel::A100 => "A100",
+            GpuModel::L4 => "L4",
+            GpuModel::H100 => "H100",
+        }
+    }
+}
+
+impl fmt::Display for GpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.arch())
+    }
+}
+
+/// One simulated device instance in a [`crate::CudaSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    /// The hardware model.
+    pub model: GpuModel,
+    /// Index within the simulation (the CUDA device ordinal).
+    pub index: usize,
+}
+
+impl Device {
+    /// Compute capability of the device.
+    pub fn arch(&self) -> SmArch {
+        self.model.arch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archs_match_hardware() {
+        assert_eq!(GpuModel::T4.arch(), SmArch::SM75);
+        assert_eq!(GpuModel::A100.arch(), SmArch::SM80);
+        assert_eq!(GpuModel::H100.arch(), SmArch::SM90);
+    }
+
+    #[test]
+    fn t4_is_16_gb() {
+        assert_eq!(GpuModel::T4.memory_mib(), 16384);
+    }
+
+    #[test]
+    fn display_mentions_arch() {
+        assert_eq!(GpuModel::T4.to_string(), "T4 (sm_75)");
+    }
+}

@@ -1,0 +1,139 @@
+use std::fmt;
+
+/// Errors surfaced by the simulated CUDA runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CudaError {
+    /// `cuModuleGetFunction` could not resolve the kernel in any
+    /// architecture-matching, intact element of the module's fatbin.
+    ///
+    /// This is exactly the failure a workload hits when debloating
+    /// removed a kernel it actually needs.
+    KernelNotFound {
+        /// Requested kernel name.
+        kernel: String,
+        /// Library whose module was searched.
+        library: String,
+    },
+    /// A host function call hit a symbol that does not exist.
+    SymbolNotFound {
+        /// Requested symbol.
+        symbol: String,
+        /// Library searched.
+        library: String,
+    },
+    /// A host function's body was zeroed by compaction — executing it
+    /// faults (the debloated library is broken for this workload).
+    FunctionFault {
+        /// Faulting function.
+        symbol: String,
+        /// Library it lives in.
+        library: String,
+    },
+    /// Device index out of range.
+    NoSuchDevice {
+        /// Requested index.
+        index: usize,
+        /// Number of devices in the simulation.
+        count: usize,
+    },
+    /// A device allocation exceeded remaining memory.
+    OutOfMemory {
+        /// Device index.
+        device: usize,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// A handle referred to a library/module that does not exist.
+    InvalidHandle {
+        /// Description of the bad handle.
+        what: String,
+    },
+    /// The library has no `.nv_fatbin` but a module load was requested.
+    NoGpuCode {
+        /// Library name.
+        library: String,
+    },
+    /// Underlying fatbin parse/decode problem.
+    Fatbin(fatbin::FatbinError),
+    /// Underlying ELF parse problem.
+    Elf(simelf::ElfError),
+}
+
+impl fmt::Display for CudaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CudaError::KernelNotFound { kernel, library } => {
+                write!(f, "kernel {kernel} not found in {library}")
+            }
+            CudaError::SymbolNotFound { symbol, library } => {
+                write!(f, "symbol {symbol} not found in {library}")
+            }
+            CudaError::FunctionFault { symbol, library } => {
+                write!(f, "function {symbol} in {library} was removed by compaction")
+            }
+            CudaError::NoSuchDevice { index, count } => {
+                write!(f, "device {index} out of range ({count} devices)")
+            }
+            CudaError::OutOfMemory { device, requested, available } => write!(
+                f,
+                "device {device} out of memory: requested {requested} bytes, {available} available"
+            ),
+            CudaError::InvalidHandle { what } => write!(f, "invalid handle: {what}"),
+            CudaError::NoGpuCode { library } => {
+                write!(f, "library {library} has no .nv_fatbin section")
+            }
+            CudaError::Fatbin(e) => write!(f, "fatbin error: {e}"),
+            CudaError::Elf(e) => write!(f, "elf error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CudaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CudaError::Fatbin(e) => Some(e),
+            CudaError::Elf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fatbin::FatbinError> for CudaError {
+    fn from(e: fatbin::FatbinError) -> Self {
+        CudaError::Fatbin(e)
+    }
+}
+
+impl From<simelf::ElfError> for CudaError {
+    fn from(e: simelf::ElfError) -> Self {
+        CudaError::Elf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CudaError>();
+    }
+
+    #[test]
+    fn kernel_not_found_names_both_parts() {
+        let e = CudaError::KernelNotFound { kernel: "gemm".into(), library: "libt.so".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("gemm") && msg.contains("libt.so"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e: CudaError = simelf::ElfError::BadMagic.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,97 @@
+//! Peak-tracking memory accounting.
+
+/// A simple current/peak byte counter used for host memory and for each
+/// device's memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemTracker {
+    current: u64,
+    peak: u64,
+    capacity: Option<u64>,
+}
+
+impl MemTracker {
+    /// A tracker without a capacity limit (host memory).
+    pub fn unbounded() -> Self {
+        MemTracker::default()
+    }
+
+    /// A tracker that rejects allocations beyond `capacity` bytes
+    /// (device memory).
+    pub fn with_capacity(capacity: u64) -> Self {
+        MemTracker { current: 0, peak: 0, capacity: Some(capacity) }
+    }
+
+    /// Try to allocate; returns the new current usage, or `None` if the
+    /// capacity would be exceeded.
+    #[must_use]
+    pub fn alloc(&mut self, bytes: u64) -> Option<u64> {
+        let next = self.current.checked_add(bytes)?;
+        if let Some(cap) = self.capacity {
+            if next > cap {
+                return None;
+            }
+        }
+        self.current = next;
+        self.peak = self.peak.max(next);
+        Some(next)
+    }
+
+    /// Release bytes (saturating — freeing more than allocated clamps to
+    /// zero rather than panicking, matching allocator-shim behaviour).
+    pub fn free(&mut self, bytes: u64) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// Bytes currently allocated.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Remaining capacity (`u64::MAX` when unbounded).
+    pub fn available(&self) -> u64 {
+        match self.capacity {
+            Some(cap) => cap.saturating_sub(self.current),
+            None => u64::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_peak() {
+        let mut m = MemTracker::unbounded();
+        m.alloc(100).unwrap();
+        m.alloc(50).unwrap();
+        m.free(120);
+        m.alloc(10).unwrap();
+        assert_eq!(m.current(), 40);
+        assert_eq!(m.peak(), 150);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut m = MemTracker::with_capacity(100);
+        assert!(m.alloc(60).is_some());
+        assert!(m.alloc(50).is_none());
+        assert_eq!(m.current(), 60);
+        assert_eq!(m.available(), 40);
+        assert!(m.alloc(40).is_some());
+        assert_eq!(m.available(), 0);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let mut m = MemTracker::unbounded();
+        m.alloc(10).unwrap();
+        m.free(100);
+        assert_eq!(m.current(), 0);
+    }
+}

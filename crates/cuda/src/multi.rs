@@ -1,0 +1,63 @@
+//! Multi-GPU (distributed) execution.
+//!
+//! The paper's Table 10 runs distributed inference across 8×A100 with one
+//! worker process per GPU. [`run_workers`] reproduces that topology: each
+//! worker gets its own index and runs on its own OS thread (via
+//! `crossbeam`'s scoped threads), builds its own [`crate::CudaSim`], and
+//! returns a result the caller merges — exactly how per-rank kernel-usage
+//! sets are unioned by the debloater for distributed workloads.
+
+/// Run `count` workers concurrently and collect their results in rank
+/// order.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker after all workers have finished.
+pub fn run_workers<R, F>(count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..count)
+            .map(|rank| {
+                let f = &f;
+                scope.spawn(move |_| f(rank))
+            })
+            .collect();
+        for (slot, handle) in out.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("worker panicked"));
+        }
+    })
+    .expect("worker scope panicked");
+    out.into_iter().map(|r| r.expect("worker result present")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CudaSim, GpuModel};
+
+    #[test]
+    fn workers_run_in_rank_order_output() {
+        let results = run_workers(8, |rank| rank * 2);
+        assert_eq!(results, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn each_worker_gets_independent_sim() {
+        let results = run_workers(4, |rank| {
+            let mut sim = CudaSim::new(&[GpuModel::A100]);
+            sim.alloc_host(100 * (rank as u64 + 1));
+            sim.stats().peak_host_bytes
+        });
+        assert_eq!(results, vec![100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn zero_workers_is_empty() {
+        let results: Vec<u8> = run_workers(0, |_| 1);
+        assert!(results.is_empty());
+    }
+}

@@ -1,0 +1,575 @@
+//! Serialization of synthetic shared objects.
+//!
+//! [`ElfBuilder`] is a non-consuming builder (per C-BUILDER): configure
+//! functions, data, and an optional `.nv_fatbin` payload, then call
+//! [`ElfBuilder::build`] to obtain an [`ElfImage`] holding real ELF64
+//! little-endian bytes.
+//!
+//! Layout produced (all offsets 16-byte aligned, vaddr == file offset):
+//!
+//! ```text
+//! EHDR | PHDRs | .text | .rodata | .data | .nv_fatbin | .symtab |
+//! .strtab | .shstrtab | section headers
+//! ```
+
+use std::collections::HashSet;
+
+use crate::error::ElfError;
+use crate::image::ElfImage;
+use crate::symtab::{StrTab, Symbol, SymbolKind};
+use crate::types::{
+    align_up, names, SectionFlags, SectionKind, EHDR_SIZE, EM_X86_64, ET_DYN, PF_R, PF_W, PF_X,
+    PHDR_SIZE, PT_LOAD, SHDR_SIZE, SYM_SIZE,
+};
+use crate::Result;
+
+/// One function destined for `.text`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionDef {
+    /// Symbol name.
+    pub name: String,
+    /// Raw body bytes (pseudo machine code; content is caller-defined).
+    pub body: Vec<u8>,
+}
+
+/// Builder for synthetic ELF64 shared objects.
+///
+/// # Example
+///
+/// ```
+/// use simelf::ElfBuilder;
+///
+/// # fn main() -> Result<(), simelf::ElfError> {
+/// let image = ElfBuilder::new("libk.so")
+///     .function("f", vec![1, 2, 3])
+///     .fatbin(vec![0xde, 0xad])
+///     .build()?;
+/// assert!(image.len() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElfBuilder {
+    soname: String,
+    functions: Vec<FunctionDef>,
+    objects: Vec<FunctionDef>,
+    rodata: Vec<u8>,
+    data: Vec<u8>,
+    fatbin: Option<Vec<u8>>,
+    func_align: u64,
+}
+
+impl ElfBuilder {
+    /// Start building a shared object with the given soname (recorded in
+    /// the image for diagnostics; ELF `DT_SONAME` is not emitted).
+    pub fn new(soname: impl Into<String>) -> Self {
+        ElfBuilder {
+            soname: soname.into(),
+            functions: Vec::new(),
+            objects: Vec::new(),
+            rodata: Vec::new(),
+            data: Vec::new(),
+            fatbin: None,
+            func_align: 16,
+        }
+    }
+
+    /// Append a function to `.text`.
+    pub fn function(&mut self, name: impl Into<String>, body: Vec<u8>) -> &mut Self {
+        self.functions.push(FunctionDef { name: name.into(), body });
+        self
+    }
+
+    /// Append many functions at once.
+    pub fn functions<I>(&mut self, defs: I) -> &mut Self
+    where
+        I: IntoIterator<Item = FunctionDef>,
+    {
+        self.functions.extend(defs);
+        self
+    }
+
+    /// Append a named data object to `.rodata` (gets an `STT_OBJECT`
+    /// symbol).
+    pub fn object(&mut self, name: impl Into<String>, body: Vec<u8>) -> &mut Self {
+        self.objects.push(FunctionDef { name: name.into(), body });
+        self
+    }
+
+    /// Set anonymous `.rodata` filler bytes (headers, tables, ...).
+    pub fn rodata(&mut self, bytes: Vec<u8>) -> &mut Self {
+        self.rodata = bytes;
+        self
+    }
+
+    /// Set `.data` contents.
+    pub fn data(&mut self, bytes: Vec<u8>) -> &mut Self {
+        self.data = bytes;
+        self
+    }
+
+    /// Set the `.nv_fatbin` payload (GPU device code container).
+    pub fn fatbin(&mut self, bytes: Vec<u8>) -> &mut Self {
+        self.fatbin = Some(bytes);
+        self
+    }
+
+    /// Alignment of each function body within `.text` (default 16).
+    pub fn func_align(&mut self, align: u64) -> &mut Self {
+        self.func_align = align.max(1).next_power_of_two();
+        self
+    }
+
+    /// Serialize to an [`ElfImage`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElfError::InvalidInput`] for duplicate or empty symbol
+    /// names, or an empty function body (a zero-length function could not
+    /// be distinguished from a compacted hole).
+    pub fn build(&self) -> Result<ElfImage> {
+        self.validate()?;
+
+        // ---- lay out .text and symbols -------------------------------
+        let mut text = Vec::new();
+        let mut symbols: Vec<Symbol> = Vec::with_capacity(self.functions.len());
+        for f in &self.functions {
+            let at = align_up(text.len() as u64, self.func_align);
+            text.resize(at as usize, 0xcc); // int3 padding between bodies
+            symbols.push(Symbol {
+                name: f.name.clone(),
+                kind: SymbolKind::Func,
+                section_index: 0, // patched below once indices are known
+                value: 0,         // patched below once offsets are known
+                size: f.body.len() as u64,
+            });
+            // Remember the local offset in `value` temporarily.
+            symbols.last_mut().expect("just pushed").value = at;
+            text.extend_from_slice(&f.body);
+        }
+
+        // ---- .rodata: named objects then anonymous filler -------------
+        let mut rodata = Vec::new();
+        let mut ro_symbols: Vec<Symbol> = Vec::with_capacity(self.objects.len());
+        for o in &self.objects {
+            let at = align_up(rodata.len() as u64, 8);
+            rodata.resize(at as usize, 0);
+            ro_symbols.push(Symbol {
+                name: o.name.clone(),
+                kind: SymbolKind::Object,
+                section_index: 0,
+                value: at,
+                size: o.body.len() as u64,
+            });
+            rodata.extend_from_slice(&o.body);
+        }
+        rodata.extend_from_slice(&self.rodata);
+
+        // ---- section inventory ----------------------------------------
+        struct Sec<'a> {
+            name: &'static str,
+            kind: SectionKind,
+            flags: SectionFlags,
+            body: &'a [u8],
+            align: u64,
+            link: u32,
+            entsize: u64,
+        }
+        let empty: &[u8] = &[];
+        let mut secs: Vec<Sec<'_>> = vec![Sec {
+            name: "",
+            kind: SectionKind::Null,
+            flags: SectionFlags::NONE,
+            body: empty,
+            align: 0,
+            link: 0,
+            entsize: 0,
+        }];
+        let ax = SectionFlags::ALLOC.union(SectionFlags::EXEC);
+        secs.push(Sec {
+            name: names::TEXT,
+            kind: SectionKind::ProgBits,
+            flags: ax,
+            body: &text,
+            align: self.func_align,
+            link: 0,
+            entsize: 0,
+        });
+        let text_index = (secs.len() - 1) as u16;
+        secs.push(Sec {
+            name: names::RODATA,
+            kind: SectionKind::ProgBits,
+            flags: SectionFlags::ALLOC,
+            body: &rodata,
+            align: 8,
+            link: 0,
+            entsize: 0,
+        });
+        let rodata_index = (secs.len() - 1) as u16;
+        secs.push(Sec {
+            name: names::DATA,
+            kind: SectionKind::ProgBits,
+            flags: SectionFlags::ALLOC.union(SectionFlags::WRITE),
+            body: &self.data,
+            align: 8,
+            link: 0,
+            entsize: 0,
+        });
+        if let Some(fb) = &self.fatbin {
+            secs.push(Sec {
+                name: names::NV_FATBIN,
+                kind: SectionKind::ProgBits,
+                flags: SectionFlags::ALLOC,
+                body: fb,
+                align: 16,
+                link: 0,
+                entsize: 0,
+            });
+        }
+
+        // ---- symbol + string tables ------------------------------------
+        for s in &mut symbols {
+            s.section_index = text_index;
+        }
+        for s in &mut ro_symbols {
+            s.section_index = rodata_index;
+        }
+        symbols.extend(ro_symbols);
+
+        let mut strtab = StrTab::new();
+        let mut symtab_bytes = Vec::with_capacity(SYM_SIZE * (symbols.len() + 1));
+        // Index 0: the mandatory undefined symbol.
+        Symbol {
+            name: String::new(),
+            kind: SymbolKind::NoType,
+            section_index: 0,
+            value: 0,
+            size: 0,
+        }
+        .encode(0, &mut symtab_bytes);
+        // Real entries get patched vaddrs after offsets are assigned, so
+        // encode lazily: remember (symbol, name_offset).
+        let encoded: Vec<(Symbol, u32)> = symbols
+            .into_iter()
+            .map(|s| {
+                let off = strtab.intern(&s.name);
+                (s, off)
+            })
+            .collect();
+        let strtab_bytes = strtab.into_bytes();
+
+        let mut shstrtab = StrTab::new();
+        let mut name_offsets = Vec::with_capacity(secs.len() + 3);
+        for s in &secs {
+            name_offsets.push(if s.name.is_empty() { 0 } else { shstrtab.intern(s.name) });
+        }
+        let symtab_name = shstrtab.intern(names::SYMTAB);
+        let strtab_name = shstrtab.intern(names::STRTAB);
+        let shstrtab_name = shstrtab.intern(names::SHSTRTAB);
+        let shstrtab_bytes = shstrtab.into_bytes();
+
+        // ---- assign file offsets ---------------------------------------
+        let phnum = 2u16;
+        let mut cursor = (EHDR_SIZE + PHDR_SIZE * phnum as usize) as u64;
+        let mut offsets = Vec::with_capacity(secs.len());
+        for s in &secs {
+            let align = s.align.max(1);
+            cursor = align_up(cursor, align);
+            offsets.push(cursor);
+            cursor += s.body.len() as u64;
+        }
+        let strtab_index = (secs.len() + 1) as u32;
+        cursor = align_up(cursor, 8);
+        let symtab_off = cursor;
+        cursor += symtab_bytes.len() as u64 + SYM_SIZE as u64 * encoded.len() as u64;
+        let strtab_off = cursor;
+        cursor += strtab_bytes.len() as u64;
+        let shstrtab_off = cursor;
+        cursor += shstrtab_bytes.len() as u64;
+        cursor = align_up(cursor, 8);
+        let shoff = cursor;
+        let shnum = secs.len() as u16 + 3;
+        let total = shoff + SHDR_SIZE as u64 * shnum as u64;
+
+        // ---- emit -------------------------------------------------------
+        let mut out = vec![0u8; total as usize];
+        emit_ehdr(&mut out, shoff, phnum, shnum, shnum - 1);
+        let text_off = offsets[text_index as usize];
+        let text_len = text.len() as u64;
+        // PT_LOAD #1: R+X covering headers through the last ALLOC section.
+        let alloc_end = offsets
+            .iter()
+            .zip(&secs)
+            .filter(|(_, s)| s.flags.contains(SectionFlags::ALLOC))
+            .map(|(off, s)| off + s.body.len() as u64)
+            .max()
+            .unwrap_or(text_off + text_len);
+        emit_phdr(&mut out, EHDR_SIZE, PT_LOAD, PF_R | PF_X, 0, alloc_end);
+        // PT_LOAD #2: R+W covering .data.
+        let data_index = 3usize;
+        emit_phdr(
+            &mut out,
+            EHDR_SIZE + PHDR_SIZE,
+            PT_LOAD,
+            PF_R | PF_W,
+            offsets[data_index],
+            secs[data_index].body.len() as u64,
+        );
+
+        for (i, s) in secs.iter().enumerate() {
+            let off = offsets[i] as usize;
+            out[off..off + s.body.len()].copy_from_slice(s.body);
+        }
+
+        // Patch symbol vaddrs now that section bases are known, and emit.
+        let mut symtab_all = symtab_bytes;
+        for (mut sym, name_off) in encoded {
+            let base = offsets[sym.section_index as usize];
+            sym.value += base; // vaddr == file offset by construction
+            sym.encode(name_off, &mut symtab_all);
+        }
+        let so = symtab_off as usize;
+        out[so..so + symtab_all.len()].copy_from_slice(&symtab_all);
+        let st = strtab_off as usize;
+        out[st..st + strtab_bytes.len()].copy_from_slice(&strtab_bytes);
+        let sh = shstrtab_off as usize;
+        out[sh..sh + shstrtab_bytes.len()].copy_from_slice(&shstrtab_bytes);
+
+        // ---- section headers ---------------------------------------------
+        let mut hdr_at = shoff as usize;
+        for (i, s) in secs.iter().enumerate() {
+            emit_shdr(
+                &mut out,
+                hdr_at,
+                name_offsets[i],
+                s.kind.to_u32(),
+                s.flags.bits(),
+                if s.flags.contains(SectionFlags::ALLOC) { offsets[i] } else { 0 },
+                offsets[i],
+                s.body.len() as u64,
+                s.link,
+                s.align.max(1),
+                s.entsize,
+            );
+            hdr_at += SHDR_SIZE;
+        }
+        emit_shdr(
+            &mut out,
+            hdr_at,
+            symtab_name,
+            SectionKind::SymTab.to_u32(),
+            0,
+            0,
+            symtab_off,
+            symtab_all.len() as u64,
+            strtab_index,
+            8,
+            SYM_SIZE as u64,
+        );
+        hdr_at += SHDR_SIZE;
+        emit_shdr(
+            &mut out,
+            hdr_at,
+            strtab_name,
+            SectionKind::StrTab.to_u32(),
+            0,
+            0,
+            strtab_off,
+            strtab_bytes.len() as u64,
+            0,
+            1,
+            0,
+        );
+        hdr_at += SHDR_SIZE;
+        emit_shdr(
+            &mut out,
+            hdr_at,
+            shstrtab_name,
+            SectionKind::StrTab.to_u32(),
+            0,
+            0,
+            shstrtab_off,
+            shstrtab_bytes.len() as u64,
+            0,
+            1,
+            0,
+        );
+
+        Ok(ElfImage::from_parts(self.soname.clone(), out))
+    }
+
+    fn validate(&self) -> Result<()> {
+        let mut seen = HashSet::new();
+        for f in self.functions.iter().chain(&self.objects) {
+            if f.name.is_empty() {
+                return Err(ElfError::InvalidInput { reason: "empty symbol name".into() });
+            }
+            if f.body.is_empty() {
+                return Err(ElfError::InvalidInput {
+                    reason: format!("symbol {} has an empty body", f.name),
+                });
+            }
+            if !seen.insert(f.name.as_str()) {
+                return Err(ElfError::InvalidInput {
+                    reason: format!("duplicate symbol name {}", f.name),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn emit_ehdr(out: &mut [u8], shoff: u64, phnum: u16, shnum: u16, shstrndx: u16) {
+    out[0..4].copy_from_slice(&[0x7f, b'E', b'L', b'F']);
+    out[4] = 2; // ELFCLASS64
+    out[5] = 1; // ELFDATA2LSB
+    out[6] = 1; // EV_CURRENT
+    out[16..18].copy_from_slice(&ET_DYN.to_le_bytes());
+    out[18..20].copy_from_slice(&EM_X86_64.to_le_bytes());
+    out[20..24].copy_from_slice(&1u32.to_le_bytes());
+    // e_entry = 0 (shared object)
+    out[32..40].copy_from_slice(&(EHDR_SIZE as u64).to_le_bytes()); // e_phoff
+    out[40..48].copy_from_slice(&shoff.to_le_bytes());
+    out[52..54].copy_from_slice(&(EHDR_SIZE as u16).to_le_bytes());
+    out[54..56].copy_from_slice(&(PHDR_SIZE as u16).to_le_bytes());
+    out[56..58].copy_from_slice(&phnum.to_le_bytes());
+    out[58..60].copy_from_slice(&(SHDR_SIZE as u16).to_le_bytes());
+    out[60..62].copy_from_slice(&shnum.to_le_bytes());
+    out[62..64].copy_from_slice(&shstrndx.to_le_bytes());
+}
+
+fn emit_phdr(out: &mut [u8], at: usize, ptype: u32, flags: u32, offset: u64, filesz: u64) {
+    out[at..at + 4].copy_from_slice(&ptype.to_le_bytes());
+    out[at + 4..at + 8].copy_from_slice(&flags.to_le_bytes());
+    out[at + 8..at + 16].copy_from_slice(&offset.to_le_bytes());
+    out[at + 16..at + 24].copy_from_slice(&offset.to_le_bytes()); // vaddr
+    out[at + 24..at + 32].copy_from_slice(&offset.to_le_bytes()); // paddr
+    out[at + 32..at + 40].copy_from_slice(&filesz.to_le_bytes());
+    out[at + 40..at + 48].copy_from_slice(&filesz.to_le_bytes()); // memsz
+    out[at + 48..at + 56].copy_from_slice(&4096u64.to_le_bytes()); // align
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_shdr(
+    out: &mut [u8],
+    at: usize,
+    name: u32,
+    shtype: u32,
+    flags: u64,
+    vaddr: u64,
+    offset: u64,
+    size: u64,
+    link: u32,
+    align: u64,
+    entsize: u64,
+) {
+    out[at..at + 4].copy_from_slice(&name.to_le_bytes());
+    out[at + 4..at + 8].copy_from_slice(&shtype.to_le_bytes());
+    out[at + 8..at + 16].copy_from_slice(&flags.to_le_bytes());
+    out[at + 16..at + 24].copy_from_slice(&vaddr.to_le_bytes());
+    out[at + 24..at + 32].copy_from_slice(&offset.to_le_bytes());
+    out[at + 32..at + 40].copy_from_slice(&size.to_le_bytes());
+    out[at + 40..at + 44].copy_from_slice(&link.to_le_bytes());
+    // sh_info = 0
+    out[at + 48..at + 56].copy_from_slice(&align.to_le_bytes());
+    out[at + 56..at + 64].copy_from_slice(&entsize.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::Elf;
+
+    #[test]
+    fn build_minimal() {
+        let img = ElfBuilder::new("libm.so").function("f", vec![0x90; 8]).build().unwrap();
+        assert_eq!(&img.bytes()[..4], &[0x7f, b'E', b'L', b'F']);
+        let elf = Elf::parse(img.bytes()).unwrap();
+        let syms = elf.symbols().unwrap();
+        assert_eq!(syms.len(), 1);
+        assert_eq!(syms[0].name, "f");
+        assert_eq!(syms[0].size, 8);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = ElfBuilder::new("x")
+            .function("f", vec![1])
+            .function("f", vec![2])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ElfError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let err = ElfBuilder::new("x").function("f", vec![]).build().unwrap_err();
+        assert!(matches!(err, ElfError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let err = ElfBuilder::new("x").function("", vec![1]).build().unwrap_err();
+        assert!(matches!(err, ElfError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn fatbin_section_present_only_when_set() {
+        let without = ElfBuilder::new("a").function("f", vec![1]).build().unwrap();
+        let with = ElfBuilder::new("a")
+            .function("f", vec![1])
+            .fatbin(vec![9; 100])
+            .build()
+            .unwrap();
+        assert!(Elf::parse(without.bytes()).unwrap().section_by_name(".nv_fatbin").is_none());
+        let elf = Elf::parse(with.bytes()).unwrap();
+        let sec = elf.section_by_name(".nv_fatbin").unwrap();
+        assert_eq!(sec.size, 100);
+        assert_eq!(elf.section_data(&sec), vec![9; 100].as_slice());
+    }
+
+    #[test]
+    fn function_bodies_land_at_symbol_offsets() {
+        let img = ElfBuilder::new("a")
+            .function("one", vec![0xaa; 10])
+            .function("two", vec![0xbb; 20])
+            .build()
+            .unwrap();
+        let elf = Elf::parse(img.bytes()).unwrap();
+        for sym in elf.symbols().unwrap() {
+            let body = &img.bytes()[sym.value as usize..(sym.value + sym.size) as usize];
+            let expect = if sym.name == "one" { 0xaa } else { 0xbb };
+            assert!(body.iter().all(|&b| b == expect), "body of {} intact", sym.name);
+        }
+    }
+
+    #[test]
+    fn objects_get_rodata_symbols() {
+        let img = ElfBuilder::new("a")
+            .function("f", vec![1])
+            .object("kTable", vec![7; 32])
+            .build()
+            .unwrap();
+        let elf = Elf::parse(img.bytes()).unwrap();
+        let syms = elf.symbols().unwrap();
+        let obj = syms.iter().find(|s| s.name == "kTable").unwrap();
+        assert_eq!(obj.kind, SymbolKind::Object);
+        assert_eq!(obj.size, 32);
+        let body = &img.bytes()[obj.value as usize..(obj.value + obj.size) as usize];
+        assert!(body.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let img = ElfBuilder::new("a")
+            .func_align(64)
+            .function("one", vec![1; 3])
+            .function("two", vec![2; 3])
+            .build()
+            .unwrap();
+        let elf = Elf::parse(img.bytes()).unwrap();
+        for sym in elf.symbols().unwrap() {
+            assert_eq!(sym.value % 64, 0, "symbol {} aligned", sym.name);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+use std::fmt;
+
+/// Errors produced while building or parsing ELF images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ElfError {
+    /// The file is shorter than the structure being read requires.
+    Truncated {
+        /// What was being read when the input ran out.
+        context: &'static str,
+        /// Byte offset at which the read was attempted.
+        offset: usize,
+        /// Number of bytes the read required.
+        needed: usize,
+        /// Number of bytes actually available.
+        available: usize,
+    },
+    /// The magic bytes, class, or endianness marker are not ELF64-LE.
+    BadMagic,
+    /// A structural field holds a value the parser cannot interpret.
+    Malformed {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// A string-table reference points outside the table or at a
+    /// non-NUL-terminated region.
+    BadStringRef {
+        /// Offset of the dangling reference within the string table.
+        offset: usize,
+    },
+    /// A requested section does not exist.
+    NoSuchSection {
+        /// Name of the missing section.
+        name: String,
+    },
+    /// An edit addressed bytes outside the image.
+    RangeOutOfBounds {
+        /// Start offset of the offending range.
+        start: u64,
+        /// End offset (exclusive) of the offending range.
+        end: u64,
+        /// Total length of the image.
+        len: u64,
+    },
+    /// The builder was asked to produce something inconsistent
+    /// (duplicate symbol, empty function, ...).
+    InvalidInput {
+        /// Human-readable description of the rejected input.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ElfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElfError::Truncated { context, offset, needed, available } => write!(
+                f,
+                "truncated input reading {context} at offset {offset}: \
+                 need {needed} bytes, have {available}"
+            ),
+            ElfError::BadMagic => write!(f, "not an ELF64 little-endian image"),
+            ElfError::Malformed { reason } => write!(f, "malformed ELF: {reason}"),
+            ElfError::BadStringRef { offset } => {
+                write!(f, "dangling string-table reference at offset {offset}")
+            }
+            ElfError::NoSuchSection { name } => write!(f, "no section named {name}"),
+            ElfError::RangeOutOfBounds { start, end, len } => write!(
+                f,
+                "range [{start:#x}, {end:#x}) out of bounds for image of {len} bytes"
+            ),
+            ElfError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = ElfError::BadMagic;
+        let msg = err.to_string();
+        assert!(msg.starts_with("not an ELF64"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ElfError>();
+    }
+
+    #[test]
+    fn truncated_reports_all_fields() {
+        let err = ElfError::Truncated { context: "ELF header", offset: 3, needed: 64, available: 10 };
+        let msg = err.to_string();
+        assert!(msg.contains("ELF header"));
+        assert!(msg.contains("64"));
+        assert!(msg.contains("10"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Owned, mutable ELF images and occupancy accounting.
+//!
+//! Negativa-ML's compaction phase zeroes out unused byte ranges but keeps
+//! every offset valid, so the debloated library is a drop-in replacement.
+//! The *effective* savings then materialize in two ways the paper
+//! measures:
+//!
+//! * **File size** — zeroed blocks can be hole-punched by the filesystem;
+//!   [`ElfImage::occupancy`] reports the footprint at a configurable block
+//!   size.
+//! * **Memory** — the loader never touches all-zero pages, so resident
+//!   memory shrinks; `simcuda`'s loader uses the same block accounting.
+
+use crate::error::ElfError;
+use crate::range::FileRange;
+use crate::Result;
+
+/// Default block granularity for occupancy accounting (one page).
+pub const DEFAULT_BLOCK: u64 = 4096;
+
+/// An owned ELF image that supports in-place surgical edits.
+///
+/// Produced by [`crate::ElfBuilder::build`]; the raw bytes are always a
+/// parseable ELF64 file (see [`crate::Elf`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElfImage {
+    soname: String,
+    bytes: Vec<u8>,
+}
+
+/// Occupancy statistics at block granularity; see [`ElfImage::occupancy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OccupancyReport {
+    /// Block size used for the computation.
+    pub block_size: u64,
+    /// Total file length in bytes.
+    pub file_len: u64,
+    /// Number of blocks containing at least one non-zero byte.
+    pub occupied_blocks: u64,
+    /// Bytes attributed to occupied blocks (`occupied_blocks * block_size`,
+    /// clamped to the file length for the final partial block).
+    pub occupied_bytes: u64,
+    /// Exact count of non-zero bytes (finer than block accounting).
+    pub nonzero_bytes: u64,
+}
+
+impl ElfImage {
+    /// Assemble from a soname and raw bytes (used by the builder).
+    pub(crate) fn from_parts(soname: String, bytes: Vec<u8>) -> Self {
+        ElfImage { soname, bytes }
+    }
+
+    /// Wrap existing bytes as an image (e.g. a file read back from disk).
+    pub fn from_bytes(soname: impl Into<String>, bytes: Vec<u8>) -> Self {
+        ElfImage { soname: soname.into(), bytes }
+    }
+
+    /// The shared object name this image was built with.
+    pub fn soname(&self) -> &str {
+        &self.soname
+    }
+
+    /// Borrow the raw file bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Total file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// True if the file is empty (never the case for built images).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Consume the image and take the raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Zero the bytes of `range` in place.
+    ///
+    /// # Errors
+    ///
+    /// [`ElfError::RangeOutOfBounds`] if the range extends past the file.
+    pub fn zero_range(&mut self, range: FileRange) -> Result<()> {
+        if range.end > self.len() {
+            return Err(ElfError::RangeOutOfBounds {
+                start: range.start,
+                end: range.end,
+                len: self.len(),
+            });
+        }
+        self.bytes[range.start as usize..range.end as usize].fill(0);
+        Ok(())
+    }
+
+    /// Zero every range in `ranges`; stops at the first error.
+    ///
+    /// # Errors
+    ///
+    /// [`ElfError::RangeOutOfBounds`] as for [`ElfImage::zero_range`];
+    /// earlier ranges stay zeroed.
+    pub fn zero_ranges(&mut self, ranges: &[FileRange]) -> Result<()> {
+        for r in ranges {
+            self.zero_range(*r)?;
+        }
+        Ok(())
+    }
+
+    /// True if every byte of `range` is zero.
+    pub fn is_zeroed(&self, range: FileRange) -> bool {
+        if range.end > self.len() {
+            return false;
+        }
+        self.bytes[range.start as usize..range.end as usize].iter().all(|&b| b == 0)
+    }
+
+    /// Occupancy at the given block size; see [`OccupancyReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn occupancy(&self, block_size: u64) -> OccupancyReport {
+        assert!(block_size > 0, "block_size must be positive");
+        let len = self.len();
+        let mut occupied_blocks = 0u64;
+        let mut occupied_bytes = 0u64;
+        let mut nonzero_bytes = 0u64;
+        let mut at = 0u64;
+        while at < len {
+            let end = (at + block_size).min(len);
+            let chunk = &self.bytes[at as usize..end as usize];
+            let nz = chunk.iter().filter(|&&b| b != 0).count() as u64;
+            nonzero_bytes += nz;
+            if nz > 0 {
+                occupied_blocks += 1;
+                occupied_bytes += end - at;
+            }
+            at = end;
+        }
+        OccupancyReport {
+            block_size,
+            file_len: len,
+            occupied_blocks,
+            occupied_bytes,
+            nonzero_bytes,
+        }
+    }
+
+    /// Occupancy at the default 4 KiB page size.
+    pub fn page_occupancy(&self) -> OccupancyReport {
+        self.occupancy(DEFAULT_BLOCK)
+    }
+
+    /// Block-granular occupied bytes within `range`: the number of bytes
+    /// belonging to `block_size`-aligned blocks (relative to the range
+    /// start) that contain at least one non-zero byte. Models the pages a
+    /// loader actually touches when reading this region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn occupied_bytes_in(&self, range: FileRange, block_size: u64) -> u64 {
+        assert!(block_size > 0, "block_size must be positive");
+        let end = range.end.min(self.len());
+        if range.start >= end {
+            return 0;
+        }
+        let mut occupied = 0u64;
+        let mut at = range.start;
+        while at < end {
+            let block_end = (at + block_size).min(end);
+            let chunk = &self.bytes[at as usize..block_end as usize];
+            if chunk.iter().any(|&b| b != 0) {
+                occupied += block_end - at;
+            }
+            at = block_end;
+        }
+        occupied
+    }
+
+    /// Number of non-zero bytes within `range` (clamped to the file).
+    pub fn nonzero_in(&self, range: FileRange) -> u64 {
+        let end = range.end.min(self.len());
+        if range.start >= end {
+            return 0;
+        }
+        self.bytes[range.start as usize..end as usize]
+            .iter()
+            .filter(|&&b| b != 0)
+            .count() as u64
+    }
+}
+
+impl AsRef<[u8]> for ElfImage {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ElfBuilder;
+
+    fn image() -> ElfImage {
+        ElfBuilder::new("libocc.so")
+            .function("f", vec![0xff; 3000])
+            .function("g", vec![0xee; 3000])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_range_zeroes() {
+        let mut img = image();
+        let r = FileRange::new(200, 264);
+        assert!(!img.is_zeroed(r));
+        img.zero_range(r).unwrap();
+        assert!(img.is_zeroed(r));
+    }
+
+    #[test]
+    fn zero_range_out_of_bounds() {
+        let mut img = image();
+        let len = img.len();
+        let err = img.zero_range(FileRange::new(len - 1, len + 1)).unwrap_err();
+        assert!(matches!(err, ElfError::RangeOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn occupancy_counts_blocks() {
+        let img = ElfImage::from_bytes("t", vec![0u8; 10000]);
+        let occ = img.occupancy(4096);
+        assert_eq!(occ.occupied_blocks, 0);
+        assert_eq!(occ.nonzero_bytes, 0);
+
+        let mut bytes = vec![0u8; 10000];
+        bytes[5000] = 1;
+        let img = ElfImage::from_bytes("t", bytes);
+        let occ = img.occupancy(4096);
+        assert_eq!(occ.occupied_blocks, 1);
+        assert_eq!(occ.occupied_bytes, 4096);
+        assert_eq!(occ.nonzero_bytes, 1);
+    }
+
+    #[test]
+    fn occupancy_partial_trailing_block() {
+        let mut bytes = vec![0u8; 5000];
+        bytes[4999] = 1;
+        let img = ElfImage::from_bytes("t", bytes);
+        let occ = img.occupancy(4096);
+        assert_eq!(occ.occupied_blocks, 1);
+        assert_eq!(occ.occupied_bytes, 5000 - 4096);
+    }
+
+    #[test]
+    fn zeroing_shrinks_occupancy() {
+        let mut img = image();
+        let before = img.page_occupancy();
+        let ranges = crate::Elf::parse(img.bytes())
+            .unwrap()
+            .function_ranges()
+            .unwrap();
+        let (_, g_range) = ranges.iter().find(|(n, _)| n == "g").unwrap().clone();
+        img.zero_range(g_range).unwrap();
+        let after = img.page_occupancy();
+        assert!(after.nonzero_bytes < before.nonzero_bytes);
+        assert!(after.occupied_blocks <= before.occupied_blocks);
+        assert_eq!(after.file_len, before.file_len, "file size never changes");
+    }
+
+    #[test]
+    fn occupied_bytes_in_is_block_granular() {
+        let mut bytes = vec![0u8; 8192];
+        bytes[100] = 1; // first block occupied
+        let img = ElfImage::from_bytes("t", bytes);
+        let whole = FileRange::new(0, 8192);
+        assert_eq!(img.occupied_bytes_in(whole, 4096), 4096);
+        assert_eq!(img.occupied_bytes_in(FileRange::new(4096, 8192), 4096), 0);
+        // Range-relative blocking: a window starting at the non-zero byte.
+        assert_eq!(img.occupied_bytes_in(FileRange::new(100, 101), 4096), 1);
+    }
+
+    #[test]
+    fn nonzero_in_clamps() {
+        let img = ElfImage::from_bytes("t", vec![1u8; 10]);
+        assert_eq!(img.nonzero_in(FileRange::new(5, 50)), 5);
+        assert_eq!(img.nonzero_in(FileRange::new(20, 30)), 0);
+    }
+
+    #[test]
+    fn as_ref_and_into_bytes_agree() {
+        let img = image();
+        let len = img.len();
+        assert_eq!(img.as_ref().len() as u64, len);
+        assert_eq!(img.into_bytes().len() as u64, len);
+    }
+}

@@ -1,0 +1,61 @@
+//! # simelf — ELF64 shared objects, from scratch
+//!
+//! The binary substrate of the Negativa-ML reproduction. ML frameworks
+//! ship their CPU and GPU code inside ELF shared libraries; Negativa-ML
+//! debloats those libraries by zeroing the file ranges occupied by unused
+//! CPU functions and unused GPU fatbin elements. This crate provides
+//! everything the rest of the workspace needs to *create*, *inspect*, and
+//! *surgically edit* such libraries:
+//!
+//! * [`ElfBuilder`] — compose a shared object out of functions, data, and
+//!   an optional `.nv_fatbin` payload, and serialize it to real ELF64
+//!   little-endian bytes.
+//! * [`Elf`] — a zero-copy parser for the images the builder produces (and
+//!   any structurally similar ELF64 file): header, section table, symbol
+//!   table, and section data access.
+//! * [`ElfImage`] — an owned, mutable image supporting in-place range
+//!   zeroing (the paper's compaction primitive) and *occupied-extent*
+//!   accounting, which models the on-disk footprint after hole punching
+//!   and the resident memory after page-granular loading.
+//! * [`FileRange`] / [`range`] — file-offset interval arithmetic shared by
+//!   the locator and compactor.
+//!
+//! # Example
+//!
+//! ```
+//! use simelf::{Elf, ElfBuilder};
+//!
+//! # fn main() -> Result<(), simelf::ElfError> {
+//! let image = ElfBuilder::new("libdemo.so")
+//!     .function("matmul_host", vec![0x90; 64])
+//!     .function("conv_host", vec![0xcc; 32])
+//!     .rodata(b"demo".to_vec())
+//!     .build()?;
+//! let elf = Elf::parse(image.bytes())?;
+//! assert_eq!(elf.symbols()?.len(), 2);
+//! assert!(elf.section_by_name(".text").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod image;
+mod parser;
+pub mod range;
+mod symtab;
+pub mod types;
+
+pub use builder::{ElfBuilder, FunctionDef};
+pub use error::ElfError;
+pub use image::{ElfImage, OccupancyReport};
+pub use parser::{Elf, Section, SectionIter};
+pub use range::FileRange;
+pub use symtab::{Symbol, SymbolKind};
+pub use types::{SectionFlags, SectionKind};
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, ElfError>;

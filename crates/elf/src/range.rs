@@ -1,0 +1,209 @@
+//! File-offset interval arithmetic.
+//!
+//! The kernel locator emits *retain* ranges (byte intervals that must
+//! survive compaction) and the compactor zeroes their complement. This
+//! module holds the shared [`FileRange`] type plus the set operations both
+//! sides need: normalization (sort + merge), complement within a window,
+//! intersection, and coverage accounting.
+
+use std::fmt;
+
+/// A half-open byte interval `[start, end)` within a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileRange {
+    /// Inclusive start offset.
+    pub start: u64,
+    /// Exclusive end offset.
+    pub end: u64,
+}
+
+impl FileRange {
+    /// Create a range; `start` must not exceed `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` (a programming error, not an input error).
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start <= end, "FileRange start {start} > end {end}");
+        FileRange { start, end }
+    }
+
+    /// Length of the interval in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True if the interval covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True if `offset` lies inside the interval.
+    pub fn contains(&self, offset: u64) -> bool {
+        offset >= self.start && offset < self.end
+    }
+
+    /// True if the two intervals share at least one byte.
+    pub fn overlaps(&self, other: &FileRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The overlapping part of two intervals, if any.
+    pub fn intersection(&self, other: &FileRange) -> Option<FileRange> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then(|| FileRange { start, end })
+    }
+
+    /// Shift both endpoints by `delta` bytes.
+    pub fn offset_by(&self, delta: u64) -> FileRange {
+        FileRange { start: self.start + delta, end: self.end + delta }
+    }
+}
+
+impl fmt::Display for FileRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start, self.end)
+    }
+}
+
+/// Sort ranges and merge every overlapping or touching pair.
+///
+/// The result is the canonical minimal representation of the covered set:
+/// strictly ascending, pairwise disjoint, no empty ranges.
+pub fn normalize(mut ranges: Vec<FileRange>) -> Vec<FileRange> {
+    ranges.retain(|r| !r.is_empty());
+    ranges.sort();
+    let mut out: Vec<FileRange> = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        match out.last_mut() {
+            Some(last) if r.start <= last.end => last.end = last.end.max(r.end),
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+/// The complement of `keep` within the window `[window.start, window.end)`.
+///
+/// `keep` may be unnormalized. The output is normalized. Bytes of `keep`
+/// outside the window are ignored.
+pub fn complement_within(keep: &[FileRange], window: FileRange) -> Vec<FileRange> {
+    let keep = normalize(keep.to_vec());
+    let mut out = Vec::new();
+    let mut cursor = window.start;
+    for r in keep {
+        let Some(clipped) = r.intersection(&window) else { continue };
+        if clipped.start > cursor {
+            out.push(FileRange::new(cursor, clipped.start));
+        }
+        cursor = cursor.max(clipped.end);
+    }
+    if cursor < window.end {
+        out.push(FileRange::new(cursor, window.end));
+    }
+    out
+}
+
+/// Total number of bytes covered by `ranges` (after normalization, so
+/// overlaps are not double counted).
+pub fn covered_bytes(ranges: &[FileRange]) -> u64 {
+    normalize(ranges.to_vec()).iter().map(FileRange::len).sum()
+}
+
+/// True if `inner` is entirely covered by the (possibly unnormalized)
+/// range set `outer`.
+pub fn covers(outer: &[FileRange], inner: FileRange) -> bool {
+    if inner.is_empty() {
+        return true;
+    }
+    let outer = normalize(outer.to_vec());
+    let mut cursor = inner.start;
+    for r in &outer {
+        if r.start > cursor {
+            break;
+        }
+        if r.end > cursor {
+            cursor = r.end;
+            if cursor >= inner.end {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: u64, b: u64) -> FileRange {
+        FileRange::new(a, b)
+    }
+
+    #[test]
+    fn normalize_merges_overlaps_and_touching() {
+        let out = normalize(vec![r(10, 20), r(15, 25), r(25, 30), r(40, 41), r(5, 5)]);
+        assert_eq!(out, vec![r(10, 30), r(40, 41)]);
+    }
+
+    #[test]
+    fn normalize_empty_input() {
+        assert!(normalize(vec![]).is_empty());
+        assert!(normalize(vec![r(3, 3)]).is_empty());
+    }
+
+    #[test]
+    fn complement_basic() {
+        let holes = complement_within(&[r(10, 20), r(30, 40)], r(0, 50));
+        assert_eq!(holes, vec![r(0, 10), r(20, 30), r(40, 50)]);
+    }
+
+    #[test]
+    fn complement_of_nothing_is_whole_window() {
+        assert_eq!(complement_within(&[], r(5, 9)), vec![r(5, 9)]);
+    }
+
+    #[test]
+    fn complement_of_everything_is_empty() {
+        assert!(complement_within(&[r(0, 100)], r(10, 90)).is_empty());
+    }
+
+    #[test]
+    fn complement_ignores_out_of_window_keeps() {
+        let holes = complement_within(&[r(0, 5), r(95, 200)], r(10, 90));
+        assert_eq!(holes, vec![r(10, 90)]);
+    }
+
+    #[test]
+    fn covered_bytes_dedupes_overlap() {
+        assert_eq!(covered_bytes(&[r(0, 10), r(5, 15)]), 15);
+    }
+
+    #[test]
+    fn covers_detects_gaps() {
+        assert!(covers(&[r(0, 10), r(10, 20)], r(3, 18)));
+        assert!(!covers(&[r(0, 10), r(11, 20)], r(3, 18)));
+        assert!(covers(&[], r(7, 7)));
+        assert!(!covers(&[], r(7, 8)));
+    }
+
+    #[test]
+    fn intersection_and_overlap() {
+        assert_eq!(r(0, 10).intersection(&r(5, 15)), Some(r(5, 10)));
+        assert_eq!(r(0, 5).intersection(&r(5, 10)), None);
+        assert!(r(0, 10).overlaps(&r(9, 11)));
+        assert!(!r(0, 10).overlaps(&r(10, 11)));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(r(32, 48).to_string(), "[0x20, 0x30)");
+    }
+
+    #[test]
+    #[should_panic(expected = "FileRange start")]
+    fn new_rejects_inverted() {
+        let _ = r(10, 5);
+    }
+}

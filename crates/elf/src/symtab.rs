@@ -1,0 +1,225 @@
+//! Symbol table encoding and decoding (`Elf64_Sym`).
+//!
+//! Negativa-ML's CPU-side location phase works off the symbol table: every
+//! `STT_FUNC` symbol names a function and the `[st_value, st_value +
+//! st_size)` interval gives its position. The builder writes one entry per
+//! synthesized function; the parser recovers them for the locator.
+
+use crate::error::ElfError;
+use crate::types::SYM_SIZE;
+use crate::Result;
+
+/// The symbol classes this crate distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymbolKind {
+    /// `STT_NOTYPE`.
+    NoType,
+    /// `STT_OBJECT` — data object.
+    Object,
+    /// `STT_FUNC` — function entry point.
+    Func,
+    /// `STT_SECTION` — section symbol.
+    Section,
+    /// Any other `st_info` type nibble.
+    Other(u8),
+}
+
+impl SymbolKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            SymbolKind::NoType => 0,
+            SymbolKind::Object => 1,
+            SymbolKind::Func => 2,
+            SymbolKind::Section => 3,
+            SymbolKind::Other(v) => v & 0xf,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v & 0xf {
+            0 => SymbolKind::NoType,
+            1 => SymbolKind::Object,
+            2 => SymbolKind::Func,
+            3 => SymbolKind::Section,
+            other => SymbolKind::Other(other),
+        }
+    }
+}
+
+/// A decoded symbol-table entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Symbol {
+    /// Symbol name (resolved through the linked string table).
+    pub name: String,
+    /// Symbol kind (function, object, ...).
+    pub kind: SymbolKind,
+    /// Index of the section the symbol is defined in.
+    pub section_index: u16,
+    /// Virtual address (for our builder output this equals the file
+    /// offset of the body, since segments are mapped at vaddr == offset).
+    pub value: u64,
+    /// Size of the symbol's body in bytes.
+    pub size: u64,
+}
+
+impl Symbol {
+    /// Encode into the 24-byte on-disk form, appending to `out`.
+    ///
+    /// `name_offset` is the offset of the name within the string table;
+    /// binding is fixed to `STB_GLOBAL` which is what shared-library
+    /// exported functions use.
+    pub fn encode(&self, name_offset: u32, out: &mut Vec<u8>) {
+        const STB_GLOBAL: u8 = 1;
+        out.extend_from_slice(&name_offset.to_le_bytes());
+        out.push((STB_GLOBAL << 4) | self.kind.to_u8());
+        out.push(0); // st_other: default visibility
+        out.extend_from_slice(&self.section_index.to_le_bytes());
+        out.extend_from_slice(&self.value.to_le_bytes());
+        out.extend_from_slice(&self.size.to_le_bytes());
+    }
+
+    /// Decode one entry from `bytes` at `offset`, resolving the name in
+    /// `strtab`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElfError::Truncated`] if fewer than 24 bytes remain and
+    /// [`ElfError::BadStringRef`] if the name offset dangles.
+    pub fn decode(bytes: &[u8], offset: usize, strtab: &[u8]) -> Result<Symbol> {
+        let end = offset.checked_add(SYM_SIZE).ok_or(ElfError::Truncated {
+            context: "symbol entry",
+            offset,
+            needed: SYM_SIZE,
+            available: bytes.len().saturating_sub(offset),
+        })?;
+        if end > bytes.len() {
+            return Err(ElfError::Truncated {
+                context: "symbol entry",
+                offset,
+                needed: SYM_SIZE,
+                available: bytes.len().saturating_sub(offset),
+            });
+        }
+        let e = &bytes[offset..end];
+        let name_off = u32::from_le_bytes([e[0], e[1], e[2], e[3]]) as usize;
+        let info = e[4];
+        let section_index = u16::from_le_bytes([e[6], e[7]]);
+        let value = u64::from_le_bytes(e[8..16].try_into().expect("slice len 8"));
+        let size = u64::from_le_bytes(e[16..24].try_into().expect("slice len 8"));
+        let name = read_str(strtab, name_off)?;
+        Ok(Symbol { name, kind: SymbolKind::from_u8(info), section_index, value, size })
+    }
+}
+
+/// Read a NUL-terminated string from a string table.
+pub(crate) fn read_str(strtab: &[u8], offset: usize) -> Result<String> {
+    if offset >= strtab.len() {
+        return Err(ElfError::BadStringRef { offset });
+    }
+    let tail = &strtab[offset..];
+    let nul = tail
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or(ElfError::BadStringRef { offset })?;
+    Ok(String::from_utf8_lossy(&tail[..nul]).into_owned())
+}
+
+/// An incrementally built string table: interns strings, returns offsets.
+#[derive(Debug, Default)]
+pub(crate) struct StrTab {
+    bytes: Vec<u8>,
+}
+
+impl StrTab {
+    /// A new table containing only the mandatory leading NUL.
+    pub fn new() -> Self {
+        StrTab { bytes: vec![0] }
+    }
+
+    /// Append `s` (if not present verbatim already this always appends —
+    /// dedup is not required for correctness) and return its offset.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        let off = self.bytes.len() as u32;
+        self.bytes.extend_from_slice(s.as_bytes());
+        self.bytes.push(0);
+        off
+    }
+
+    /// Finish and take the raw table bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Symbol {
+        Symbol {
+            name: "matmul_host".to_owned(),
+            kind: SymbolKind::Func,
+            section_index: 1,
+            value: 0x1000,
+            size: 96,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut strtab = StrTab::new();
+        let sym = sample();
+        let name_off = strtab.intern(&sym.name);
+        let mut buf = Vec::new();
+        sym.encode(name_off, &mut buf);
+        assert_eq!(buf.len(), SYM_SIZE);
+        let table = strtab.into_bytes();
+        let back = Symbol::decode(&buf, 0, &table).unwrap();
+        assert_eq!(back, sym);
+    }
+
+    #[test]
+    fn decode_truncated() {
+        let err = Symbol::decode(&[0u8; 10], 0, &[0]).unwrap_err();
+        assert!(matches!(err, ElfError::Truncated { context: "symbol entry", .. }));
+    }
+
+    #[test]
+    fn decode_bad_string_ref() {
+        let mut buf = Vec::new();
+        sample().encode(999, &mut buf);
+        let err = Symbol::decode(&buf, 0, &[0]).unwrap_err();
+        assert!(matches!(err, ElfError::BadStringRef { offset: 999 }));
+    }
+
+    #[test]
+    fn read_str_requires_nul() {
+        assert!(read_str(b"abc", 0).is_err());
+        assert_eq!(read_str(b"abc\0", 0).unwrap(), "abc");
+        assert_eq!(read_str(b"abc\0def\0", 4).unwrap(), "def");
+    }
+
+    #[test]
+    fn strtab_offsets_resolve() {
+        let mut t = StrTab::new();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        let bytes = t.into_bytes();
+        assert_eq!(read_str(&bytes, a as usize).unwrap(), "alpha");
+        assert_eq!(read_str(&bytes, b as usize).unwrap(), "beta");
+        assert_eq!(read_str(&bytes, 0).unwrap(), "");
+    }
+
+    #[test]
+    fn symbol_kind_roundtrip() {
+        for k in [
+            SymbolKind::NoType,
+            SymbolKind::Object,
+            SymbolKind::Func,
+            SymbolKind::Section,
+            SymbolKind::Other(7),
+        ] {
+            assert_eq!(SymbolKind::from_u8(k.to_u8()), k);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! ELF64 on-disk constants and small enums shared by the builder and
+//! parser.
+//!
+//! Only the subset of the ELF specification exercised by ML shared
+//! libraries is modelled: `ET_DYN` objects, `PROGBITS`/`SYMTAB`/`STRTAB`
+//! sections, and `STT_FUNC`/`STT_OBJECT` symbols. The numeric values match
+//! the real specification so images round-trip through standard tooling
+//! expectations (e.g. `readelf`-style offsets).
+
+/// Size in bytes of the ELF64 file header.
+pub const EHDR_SIZE: usize = 64;
+/// Size in bytes of one ELF64 program header entry.
+pub const PHDR_SIZE: usize = 56;
+/// Size in bytes of one ELF64 section header entry.
+pub const SHDR_SIZE: usize = 64;
+/// Size in bytes of one ELF64 symbol table entry.
+pub const SYM_SIZE: usize = 24;
+
+/// `e_type` value for shared objects.
+pub const ET_DYN: u16 = 3;
+/// `e_machine` value for x86-64.
+pub const EM_X86_64: u16 = 62;
+
+/// `p_type` for loadable segments.
+pub const PT_LOAD: u32 = 1;
+/// Segment flag: executable.
+pub const PF_X: u32 = 1;
+/// Segment flag: writable.
+pub const PF_W: u32 = 2;
+/// Segment flag: readable.
+pub const PF_R: u32 = 4;
+
+/// The section types this crate reads and writes.
+///
+/// Values are the standard `sh_type` constants; unknown types parse as
+/// [`SectionKind::Other`] so foreign images do not fail wholesale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SectionKind {
+    /// `SHT_NULL` — the mandatory index-0 placeholder.
+    Null,
+    /// `SHT_PROGBITS` — program-defined contents (`.text`, `.nv_fatbin`, ...).
+    ProgBits,
+    /// `SHT_SYMTAB` — symbol table.
+    SymTab,
+    /// `SHT_STRTAB` — string table.
+    StrTab,
+    /// `SHT_NOBITS` — occupies no file space (`.bss`).
+    NoBits,
+    /// Any other `sh_type`, preserved verbatim.
+    Other(u32),
+}
+
+impl SectionKind {
+    /// The on-disk `sh_type` value.
+    pub fn to_u32(self) -> u32 {
+        match self {
+            SectionKind::Null => 0,
+            SectionKind::ProgBits => 1,
+            SectionKind::SymTab => 2,
+            SectionKind::StrTab => 3,
+            SectionKind::NoBits => 8,
+            SectionKind::Other(v) => v,
+        }
+    }
+
+    /// Interpret an on-disk `sh_type` value.
+    pub fn from_u32(v: u32) -> Self {
+        match v {
+            0 => SectionKind::Null,
+            1 => SectionKind::ProgBits,
+            2 => SectionKind::SymTab,
+            3 => SectionKind::StrTab,
+            8 => SectionKind::NoBits,
+            other => SectionKind::Other(other),
+        }
+    }
+}
+
+/// Section attribute flags (`sh_flags`), a subset of the specification.
+///
+/// Stored as a plain bit set; combine with [`SectionFlags::union`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SectionFlags(u64);
+
+impl SectionFlags {
+    /// No flags.
+    pub const NONE: SectionFlags = SectionFlags(0);
+    /// `SHF_WRITE` — writable at runtime.
+    pub const WRITE: SectionFlags = SectionFlags(0x1);
+    /// `SHF_ALLOC` — occupies memory at runtime.
+    pub const ALLOC: SectionFlags = SectionFlags(0x2);
+    /// `SHF_EXECINSTR` — contains executable instructions.
+    pub const EXEC: SectionFlags = SectionFlags(0x4);
+
+    /// Combine two flag sets.
+    pub fn union(self, other: SectionFlags) -> SectionFlags {
+        SectionFlags(self.0 | other.0)
+    }
+
+    /// True if every flag in `other` is present in `self`.
+    pub fn contains(self, other: SectionFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Raw `sh_flags` value.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Construct from a raw `sh_flags` value.
+    pub fn from_bits(bits: u64) -> Self {
+        SectionFlags(bits)
+    }
+}
+
+/// Conventional section names used by the builder.
+pub mod names {
+    /// Executable CPU code.
+    pub const TEXT: &str = ".text";
+    /// Read-only data.
+    pub const RODATA: &str = ".rodata";
+    /// Writable data.
+    pub const DATA: &str = ".data";
+    /// GPU device code container (NVIDIA fat binary).
+    pub const NV_FATBIN: &str = ".nv_fatbin";
+    /// Symbol table.
+    pub const SYMTAB: &str = ".symtab";
+    /// Symbol string table.
+    pub const STRTAB: &str = ".strtab";
+    /// Section-name string table.
+    pub const SHSTRTAB: &str = ".shstrtab";
+}
+
+/// Round `value` up to the next multiple of `align` (`align` must be a
+/// power of two greater than zero).
+pub fn align_up(value: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (value + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_kind_roundtrip() {
+        for kind in [
+            SectionKind::Null,
+            SectionKind::ProgBits,
+            SectionKind::SymTab,
+            SectionKind::StrTab,
+            SectionKind::NoBits,
+            SectionKind::Other(0x6fff_fff6),
+        ] {
+            assert_eq!(SectionKind::from_u32(kind.to_u32()), kind);
+        }
+    }
+
+    #[test]
+    fn flags_union_and_contains() {
+        let ax = SectionFlags::ALLOC.union(SectionFlags::EXEC);
+        assert!(ax.contains(SectionFlags::ALLOC));
+        assert!(ax.contains(SectionFlags::EXEC));
+        assert!(!ax.contains(SectionFlags::WRITE));
+        assert_eq!(ax.bits(), 0x6);
+    }
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 8), 0);
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 4096), 4096);
+        assert_eq!(align_up(4096, 4096), 4096);
+    }
+}

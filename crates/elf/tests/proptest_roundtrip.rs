@@ -1,0 +1,142 @@
+//! Property tests: builder → parser round-trips and range algebra laws.
+
+use proptest::prelude::*;
+use simelf::range::{complement_within, covered_bytes, covers, normalize};
+use simelf::{Elf, ElfBuilder, FileRange, SymbolKind};
+
+fn arb_name(i: usize) -> String {
+    format!("fn_{i:04}")
+}
+
+fn arb_functions() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(1u8..=255, 1..200), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn build_parse_roundtrips_symbols(bodies in arb_functions(), fatbin in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut b = ElfBuilder::new("libprop.so");
+        for (i, body) in bodies.iter().enumerate() {
+            b.function(arb_name(i), body.clone());
+        }
+        if !fatbin.is_empty() {
+            b.fatbin(fatbin.clone());
+        }
+        let img = b.build().unwrap();
+        let elf = Elf::parse(img.bytes()).unwrap();
+        let syms = elf.symbols().unwrap();
+        prop_assert_eq!(syms.len(), bodies.len());
+        for (i, sym) in syms.iter().enumerate() {
+            prop_assert_eq!(&sym.name, &arb_name(i));
+            prop_assert_eq!(sym.kind, SymbolKind::Func);
+            prop_assert_eq!(sym.size, bodies[i].len() as u64);
+            let got = &img.bytes()[sym.value as usize..(sym.value + sym.size) as usize];
+            prop_assert_eq!(got, bodies[i].as_slice());
+        }
+        if !fatbin.is_empty() {
+            let sec = elf.section_by_name(".nv_fatbin").unwrap();
+            prop_assert_eq!(elf.section_data(&sec), fatbin.as_slice());
+        }
+    }
+
+    #[test]
+    fn function_ranges_are_disjoint_and_inside_text(bodies in arb_functions()) {
+        let mut b = ElfBuilder::new("libprop.so");
+        for (i, body) in bodies.iter().enumerate() {
+            b.function(arb_name(i), body.clone());
+        }
+        let img = b.build().unwrap();
+        let elf = Elf::parse(img.bytes()).unwrap();
+        let text = elf.section_by_name(".text").unwrap().file_range();
+        let mut ranges = elf.function_ranges().unwrap();
+        ranges.sort_by_key(|(_, r)| r.start);
+        for window in ranges.windows(2) {
+            prop_assert!(!window[0].1.overlaps(&window[1].1));
+        }
+        for (_, r) in &ranges {
+            prop_assert!(covers(&[text], *r));
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent_and_preserves_coverage(
+        raw in prop::collection::vec((0u64..10_000, 0u64..200), 0..50)
+    ) {
+        let ranges: Vec<FileRange> =
+            raw.iter().map(|&(s, l)| FileRange::new(s, s + l)).collect();
+        let once = normalize(ranges.clone());
+        let twice = normalize(once.clone());
+        prop_assert_eq!(&once, &twice);
+        // Every input byte is still covered.
+        for r in &ranges {
+            prop_assert!(covers(&once, *r));
+        }
+        // Canonical: sorted, disjoint, non-empty.
+        for w in once.windows(2) {
+            prop_assert!(w[0].end < w[1].start, "merged ranges must not touch: {} {}", w[0], w[1]);
+        }
+        for r in &once {
+            prop_assert!(!r.is_empty());
+        }
+    }
+
+    #[test]
+    fn complement_partitions_window(
+        raw in prop::collection::vec((0u64..5_000, 0u64..100), 0..30),
+        win_start in 0u64..1000,
+        win_len in 0u64..8000,
+    ) {
+        let keep: Vec<FileRange> =
+            raw.iter().map(|&(s, l)| FileRange::new(s, s + l)).collect();
+        let window = FileRange::new(win_start, win_start + win_len);
+        let holes = complement_within(&keep, window);
+        // keep∩window and holes are disjoint and together cover the window.
+        let clipped: Vec<FileRange> = keep
+            .iter()
+            .filter_map(|r| r.intersection(&window))
+            .collect();
+        let total = covered_bytes(&clipped) + covered_bytes(&holes);
+        prop_assert_eq!(total, window.len());
+        for h in &holes {
+            for k in &clipped {
+                prop_assert!(!h.overlaps(k), "hole {h} overlaps keep {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn zeroing_complement_preserves_kept_bytes(bodies in arb_functions()) {
+        let mut b = ElfBuilder::new("libprop.so");
+        for (i, body) in bodies.iter().enumerate() {
+            b.function(arb_name(i), body.clone());
+        }
+        let mut img = b.build().unwrap();
+        let elf = Elf::parse(img.bytes()).unwrap();
+        let text = elf.section_by_name(".text").unwrap().file_range();
+        let ranges = elf.function_ranges().unwrap();
+        // Keep only even-indexed functions.
+        let keep: Vec<FileRange> =
+            ranges.iter().enumerate().filter(|(i, _)| i % 2 == 0).map(|(_, (_, r))| *r).collect();
+        let holes = complement_within(&keep, text);
+        let before: Vec<Vec<u8>> = keep
+            .iter()
+            .map(|r| img.bytes()[r.start as usize..r.end as usize].to_vec())
+            .collect();
+        img.zero_ranges(&holes).unwrap();
+        for (r, want) in keep.iter().zip(&before) {
+            let got = &img.bytes()[r.start as usize..r.end as usize];
+            prop_assert_eq!(got, want.as_slice());
+        }
+        // Odd-indexed bodies are gone.
+        for (i, (_, r)) in ranges.iter().enumerate() {
+            if i % 2 == 1 {
+                prop_assert!(img.is_zeroed(*r));
+            }
+        }
+        // The image still parses and its symbols are intact.
+        let reparsed = Elf::parse(img.bytes()).unwrap();
+        prop_assert_eq!(reparsed.symbols().unwrap().len(), bodies.len());
+    }
+}

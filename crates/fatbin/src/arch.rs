@@ -1,0 +1,109 @@
+//! GPU compute capabilities.
+
+use std::fmt;
+
+/// An SM (streaming multiprocessor) compute capability, e.g. `sm_75`.
+///
+/// Fatbin element headers carry the architecture their SASS was compiled
+/// for; the Negativa-ML locator retains only elements matching the GPU
+/// the workload ran on (paper §3.2, the dominant removal reason in
+/// Figure 7).
+///
+/// The inner value is `major * 10 + minor` (so Turing is `SmArch(75)`),
+/// matching the encoding used by `nvcc -arch=sm_75`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SmArch(pub u32);
+
+impl SmArch {
+    /// Volta (V100).
+    pub const SM70: SmArch = SmArch(70);
+    /// Turing (T4) — the paper's primary evaluation GPU.
+    pub const SM75: SmArch = SmArch(75);
+    /// Ampere (A100) — the paper's distributed-inference GPUs.
+    pub const SM80: SmArch = SmArch(80);
+    /// Ampere (consumer, e.g. A10/RTX 30).
+    pub const SM86: SmArch = SmArch(86);
+    /// Ada (L4/RTX 40).
+    pub const SM89: SmArch = SmArch(89);
+    /// Hopper (H100) — the paper's eager/lazy-loading evaluation GPU.
+    pub const SM90: SmArch = SmArch(90);
+
+    /// The six architectures the paper observed a single PyTorch library
+    /// shipping code for (§4.3: "elements for 6 different GPU
+    /// architectures").
+    pub const PAPER_SET: [SmArch; 6] = [
+        SmArch::SM70,
+        SmArch::SM75,
+        SmArch::SM80,
+        SmArch::SM86,
+        SmArch::SM89,
+        SmArch::SM90,
+    ];
+
+    /// Major version (e.g. 7 for `sm_75`).
+    pub fn major(self) -> u32 {
+        self.0 / 10
+    }
+
+    /// Minor version (e.g. 5 for `sm_75`).
+    pub fn minor(self) -> u32 {
+        self.0 % 10
+    }
+
+    /// Whether SASS compiled for `self` can execute on a GPU of
+    /// architecture `gpu`.
+    ///
+    /// SASS is not forward- or backward-compatible across major versions;
+    /// within a major version, binaries compiled for a lower minor run on
+    /// higher minors. (PTX would be JIT-compilable anywhere newer, but
+    /// the paper's locator only loads matching SASS; see
+    /// `ElementKind::Ptx` handling in the locator.)
+    pub fn runs_on(self, gpu: SmArch) -> bool {
+        self.major() == gpu.major() && self.minor() <= gpu.minor()
+    }
+}
+
+impl fmt::Display for SmArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sm_{}", self.0)
+    }
+}
+
+impl From<u32> for SmArch {
+    fn from(v: u32) -> Self {
+        SmArch(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_nvcc_spelling() {
+        assert_eq!(SmArch::SM75.to_string(), "sm_75");
+        assert_eq!(SmArch::SM90.to_string(), "sm_90");
+    }
+
+    #[test]
+    fn runs_on_respects_major_boundary() {
+        assert!(SmArch::SM80.runs_on(SmArch::SM86));
+        assert!(!SmArch::SM86.runs_on(SmArch::SM80));
+        assert!(!SmArch::SM75.runs_on(SmArch::SM80));
+        assert!(!SmArch::SM80.runs_on(SmArch::SM75));
+        assert!(SmArch::SM75.runs_on(SmArch::SM75));
+    }
+
+    #[test]
+    fn paper_set_is_six_distinct_archs() {
+        let mut set = SmArch::PAPER_SET.to_vec();
+        set.dedup();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn major_minor_split() {
+        assert_eq!(SmArch::SM86.major(), 8);
+        assert_eq!(SmArch::SM86.minor(), 6);
+    }
+}

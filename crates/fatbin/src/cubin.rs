@@ -1,0 +1,406 @@
+//! The cubin (CUDA binary) layer: kernels and their call graphs.
+//!
+//! A cubin contains one or more kernels. Kernels marked *entry* are
+//! CPU-launchable (`__global__` functions launched via
+//! `cuModuleGetFunction` + `cuLaunchKernel`); others are *device-only*
+//! and can only be launched from another kernel (dynamic parallelism).
+//! The compiler places a CPU-launching kernel and every kernel it can
+//! launch into the same cubin — the structural fact Negativa-ML's
+//! locator exploits (paper §3.2).
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use crate::error::FatbinError;
+use crate::Result;
+
+const CUBIN_MAGIC: u32 = 0x434E_567F; // "\x7fVNC" little-endian on disk
+const CUBIN_VERSION: u16 = 1;
+const HEADER_SIZE: usize = 24;
+const ENTRY_FIXED: usize = 24;
+
+/// A kernel description used to construct a [`Cubin`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelDef {
+    /// Kernel (mangled) name.
+    pub name: String,
+    /// SASS code bytes.
+    pub code: Vec<u8>,
+    /// Indices (within the same cubin) of kernels this kernel launches.
+    pub callees: Vec<u32>,
+    /// True if CPU-launchable.
+    pub is_entry: bool,
+}
+
+impl KernelDef {
+    /// A CPU-launchable (`__global__`, host-visible) kernel.
+    pub fn entry(name: impl Into<String>, code: Vec<u8>) -> Self {
+        KernelDef { name: name.into(), code, callees: Vec::new(), is_entry: true }
+    }
+
+    /// A device-only kernel (launchable only from another kernel).
+    pub fn device(name: impl Into<String>, code: Vec<u8>) -> Self {
+        KernelDef { name: name.into(), code, callees: Vec::new(), is_entry: false }
+    }
+
+    /// Attach call-graph edges (indices of kernels within the cubin this
+    /// kernel launches at runtime).
+    pub fn with_callees(mut self, callees: Vec<u32>) -> Self {
+        self.callees = callees;
+        self
+    }
+}
+
+/// A kernel stored inside a [`Cubin`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: String,
+    /// SASS code bytes.
+    pub code: Vec<u8>,
+    /// Call-graph out-edges (kernel indices within the same cubin).
+    pub callees: Vec<u32>,
+    /// True if CPU-launchable.
+    pub is_entry: bool,
+}
+
+/// A CUDA binary: a set of kernels plus their intra-cubin call graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cubin {
+    kernels: Vec<Kernel>,
+}
+
+impl Cubin {
+    /// Build a cubin from kernel definitions.
+    ///
+    /// # Errors
+    ///
+    /// [`FatbinError::InvalidInput`] for empty/duplicate kernel names,
+    /// empty code bodies, out-of-range callee indices, or more than
+    /// `u16::MAX` kernels.
+    pub fn new(defs: Vec<KernelDef>) -> Result<Cubin> {
+        if defs.len() > u16::MAX as usize {
+            return Err(FatbinError::InvalidInput {
+                reason: format!("{} kernels exceed the u16 table limit", defs.len()),
+            });
+        }
+        let mut seen = HashSet::new();
+        for (i, d) in defs.iter().enumerate() {
+            if d.name.is_empty() {
+                return Err(FatbinError::InvalidInput {
+                    reason: format!("kernel {i} has an empty name"),
+                });
+            }
+            if d.code.is_empty() {
+                return Err(FatbinError::InvalidInput {
+                    reason: format!("kernel {} has an empty body", d.name),
+                });
+            }
+            if !seen.insert(d.name.as_str()) {
+                return Err(FatbinError::InvalidInput {
+                    reason: format!("duplicate kernel name {}", d.name),
+                });
+            }
+            for &c in &d.callees {
+                if c as usize >= defs.len() {
+                    return Err(FatbinError::InvalidInput {
+                        reason: format!(
+                            "kernel {} calls out-of-range kernel index {c}",
+                            d.name
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(Cubin {
+            kernels: defs
+                .into_iter()
+                .map(|d| Kernel {
+                    name: d.name,
+                    code: d.code,
+                    callees: d.callees,
+                    is_entry: d.is_entry,
+                })
+                .collect(),
+        })
+    }
+
+    /// All kernels, in table order.
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// Kernel names, in table order.
+    pub fn kernel_names(&self) -> Vec<&str> {
+        self.kernels.iter().map(|k| k.name.as_str()).collect()
+    }
+
+    /// Names of CPU-launchable kernels.
+    pub fn entry_names(&self) -> Vec<&str> {
+        self.kernels.iter().filter(|k| k.is_entry).map(|k| k.name.as_str()).collect()
+    }
+
+    /// Find a kernel index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.kernels.iter().position(|k| k.name == name)
+    }
+
+    /// True if the cubin contains a kernel with this name.
+    pub fn contains_kernel(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// Total SASS bytes across all kernels.
+    pub fn code_size(&self) -> u64 {
+        self.kernels.iter().map(|k| k.code.len() as u64).sum()
+    }
+
+    /// Indices of every kernel reachable from kernel `start` through the
+    /// intra-cubin call graph (including `start` itself). Handles cycles.
+    pub fn launch_closure(&self, start: usize) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::new();
+        if start >= self.kernels.len() {
+            return seen;
+        }
+        let mut queue = VecDeque::from([start]);
+        while let Some(i) = queue.pop_front() {
+            if seen.insert(i) {
+                for &c in &self.kernels[i].callees {
+                    queue.push_back(c as usize);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Indices of kernels reachable from *any* entry kernel. Kernels not
+    /// in this set are dead device code (Type I bloat within the cubin).
+    pub fn reachable_from_entries(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for (i, k) in self.kernels.iter().enumerate() {
+            if k.is_entry {
+                out.extend(self.launch_closure(i));
+            }
+        }
+        out
+    }
+
+    /// Serialize to the on-disk form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut strtab: Vec<u8> = vec![0];
+        let mut name_offs = Vec::with_capacity(self.kernels.len());
+        for k in &self.kernels {
+            name_offs.push(strtab.len() as u32);
+            strtab.extend_from_slice(k.name.as_bytes());
+            strtab.push(0);
+        }
+        let entries_size: usize =
+            self.kernels.iter().map(|k| ENTRY_FIXED + 4 * k.callees.len()).sum();
+        let code_size: u64 = self.code_size();
+
+        let mut out = Vec::with_capacity(HEADER_SIZE + entries_size + strtab.len());
+        out.extend_from_slice(&CUBIN_MAGIC.to_le_bytes());
+        out.extend_from_slice(&CUBIN_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.kernels.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(strtab.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(entries_size as u32).to_le_bytes());
+        out.extend_from_slice(&code_size.to_le_bytes());
+        debug_assert_eq!(out.len(), HEADER_SIZE);
+
+        let mut code_off = 0u64;
+        for (k, &name_off) in self.kernels.iter().zip(&name_offs) {
+            out.extend_from_slice(&name_off.to_le_bytes());
+            out.extend_from_slice(&code_off.to_le_bytes());
+            out.extend_from_slice(&(k.code.len() as u64).to_le_bytes());
+            out.extend_from_slice(&(k.callees.len() as u16).to_le_bytes());
+            out.push(if k.is_entry { 1 } else { 2 });
+            out.push(0);
+            for &c in &k.callees {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+            code_off += k.code.len() as u64;
+        }
+        out.extend_from_slice(&strtab);
+        for k in &self.kernels {
+            out.extend_from_slice(&k.code);
+        }
+        out
+    }
+
+    /// Parse the on-disk form.
+    ///
+    /// # Errors
+    ///
+    /// [`FatbinError::BadMagic`] / [`FatbinError::Truncated`] /
+    /// [`FatbinError::Malformed`] for structural problems.
+    pub fn parse(bytes: &[u8]) -> Result<Cubin> {
+        if bytes.len() < HEADER_SIZE {
+            return Err(FatbinError::Truncated { context: "cubin header", offset: 0 });
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("len 4"));
+        if magic != CUBIN_MAGIC {
+            return Err(FatbinError::BadMagic { context: "cubin", offset: 0 });
+        }
+        let kernel_count =
+            u16::from_le_bytes(bytes[6..8].try_into().expect("len 2")) as usize;
+        let strtab_size =
+            u32::from_le_bytes(bytes[8..12].try_into().expect("len 4")) as usize;
+        let entries_size =
+            u32::from_le_bytes(bytes[12..16].try_into().expect("len 4")) as usize;
+        let code_size =
+            u64::from_le_bytes(bytes[16..24].try_into().expect("len 8")) as usize;
+
+        let strtab_start = HEADER_SIZE + entries_size;
+        let code_start = strtab_start + strtab_size;
+        if code_start + code_size > bytes.len() {
+            return Err(FatbinError::Truncated { context: "cubin body", offset: code_start });
+        }
+        let strtab = &bytes[strtab_start..code_start];
+        let code = &bytes[code_start..code_start + code_size];
+
+        let mut kernels = Vec::with_capacity(kernel_count);
+        let mut at = HEADER_SIZE;
+        for i in 0..kernel_count {
+            if at + ENTRY_FIXED > strtab_start {
+                return Err(FatbinError::Truncated { context: "kernel entry", offset: at });
+            }
+            let e = &bytes[at..at + ENTRY_FIXED];
+            let name_off = u32::from_le_bytes(e[0..4].try_into().expect("len 4")) as usize;
+            let code_off = u64::from_le_bytes(e[4..12].try_into().expect("len 8")) as usize;
+            let k_size = u64::from_le_bytes(e[12..20].try_into().expect("len 8")) as usize;
+            let callee_count =
+                u16::from_le_bytes(e[20..22].try_into().expect("len 2")) as usize;
+            let entry_kind = e[22];
+            at += ENTRY_FIXED;
+            if at + 4 * callee_count > strtab_start {
+                return Err(FatbinError::Truncated { context: "kernel callees", offset: at });
+            }
+            let mut callees = Vec::with_capacity(callee_count);
+            for c in 0..callee_count {
+                let idx = u32::from_le_bytes(
+                    bytes[at + 4 * c..at + 4 * c + 4].try_into().expect("len 4"),
+                );
+                if idx as usize >= kernel_count {
+                    return Err(FatbinError::Malformed {
+                        reason: format!("kernel {i} callee index {idx} out of range"),
+                    });
+                }
+                callees.push(idx);
+            }
+            at += 4 * callee_count;
+
+            let name = read_str(strtab, name_off).ok_or(FatbinError::Malformed {
+                reason: format!("kernel {i} name offset {name_off} dangles"),
+            })?;
+            if code_off + k_size > code.len() {
+                return Err(FatbinError::Malformed {
+                    reason: format!("kernel {name} code range out of bounds"),
+                });
+            }
+            kernels.push(Kernel {
+                name,
+                code: code[code_off..code_off + k_size].to_vec(),
+                callees,
+                is_entry: entry_kind == 1,
+            });
+        }
+        Ok(Cubin { kernels })
+    }
+}
+
+fn read_str(strtab: &[u8], offset: usize) -> Option<String> {
+    let tail = strtab.get(offset..)?;
+    let nul = tail.iter().position(|&b| b == 0)?;
+    Some(String::from_utf8_lossy(&tail[..nul]).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Cubin {
+        Cubin::new(vec![
+            KernelDef::entry("matmul", vec![0xa0; 128]).with_callees(vec![1, 2]),
+            KernelDef::device("matmul_epilogue", vec![0xa1; 32]).with_callees(vec![2]),
+            KernelDef::device("reduce_tail", vec![0xa2; 16]),
+            KernelDef::entry("softmax", vec![0xa3; 64]),
+            KernelDef::device("orphan_dead_code", vec![0xa4; 8]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample();
+        let bytes = c.to_bytes();
+        let back = Cubin::parse(&bytes).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn closure_follows_edges_transitively() {
+        let c = sample();
+        let closure = c.launch_closure(0);
+        assert_eq!(closure, BTreeSet::from([0, 1, 2]));
+        assert_eq!(c.launch_closure(3), BTreeSet::from([3]));
+    }
+
+    #[test]
+    fn closure_handles_cycles() {
+        let c = Cubin::new(vec![
+            KernelDef::entry("a", vec![1]).with_callees(vec![1]),
+            KernelDef::device("b", vec![2]).with_callees(vec![0]),
+        ])
+        .unwrap();
+        assert_eq!(c.launch_closure(0), BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn reachable_excludes_dead_device_kernels() {
+        let c = sample();
+        let reach = c.reachable_from_entries();
+        assert!(reach.contains(&0) && reach.contains(&3));
+        assert!(!reach.contains(&4), "orphan device kernel is dead code");
+    }
+
+    #[test]
+    fn entry_names_filters() {
+        assert_eq!(sample().entry_names(), vec!["matmul", "softmax"]);
+    }
+
+    #[test]
+    fn rejects_bad_callee_index() {
+        let err = Cubin::new(vec![KernelDef::entry("a", vec![1]).with_callees(vec![9])])
+            .unwrap_err();
+        assert!(matches!(err, FatbinError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Cubin::new(vec![
+            KernelDef::entry("a", vec![1]),
+            KernelDef::device("a", vec![2]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, FatbinError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_magic() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 0;
+        assert!(matches!(Cubin::parse(&bytes), Err(FatbinError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_truncation() {
+        let bytes = sample().to_bytes();
+        for cut in [4usize, 20, bytes.len() - 3] {
+            assert!(Cubin::parse(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn code_size_sums_kernels() {
+        assert_eq!(sample().code_size(), 128 + 32 + 16 + 64 + 8);
+    }
+}

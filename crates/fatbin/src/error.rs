@@ -1,0 +1,98 @@
+use std::fmt;
+
+/// Errors produced while encoding or decoding fatbin structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FatbinError {
+    /// Input ended before the structure being read was complete.
+    Truncated {
+        /// What was being read.
+        context: &'static str,
+        /// Offset at which the read was attempted.
+        offset: usize,
+    },
+    /// A magic number did not match.
+    BadMagic {
+        /// Which structure's magic failed.
+        context: &'static str,
+        /// Offset of the bad magic.
+        offset: usize,
+    },
+    /// A structural field holds an uninterpretable value.
+    Malformed {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Construction input was rejected (duplicate kernel, bad callee
+    /// index, oversized table, ...).
+    InvalidInput {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A compressed payload failed to decompress.
+    BadCompression {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The containing ELF image could not be read.
+    Elf(simelf::ElfError),
+}
+
+impl fmt::Display for FatbinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FatbinError::Truncated { context, offset } => {
+                write!(f, "truncated input reading {context} at offset {offset}")
+            }
+            FatbinError::BadMagic { context, offset } => {
+                write!(f, "bad {context} magic at offset {offset}")
+            }
+            FatbinError::Malformed { reason } => write!(f, "malformed fatbin: {reason}"),
+            FatbinError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            FatbinError::BadCompression { reason } => {
+                write!(f, "bad compressed payload: {reason}")
+            }
+            FatbinError::Elf(e) => write!(f, "elf error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FatbinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FatbinError::Elf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<simelf::ElfError> for FatbinError {
+    fn from(e: simelf::ElfError) -> Self {
+        FatbinError::Elf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FatbinError>();
+    }
+
+    #[test]
+    fn display_mentions_context() {
+        let e = FatbinError::BadMagic { context: "region header", offset: 16 };
+        assert!(e.to_string().contains("region header"));
+        assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn elf_error_converts_and_sources() {
+        use std::error::Error;
+        let e: FatbinError = simelf::ElfError::BadMagic.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,184 @@
+//! `cuobjdump`-equivalent extraction.
+//!
+//! The paper's kernel locator shells out to `cuobjdump` to (1) extract the
+//! list of cubins from a shared library and (2) list the kernels inside
+//! each cubin; the cubin's 1-based index in the extraction maps it back to
+//! its element (paper §3.2). [`extract`] performs both steps in one pass
+//! over a fatbin byte blob; [`extract_from_elf`] first pulls the
+//! `.nv_fatbin` section out of an ELF image and reports ranges relative
+//! to the *file*, which is what the compactor ultimately needs.
+
+use crate::container::{ElementKind, Fatbin};
+use crate::error::FatbinError;
+use crate::{Result, SmArch};
+use simelf::{Elf, FileRange};
+
+/// One entry of a `cuobjdump`-style listing; see [`extract`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractedCubin {
+    /// 1-based element index within the fatbin (the `cuobjdump` file-name
+    /// index the paper uses to map cubins to elements).
+    pub index: u32,
+    /// Architecture the element targets.
+    pub arch: SmArch,
+    /// Payload kind (PTX elements are listed but carry no kernel table).
+    pub kind: ElementKind,
+    /// Whole-element file range (header + payload).
+    pub range: FileRange,
+    /// Payload-only file range (the bytes compaction zeroes).
+    pub payload_range: FileRange,
+    /// All kernels in the cubin (empty for PTX or cleared payloads).
+    pub kernel_names: Vec<String>,
+    /// CPU-launchable kernels only.
+    pub entry_names: Vec<String>,
+    /// True if the payload was already zeroed by a previous compaction.
+    pub cleared: bool,
+}
+
+/// Extract the cubin listing from raw fatbin bytes.
+///
+/// Ranges are relative to the first byte of `fatbin_bytes`. Cleared
+/// (zeroed-payload) elements are listed with `cleared = true` and no
+/// kernels, mirroring how `cuobjdump` would fail to dump them.
+///
+/// # Errors
+///
+/// Propagates container parse errors; per-element payload corruption is
+/// *not* an error (the element is listed as cleared) so that extraction
+/// works on previously debloated libraries.
+pub fn extract(fatbin_bytes: &[u8]) -> Result<Vec<ExtractedCubin>> {
+    let fb = Fatbin::parse(fatbin_bytes)?;
+    let layout = fb.element_layout();
+    let mut out = Vec::with_capacity(layout.len());
+    for ((_, element), placement) in fb.elements().zip(layout) {
+        let cleared = element.is_cleared();
+        let (kernel_names, entry_names) = if cleared || element.kind() == ElementKind::Ptx {
+            (Vec::new(), Vec::new())
+        } else {
+            match element.decode_cubin() {
+                Ok(cubin) => (
+                    cubin.kernel_names().iter().map(|s| s.to_string()).collect(),
+                    cubin.entry_names().iter().map(|s| s.to_string()).collect(),
+                ),
+                // Payload corrupt (e.g. partially zeroed): treat as cleared.
+                Err(_) => (Vec::new(), Vec::new()),
+            }
+        };
+        out.push(ExtractedCubin {
+            index: placement.index,
+            arch: placement.arch,
+            kind: placement.kind,
+            range: placement.range,
+            payload_range: placement.payload_range,
+            kernel_names,
+            entry_names,
+            cleared,
+        });
+    }
+    Ok(out)
+}
+
+/// Extract the cubin listing from an ELF shared library.
+///
+/// Returns the listing with all ranges shifted to *file* offsets, plus
+/// the file range of the `.nv_fatbin` section itself.
+///
+/// # Errors
+///
+/// [`FatbinError::Elf`] if the image does not parse;
+/// [`FatbinError::Malformed`] if there is no `.nv_fatbin` section.
+pub fn extract_from_elf(elf_bytes: &[u8]) -> Result<(Vec<ExtractedCubin>, FileRange)> {
+    let elf = Elf::parse(elf_bytes)?;
+    let section = elf.section_by_name(simelf::types::names::NV_FATBIN).ok_or_else(|| {
+        FatbinError::Malformed { reason: "image has no .nv_fatbin section".into() }
+    })?;
+    let section_range = section.file_range();
+    let mut listing = extract(elf.section_data(&section))?;
+    for item in &mut listing {
+        item.range = item.range.offset_by(section_range.start);
+        item.payload_range = item.payload_range.offset_by(section_range.start);
+    }
+    Ok((listing, section_range))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::{Element, Region};
+    use crate::cubin::{Cubin, KernelDef};
+    use simelf::ElfBuilder;
+
+    fn sample_fatbin() -> Fatbin {
+        let gemm = Cubin::new(vec![
+            KernelDef::entry("gemm_128", vec![0xaa; 200]).with_callees(vec![1]),
+            KernelDef::device("gemm_tail", vec![0xab; 40]),
+        ])
+        .unwrap();
+        let conv = Cubin::new(vec![KernelDef::entry("conv2d", vec![0xac; 150])]).unwrap();
+        Fatbin::new(vec![
+            Region::new(vec![
+                Element::cubin(SmArch::SM75, &gemm).unwrap(),
+                Element::cubin(SmArch::SM80, &gemm).unwrap(),
+                Element::ptx(SmArch::SM90, ".target sm_90"),
+            ]),
+            Region::new(vec![Element::cubin_compressed(SmArch::SM75, &conv).unwrap()]),
+        ])
+    }
+
+    #[test]
+    fn extract_lists_all_elements() {
+        let fb = sample_fatbin();
+        let listing = extract(&fb.to_bytes()).unwrap();
+        assert_eq!(listing.len(), 4);
+        assert_eq!(listing[0].kernel_names, vec!["gemm_128", "gemm_tail"]);
+        assert_eq!(listing[0].entry_names, vec!["gemm_128"]);
+        assert_eq!(listing[2].kind, ElementKind::Ptx);
+        assert!(listing[2].kernel_names.is_empty());
+        assert_eq!(listing[3].kernel_names, vec!["conv2d"]);
+    }
+
+    #[test]
+    fn extract_from_elf_shifts_ranges() {
+        let fb = sample_fatbin();
+        let img = ElfBuilder::new("libgpu.so")
+            .function("host_launch", vec![0x90; 64])
+            .fatbin(fb.to_bytes())
+            .build()
+            .unwrap();
+        let (listing, section_range) = extract_from_elf(img.bytes()).unwrap();
+        assert_eq!(listing.len(), 4);
+        for item in &listing {
+            assert!(item.range.start >= section_range.start);
+            assert!(item.range.end <= section_range.end);
+        }
+        // The bytes at the reported range parse as the same element.
+        let first = &listing[0];
+        let slice =
+            &img.bytes()[first.range.start as usize..first.range.end as usize];
+        // Element starts with its magic.
+        assert_eq!(u16::from_le_bytes([slice[0], slice[1]]), 0x50ED);
+    }
+
+    #[test]
+    fn extract_from_elf_without_fatbin_errors() {
+        let img = ElfBuilder::new("libcpu.so").function("f", vec![1; 8]).build().unwrap();
+        assert!(matches!(
+            extract_from_elf(img.bytes()),
+            Err(FatbinError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn cleared_elements_listed_without_kernels() {
+        let fb = sample_fatbin();
+        let mut bytes = fb.to_bytes();
+        let layout = fb.element_layout();
+        let target = &layout[1];
+        bytes[target.payload_range.start as usize..target.payload_range.end as usize].fill(0);
+        let listing = extract(&bytes).unwrap();
+        assert!(listing[1].cleared);
+        assert!(listing[1].kernel_names.is_empty());
+        assert!(!listing[0].cleared);
+        assert_eq!(listing[0].kernel_names.len(), 2);
+    }
+}

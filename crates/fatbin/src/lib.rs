@@ -1,0 +1,72 @@
+//! # fatbin — the GPU device-code container format
+//!
+//! NVIDIA packages GPU code into *fat binaries* embedded in the
+//! `.nv_fatbin` section of ML shared libraries. The format has no public
+//! specification; the Negativa-ML paper reverse-engineers the structure
+//! its locator needs (paper Figure 4):
+//!
+//! ```text
+//! .nv_fatbin = [ Region ]*
+//! Region     = RegionHeader  [ Element ]*
+//! Element    = ElementHeader (kind, sm arch, flags, sizes)  payload
+//! payload    = Cubin (SASS container: kernels + call-graph edges) | PTX
+//! ```
+//!
+//! This crate models that structure faithfully enough for every paper
+//! experiment:
+//!
+//! * [`Cubin`] — a CUDA binary holding kernels. Kernels launched from the
+//!   CPU (`entry` kernels) may launch further *GPU-launching* kernels;
+//!   those call-graph edges are stored here, and
+//!   [`Cubin::launch_closure`] computes the transitive closure the paper
+//!   relies on ("if a cubin contains a CPU-launching kernel it also
+//!   contains every kernel of its call graph").
+//! * [`Element`] / [`Region`] / [`Fatbin`] — the container layers, each
+//!   with byte-exact `to_bytes` / `parse` round-trips. Element headers
+//!   carry the compute capability ([`SmArch`]) the locator filters on.
+//! * [`extract`] — the `cuobjdump` equivalent: list every cubin in a
+//!   fatbin (or a whole ELF image) with its 1-based element index, file
+//!   range, architecture, and kernel names.
+//! * [`compress`] — optional RLE payload compression, exercising the
+//!   compressed-element flag real fatbins use.
+//!
+//! # Example
+//!
+//! ```
+//! use fatbin::{Cubin, Element, Fatbin, KernelDef, Region, SmArch};
+//!
+//! # fn main() -> Result<(), fatbin::FatbinError> {
+//! let cubin = Cubin::new(vec![
+//!     KernelDef::entry("matmul", vec![0xd0; 256]).with_callees(vec![1]),
+//!     KernelDef::device("matmul_tail", vec![0xd1; 64]),
+//! ])?;
+//! let fatbin = Fatbin::new(vec![Region::new(vec![
+//!     Element::cubin(SmArch::SM75, &cubin)?,
+//! ])]);
+//! let bytes = fatbin.to_bytes();
+//! let listing = fatbin::extract(&bytes)?;
+//! assert_eq!(listing.len(), 1);
+//! assert_eq!(listing[0].index, 1); // cuobjdump indices start at 1
+//! assert_eq!(listing[0].kernel_names, vec!["matmul", "matmul_tail"]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arch;
+pub mod compress;
+mod container;
+mod cubin;
+mod error;
+mod extract;
+
+pub use arch::SmArch;
+pub use container::{Element, ElementKind, Fatbin, Region};
+pub use cubin::{Cubin, Kernel, KernelDef};
+pub use error::FatbinError;
+pub use extract::{extract, extract_from_elf, ExtractedCubin};
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, FatbinError>;

@@ -1,0 +1,146 @@
+//! Property tests: fatbin/cubin round-trips, layout consistency, and
+//! call-graph closure laws.
+
+use fatbin::{extract, Cubin, Element, Fatbin, KernelDef, Region, SmArch};
+use proptest::prelude::*;
+
+/// Strategy: a cubin with `n` kernels, the first always an entry, random
+/// forward call edges (guaranteeing indices stay in range).
+fn arb_cubin(tag: usize) -> impl Strategy<Value = Cubin> {
+    (1usize..12, any::<u64>()).prop_map(move |(n, seed)| {
+        let mut defs = Vec::with_capacity(n);
+        for i in 0..n {
+            let name = format!("c{tag}_k{i}");
+            let len = 1 + ((seed >> (i % 48)) & 0x3f) as usize;
+            let code = vec![(i as u8).wrapping_add(1); len];
+            let mut def = if i == 0 || seed >> i & 1 == 1 {
+                KernelDef::entry(name, code)
+            } else {
+                KernelDef::device(name, code)
+            };
+            // Edges to strictly earlier or later kernels, all in range.
+            let mut callees = Vec::new();
+            for j in 0..n {
+                if j != i && (seed >> ((i + j) % 60)) & 0x3 == 0 {
+                    callees.push(j as u32);
+                }
+            }
+            def = def.with_callees(callees);
+            defs.push(def);
+        }
+        Cubin::new(defs).expect("generated cubins are valid")
+    })
+}
+
+fn arb_fatbin() -> impl Strategy<Value = Fatbin> {
+    prop::collection::vec(
+        (prop::collection::vec((0usize..6, any::<bool>()), 1..6), any::<u64>()),
+        1..4,
+    )
+    .prop_flat_map(|regions_spec| {
+        let mut strategies = Vec::new();
+        let mut tag = 0usize;
+        for (elems, _seed) in &regions_spec {
+            let mut region_elems = Vec::new();
+            for &(arch_i, compressed) in elems {
+                tag += 1;
+                let arch = SmArch::PAPER_SET[arch_i % 6];
+                region_elems.push(arb_cubin(tag).prop_map(move |c| {
+                    if compressed {
+                        Element::cubin_compressed(arch, &c).expect("valid")
+                    } else {
+                        Element::cubin(arch, &c).expect("valid")
+                    }
+                }));
+            }
+            strategies.push(region_elems);
+        }
+        strategies
+            .into_iter()
+            .map(|region| {
+                region
+                    .into_iter()
+                    .collect::<Vec<_>>()
+                    .prop_map(Region::new)
+            })
+            .collect::<Vec<_>>()
+            .prop_map(Fatbin::new)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fatbin_roundtrips(fb in arb_fatbin()) {
+        let bytes = fb.to_bytes();
+        prop_assert_eq!(bytes.len() as u64, fb.byte_len());
+        let back = Fatbin::parse(&bytes).unwrap();
+        prop_assert_eq!(back, fb);
+    }
+
+    #[test]
+    fn layout_ranges_are_disjoint_ascending_and_cover(fb in arb_fatbin()) {
+        let layout = fb.element_layout();
+        for w in layout.windows(2) {
+            prop_assert!(w[0].range.end <= w[1].range.start);
+            prop_assert_eq!(w[0].index + 1, w[1].index);
+        }
+        let total: u64 = fb.byte_len();
+        if let Some(last) = layout.last() {
+            prop_assert!(last.range.end <= total);
+        }
+        for p in &layout {
+            prop_assert!(p.payload_range.start == p.range.start + 32);
+            prop_assert!(p.payload_range.end == p.range.end);
+        }
+    }
+
+    #[test]
+    fn extraction_indices_match_layout(fb in arb_fatbin()) {
+        let listing = extract(&fb.to_bytes()).unwrap();
+        prop_assert_eq!(listing.len(), fb.element_count());
+        for (item, (idx, el)) in listing.iter().zip(fb.elements()) {
+            prop_assert_eq!(item.index, idx);
+            prop_assert_eq!(item.arch, el.arch());
+            let cubin = el.decode_cubin().unwrap();
+            let names: Vec<String> =
+                cubin.kernel_names().iter().map(|s| s.to_string()).collect();
+            prop_assert_eq!(&item.kernel_names, &names);
+        }
+    }
+
+    #[test]
+    fn closure_is_monotone_and_contains_start(c in arb_cubin(0)) {
+        let n = c.kernels().len();
+        for i in 0..n {
+            let cl = c.launch_closure(i);
+            prop_assert!(cl.contains(&i));
+            // Closure of closure adds nothing (idempotence).
+            let mut expanded = cl.clone();
+            for &j in &cl {
+                expanded.extend(c.launch_closure(j));
+            }
+            prop_assert_eq!(&expanded, &cl);
+        }
+        // Entry reachability is the union of entry closures.
+        let reach = c.reachable_from_entries();
+        for (i, k) in c.kernels().iter().enumerate() {
+            if k.is_entry {
+                prop_assert!(reach.contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn zeroing_any_payload_keeps_container_parseable(fb in arb_fatbin(), which in any::<prop::sample::Index>()) {
+        let mut bytes = fb.to_bytes();
+        let layout = fb.element_layout();
+        let p = &layout[which.index(layout.len())];
+        bytes[p.payload_range.start as usize..p.payload_range.end as usize].fill(0);
+        let listing = extract(&bytes).unwrap();
+        prop_assert_eq!(listing.len(), fb.element_count());
+        let cleared_count = listing.iter().filter(|i| i.cleared).count();
+        prop_assert_eq!(cleared_count, 1);
+    }
+}

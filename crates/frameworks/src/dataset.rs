@@ -1,0 +1,92 @@
+//! Dataset descriptors (Table 1 of the paper).
+//!
+//! Only what the simulation needs: sample counts (step math), per-batch
+//! host bytes (input pipeline memory), and a name.
+
+use std::fmt;
+
+/// The datasets used by the paper's workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Dataset {
+    /// CIFAR-10 training split (50,000 32×32 images).
+    Cifar10Train,
+    /// CIFAR-10 test split (10,000 images).
+    Cifar10Test,
+    /// Multi30k translation training split (29,000 pairs).
+    Multi30kTrain,
+    /// Multi30k test split (1,000 pairs).
+    Multi30kTest,
+    /// WMT14 en-de training split (≈ 4.5 M pairs).
+    Wmt14Train,
+    /// WMT14 test split (3,003 pairs).
+    Wmt14Test,
+    /// A manually supplied prompt (LLM inference).
+    ManualPrompt,
+}
+
+impl Dataset {
+    /// Number of samples in the split.
+    pub fn samples(self) -> u64 {
+        match self {
+            Dataset::Cifar10Train => 50_000,
+            Dataset::Cifar10Test => 10_000,
+            Dataset::Multi30kTrain => 29_000,
+            Dataset::Multi30kTest => 1_000,
+            Dataset::Wmt14Train => 4_500_000,
+            Dataset::Wmt14Test => 3_003,
+            Dataset::ManualPrompt => 1,
+        }
+    }
+
+    /// Host memory the input pipeline holds resident, in MB (model
+    /// units). Large corpora with shuffle buffers dominate host memory
+    /// for the TensorFlow training workloads (paper Table 5).
+    pub fn pipeline_host_mb(self) -> u64 {
+        match self {
+            Dataset::Cifar10Train => 400,
+            Dataset::Cifar10Test => 90,
+            Dataset::Multi30kTrain => 350,
+            Dataset::Multi30kTest => 30,
+            Dataset::Wmt14Train => 9_500,
+            Dataset::Wmt14Test => 120,
+            Dataset::ManualPrompt => 8,
+        }
+    }
+
+    /// Display name matching the paper's Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Cifar10Train => "CIFAR10 Train Set",
+            Dataset::Cifar10Test => "CIFAR10 Test Set",
+            Dataset::Multi30kTrain => "Multi30k Train Set",
+            Dataset::Multi30kTest => "Multi30k Test Set",
+            Dataset::Wmt14Train => "WMT14 Train Set",
+            Dataset::Wmt14Test => "WMT14 Test Set",
+            Dataset::ManualPrompt => "Manual Input",
+        }
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_splits_are_bigger_than_test() {
+        assert!(Dataset::Cifar10Train.samples() > Dataset::Cifar10Test.samples());
+        assert!(Dataset::Wmt14Train.samples() > Dataset::Wmt14Test.samples());
+    }
+
+    #[test]
+    fn wmt14_pipeline_dominates() {
+        assert!(Dataset::Wmt14Train.pipeline_host_mb() > 5_000);
+        assert!(Dataset::ManualPrompt.pipeline_host_mb() < 50);
+    }
+}

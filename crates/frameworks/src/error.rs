@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors surfaced while generating frameworks or executing workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimmlError {
+    /// The workload references a library the bundle does not provide.
+    MissingLibrary {
+        /// Library soname.
+        soname: String,
+    },
+    /// No opened library implements an op family the model needs.
+    NoProvider {
+        /// The unimplemented family.
+        family: &'static str,
+    },
+    /// Library generation produced an invalid image.
+    Generation {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The simulated runtime failed (kernel/function missing, OOM, ...).
+    Cuda(simcuda::CudaError),
+}
+
+impl fmt::Display for SimmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimmlError::MissingLibrary { soname } => {
+                write!(f, "bundle provides no library named {soname}")
+            }
+            SimmlError::NoProvider { family } => {
+                write!(f, "no opened library implements op family {family}")
+            }
+            SimmlError::Generation { reason } => write!(f, "generation failed: {reason}"),
+            SimmlError::Cuda(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimmlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimmlError::Cuda(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<simcuda::CudaError> for SimmlError {
+    fn from(e: simcuda::CudaError) -> Self {
+        SimmlError::Cuda(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimmlError>();
+    }
+
+    #[test]
+    fn cuda_errors_chain() {
+        use std::error::Error;
+        let e: SimmlError = simcuda::CudaError::NoSuchDevice { index: 9, count: 1 }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("runtime error"));
+    }
+}

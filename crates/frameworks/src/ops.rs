@@ -1,0 +1,170 @@
+//! Operator families.
+//!
+//! Models are op graphs; frameworks implement op families with host
+//! dispatch code (CPU functions) and kernel groups (GPU cubins). The
+//! family is the join key between a model's needs and a library's
+//! manifest.
+
+use std::fmt;
+
+/// The operator families implemented across the synthetic frameworks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum OpFamily {
+    /// 2-D convolution (forward).
+    Conv,
+    /// Convolution backward (weight/input gradients).
+    ConvBackward,
+    /// Batch normalization.
+    BatchNorm,
+    /// Pointwise activations (ReLU6, GELU, SiLU, ...).
+    Activation,
+    /// Pooling (average/max).
+    Pooling,
+    /// Small dense GEMM (classifier heads, projections).
+    GemmSmall,
+    /// Large dense GEMM (transformer blocks).
+    GemmLarge,
+    /// Softmax.
+    Softmax,
+    /// Layer/RMS normalization.
+    LayerNorm,
+    /// Fused scaled-dot-product attention.
+    Attention,
+    /// Paged attention with block KV layout (vLLM-style).
+    PagedAttention,
+    /// Embedding lookup.
+    Embedding,
+    /// Rotary position embedding.
+    Rotary,
+    /// KV-cache maintenance (append/copy/evict).
+    KvCache,
+    /// Token sampling (top-k/top-p/argmax).
+    Sampling,
+    /// Pointwise arithmetic (add/mul/copy/cast).
+    Elementwise,
+    /// Reductions (sum/mean/norm).
+    Reduction,
+    /// Loss computation (cross entropy).
+    Loss,
+    /// Optimizer update (SGD/Adam).
+    Optimizer,
+    /// Gradient allreduce / collective communication.
+    AllReduce,
+    /// Tensor gather/scatter collectives.
+    AllGather,
+    /// Host-side data loading and augmentation.
+    DataLoad,
+    /// Tensor layout/format conversion.
+    Memformat,
+    /// Random number generation.
+    Random,
+    /// FFT (spectral ops shipped by default).
+    Fft,
+    /// Sparse linear algebra.
+    Sparse,
+}
+
+impl OpFamily {
+    /// Every family (for generators iterating the universe).
+    pub const ALL: [OpFamily; 26] = [
+        OpFamily::Conv,
+        OpFamily::ConvBackward,
+        OpFamily::BatchNorm,
+        OpFamily::Activation,
+        OpFamily::Pooling,
+        OpFamily::GemmSmall,
+        OpFamily::GemmLarge,
+        OpFamily::Softmax,
+        OpFamily::LayerNorm,
+        OpFamily::Attention,
+        OpFamily::PagedAttention,
+        OpFamily::Embedding,
+        OpFamily::Rotary,
+        OpFamily::KvCache,
+        OpFamily::Sampling,
+        OpFamily::Elementwise,
+        OpFamily::Reduction,
+        OpFamily::Loss,
+        OpFamily::Optimizer,
+        OpFamily::AllReduce,
+        OpFamily::AllGather,
+        OpFamily::DataLoad,
+        OpFamily::Memformat,
+        OpFamily::Random,
+        OpFamily::Fft,
+        OpFamily::Sparse,
+    ];
+
+    /// Short lowercase token used in generated symbol names.
+    pub fn token(self) -> &'static str {
+        match self {
+            OpFamily::Conv => "conv2d",
+            OpFamily::ConvBackward => "conv2d_bwd",
+            OpFamily::BatchNorm => "batch_norm",
+            OpFamily::Activation => "activation",
+            OpFamily::Pooling => "pooling",
+            OpFamily::GemmSmall => "gemm_s",
+            OpFamily::GemmLarge => "gemm_l",
+            OpFamily::Softmax => "softmax",
+            OpFamily::LayerNorm => "layer_norm",
+            OpFamily::Attention => "attention",
+            OpFamily::PagedAttention => "paged_attn",
+            OpFamily::Embedding => "embedding",
+            OpFamily::Rotary => "rotary",
+            OpFamily::KvCache => "kv_cache",
+            OpFamily::Sampling => "sampling",
+            OpFamily::Elementwise => "elementwise",
+            OpFamily::Reduction => "reduction",
+            OpFamily::Loss => "loss",
+            OpFamily::Optimizer => "optimizer",
+            OpFamily::AllReduce => "all_reduce",
+            OpFamily::AllGather => "all_gather",
+            OpFamily::DataLoad => "data_load",
+            OpFamily::Memformat => "memformat",
+            OpFamily::Random => "random",
+            OpFamily::Fft => "fft",
+            OpFamily::Sparse => "sparse",
+        }
+    }
+}
+
+impl fmt::Display for OpFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// One op instance in a model's execution graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpInstance {
+    /// The family this op belongs to.
+    pub family: OpFamily,
+    /// Kernel launches this op issues per step.
+    pub launches_per_step: u32,
+    /// Simulated compute nanoseconds per launch.
+    pub compute_ns: u64,
+    /// Distinguishes repeated instances (different shapes select
+    /// different kernel variants).
+    pub shape_id: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_have_unique_tokens() {
+        let mut tokens: Vec<&str> = OpFamily::ALL.iter().map(|f| f.token()).collect();
+        tokens.sort_unstable();
+        let before = tokens.len();
+        tokens.dedup();
+        assert_eq!(tokens.len(), before);
+        assert_eq!(before, 26);
+    }
+
+    #[test]
+    fn display_matches_token() {
+        assert_eq!(OpFamily::Conv.to_string(), "conv2d");
+    }
+}

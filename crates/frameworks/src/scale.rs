@@ -1,0 +1,79 @@
+//! The scale model: materialize multi-GB frameworks at laptop scale.
+//!
+//! Synthetic libraries carry the paper's *structure* but not its raw
+//! bulk. Two scale factors keep everything proportional:
+//!
+//! * [`BYTE_SCALE`] — sizes: 1 modelled ("paper") byte corresponds to
+//!   `1/BYTE_SCALE` real bytes on disk. A 3,762 MB PyTorch bundle
+//!   materializes as ≈ 29 MB.
+//! * [`COUNT_SCALE`] — entity counts: function and cubin-group counts
+//!   divide by this factor (616 K functions → 77 K), keeping the
+//!   *average entity size in real bytes* workable instead of dropping
+//!   below one byte per function.
+//!
+//! All reductions reported by the debloater are ratios, which both
+//! factors cancel out of. Report code uses the helpers here to print
+//! paper-scale absolute values.
+
+/// Real bytes per modelled byte (see module docs).
+pub const BYTE_SCALE: u64 = 128;
+
+/// Real entities per modelled entity (see module docs).
+pub const COUNT_SCALE: u64 = 8;
+
+/// Convert paper-scale MB to real on-disk bytes.
+pub fn paper_mb_to_real_bytes(mb: f64) -> u64 {
+    (mb * 1024.0 * 1024.0 / BYTE_SCALE as f64) as u64
+}
+
+/// Convert real on-disk bytes back to paper-scale MB.
+pub fn real_bytes_to_paper_mb(bytes: u64) -> f64 {
+    bytes as f64 * BYTE_SCALE as f64 / (1024.0 * 1024.0)
+}
+
+/// Convert model bytes (already paper-scale, e.g. from `simcuda`
+/// accounting) to MB.
+pub fn model_bytes_to_mb(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Convert a paper-scale entity count to the real generated count
+/// (at least 1 when the paper count is nonzero).
+pub fn paper_count_to_real(count: u64) -> u64 {
+    if count == 0 {
+        0
+    } else {
+        (count / COUNT_SCALE).max(1)
+    }
+}
+
+/// Convert a real generated entity count back to paper scale.
+pub fn real_count_to_paper(count: u64) -> u64 {
+    count * COUNT_SCALE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip_within_rounding() {
+        let real = paper_mb_to_real_bytes(841.0);
+        let back = real_bytes_to_paper_mb(real);
+        assert!((back - 841.0).abs() < 0.01, "back = {back}");
+    }
+
+    #[test]
+    fn count_conversions() {
+        assert_eq!(paper_count_to_real(616_000), 77_000);
+        assert_eq!(real_count_to_paper(77_000), 616_000);
+        assert_eq!(paper_count_to_real(3), 1, "small counts clamp to 1");
+        assert_eq!(paper_count_to_real(0), 0);
+    }
+
+    #[test]
+    fn scales_are_powers_of_two() {
+        assert!(BYTE_SCALE.is_power_of_two());
+        assert!(COUNT_SCALE.is_power_of_two());
+    }
+}

@@ -1,0 +1,196 @@
+//! Workload definitions (the paper's Table 1 plus §4.5 variants).
+
+use simcuda::{GpuModel, LoadMode};
+
+use crate::dataset::Dataset;
+use crate::model::ModelKind;
+use crate::spec::FrameworkKind;
+
+/// Train or inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operation {
+    /// Model training (forward + backward + optimizer).
+    Train,
+    /// Model inference.
+    Inference,
+}
+
+impl Operation {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Operation::Train => "Train",
+            Operation::Inference => "Inference",
+        }
+    }
+}
+
+impl std::fmt::Display for Operation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully specified workload: what runs, on what data, on which GPUs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// The framework under evaluation.
+    pub framework: FrameworkKind,
+    /// The model.
+    pub model: ModelKind,
+    /// Train or inference.
+    pub operation: Operation,
+    /// Input data.
+    pub dataset: Dataset,
+    /// Batch size.
+    pub batch_size: u32,
+    /// Training epochs (1 for inference).
+    pub epochs: u32,
+    /// For inference: batches to run (the paper uses a single batch for
+    /// most inference workloads); for LLMs: decode steps.
+    pub inference_steps: u32,
+    /// GPUs the workload runs on.
+    pub devices: Vec<GpuModel>,
+    /// GPU module loading mode (§4.5 evaluates both on H100).
+    pub load_mode: LoadMode,
+}
+
+impl Workload {
+    /// The paper's Table 1 configuration for a (framework, model,
+    /// operation) triple, on the default single T4.
+    ///
+    /// # Panics
+    ///
+    /// Panics for combinations outside the paper's matrix (e.g.
+    /// TensorFlow + Llama2).
+    pub fn paper(framework: FrameworkKind, model: ModelKind, operation: Operation) -> Workload {
+        use FrameworkKind::*;
+        use ModelKind::*;
+        use Operation::*;
+        let (dataset, batch_size, epochs, inference_steps) = match (&framework, &model, operation)
+        {
+            (PyTorch | TensorFlow, MobileNetV2, Train) => (Dataset::Cifar10Train, 16, 3, 0),
+            (PyTorch | TensorFlow, MobileNetV2, Inference) => (Dataset::Cifar10Test, 4, 1, 1),
+            (PyTorch, Transformer, Train) => (Dataset::Multi30kTrain, 128, 3, 0),
+            (PyTorch, Transformer, Inference) => (Dataset::Multi30kTest, 32, 1, 1),
+            (TensorFlow, Transformer, Train) => (Dataset::Wmt14Train, 128, 1, 0),
+            (TensorFlow, Transformer, Inference) => (Dataset::Wmt14Test, 32, 1, 1),
+            (Vllm | Transformers, Llama2, Inference) => (Dataset::ManualPrompt, 1, 1, 128),
+            other => panic!("workload {other:?} is not part of the paper's Table 1"),
+        };
+        Workload {
+            framework,
+            model,
+            operation,
+            dataset,
+            batch_size,
+            epochs,
+            inference_steps,
+            devices: vec![GpuModel::T4],
+            // The paper's T4 runs exhibit eager-loading behaviour (large
+            // GPU-memory reductions from removing unused elements).
+            load_mode: LoadMode::Eager,
+        }
+    }
+
+    /// The ten workloads of Table 1, in the paper's row order.
+    pub fn paper_set() -> Vec<Workload> {
+        use FrameworkKind::*;
+        use Operation::*;
+        vec![
+            Workload::paper(PyTorch, ModelKind::MobileNetV2, Train),
+            Workload::paper(PyTorch, ModelKind::MobileNetV2, Inference),
+            Workload::paper(TensorFlow, ModelKind::MobileNetV2, Train),
+            Workload::paper(TensorFlow, ModelKind::MobileNetV2, Inference),
+            Workload::paper(PyTorch, ModelKind::Transformer, Train),
+            Workload::paper(PyTorch, ModelKind::Transformer, Inference),
+            Workload::paper(TensorFlow, ModelKind::Transformer, Train),
+            Workload::paper(TensorFlow, ModelKind::Transformer, Inference),
+            Workload::paper(Vllm, ModelKind::Llama2, Inference),
+            Workload::paper(Transformers, ModelKind::Llama2, Inference),
+        ]
+    }
+
+    /// §4.5 variant: Llama2 inference on a single H100 with the given
+    /// loading mode (Tables 6 and 7).
+    pub fn h100(framework: FrameworkKind, load_mode: LoadMode) -> Workload {
+        let mut w = Workload::paper(framework, ModelKind::Llama2, Operation::Inference);
+        w.devices = vec![GpuModel::H100];
+        w.load_mode = load_mode;
+        w
+    }
+
+    /// Appendix variant: distributed inference of a leaderboard LLM on
+    /// 8×A100 (Table 10).
+    pub fn distributed_a100(framework: FrameworkKind, model: ModelKind) -> Workload {
+        let mut w = Workload::paper(framework, ModelKind::Llama2, Operation::Inference);
+        w.model = model;
+        w.devices = vec![GpuModel::A100; 8];
+        w.load_mode = LoadMode::Eager;
+        w
+    }
+
+    /// Total steps the workload executes (training steps or inference
+    /// batches/decode steps).
+    pub fn total_steps(&self) -> u64 {
+        match self.operation {
+            Operation::Train => {
+                let per_epoch = self.dataset.samples().div_ceil(self.batch_size as u64);
+                per_epoch * self.epochs as u64
+            }
+            Operation::Inference => self.inference_steps.max(1) as u64,
+        }
+    }
+
+    /// A short identifier like `PyTorch/Train/MobileNetV2`.
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}", self.framework.name(), self.operation, self.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_is_the_ten_workloads() {
+        let set = Workload::paper_set();
+        assert_eq!(set.len(), 10);
+        assert_eq!(set[0].label(), "PyTorch/Train/MobileNetV2");
+        assert_eq!(set[9].label(), "Transformers/Inference/Llama2");
+    }
+
+    #[test]
+    fn training_steps_follow_dataset_math() {
+        let w = Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Train);
+        // 50,000 / 16 = 3125 steps per epoch × 3 epochs.
+        assert_eq!(w.total_steps(), 9375);
+    }
+
+    #[test]
+    fn llm_inference_uses_decode_steps() {
+        let w = Workload::paper(FrameworkKind::Vllm, ModelKind::Llama2, Operation::Inference);
+        assert_eq!(w.total_steps(), 128);
+    }
+
+    #[test]
+    fn h100_variant_switches_device_and_mode() {
+        let w = Workload::h100(FrameworkKind::Vllm, simcuda::LoadMode::Lazy);
+        assert_eq!(w.devices, vec![GpuModel::H100]);
+        assert_eq!(w.load_mode, simcuda::LoadMode::Lazy);
+    }
+
+    #[test]
+    fn distributed_variant_is_eight_a100() {
+        let m = ModelKind::leaderboard_top9().remove(0);
+        let w = Workload::distributed_a100(FrameworkKind::Vllm, m);
+        assert_eq!(w.devices.len(), 8);
+        assert!(w.devices.iter().all(|&d| d == GpuModel::A100));
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the paper")]
+    fn invalid_combination_panics() {
+        let _ = Workload::paper(FrameworkKind::TensorFlow, ModelKind::Llama2, Operation::Train);
+    }
+}

@@ -1,0 +1,43 @@
+//! # negativa-repro
+//!
+//! Reproduction of *The Hidden Bloat in Machine Learning Systems*
+//! (MLSys 2025): the **Negativa-ML** debloater together with every
+//! substrate it depends on, implemented from scratch in Rust.
+//!
+//! This façade crate re-exports the workspace members so downstream code
+//! (and the `examples/` and `tests/` in this repository) can depend on a
+//! single crate:
+//!
+//! * [`elf`] — ELF64 shared-object reader/writer/builder ([`simelf`]).
+//! * [`fatbin`] — NVIDIA fatbin/cubin container format and a
+//!   `cuobjdump`-equivalent extractor.
+//! * [`cuda`] — simulated CUDA driver, runtime, CUPTI callbacks, devices
+//!   and memory/time accounting ([`simcuda`]).
+//! * [`ml`] — synthetic ML frameworks, models and workload executors
+//!   ([`simml`]).
+//! * [`negativa`] — the paper's contribution: detection, location,
+//!   compaction, verification and analysis ([`negativa_ml`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use negativa_repro::ml::{FrameworkKind, ModelKind, Operation, Workload};
+//! use negativa_repro::cuda::GpuModel;
+//! use negativa_repro::negativa::Debloater;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build the synthetic "PyTorch" bundle and a MobileNetV2 training
+//! // workload, then debloat every shared library it touches.
+//! let workload = Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2,
+//!                                Operation::Train);
+//! let report = Debloater::new(GpuModel::T4).debloat(&workload)?;
+//! assert!(report.totals().file_reduction_pct() > 30.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use fatbin;
+pub use negativa_ml as negativa;
+pub use simcuda as cuda;
+pub use simelf as elf;
+pub use simml as ml;
