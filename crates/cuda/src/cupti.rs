@@ -12,9 +12,7 @@
 //! the callback recorded; interior mutability is the subscriber's
 //! responsibility (see `negativa-ml`'s `KernelDetector`).
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Driver-API callback sites a subscriber can enable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -164,12 +162,12 @@ impl NsysTracer {
 
     /// Number of records captured so far.
     pub fn event_count(&self) -> usize {
-        self.events.lock().len()
+        self.events.lock().expect("tracer lock poisoned").len()
     }
 
     /// Drain and return all captured records.
     pub fn take_events(&self) -> Vec<CuptiEvent> {
-        std::mem::take(&mut self.events.lock())
+        std::mem::take(&mut *self.events.lock().expect("tracer lock poisoned"))
     }
 }
 
@@ -196,7 +194,7 @@ impl CuptiSubscriber for NsysTracer {
     }
 
     fn on_event(&self, event: &CuptiEvent) {
-        self.events.lock().push(event.clone());
+        self.events.lock().expect("tracer lock poisoned").push(event.clone());
     }
 
     fn dispatch_tax_ns(&self) -> u64 {

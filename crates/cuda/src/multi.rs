@@ -3,7 +3,7 @@
 //! The paper's Table 10 runs distributed inference across 8×A100 with one
 //! worker process per GPU. [`run_workers`] reproduces that topology: each
 //! worker gets its own index and runs on its own OS thread (via
-//! `crossbeam`'s scoped threads), builds its own [`crate::CudaSim`], and
+//! `std::thread::scope`), builds its own [`crate::CudaSim`], and
 //! returns a result the caller merges — exactly how per-rank kernel-usage
 //! sets are unioned by the debloater for distributed workloads.
 
@@ -18,20 +18,15 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let mut out: Vec<Option<R>> = (0..count).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..count)
             .map(|rank| {
                 let f = &f;
-                scope.spawn(move |_| f(rank))
+                scope.spawn(move || f(rank))
             })
             .collect();
-        for (slot, handle) in out.iter_mut().zip(handles) {
-            *slot = Some(handle.join().expect("worker panicked"));
-        }
+        handles.into_iter().map(|handle| handle.join().expect("worker panicked")).collect()
     })
-    .expect("worker scope panicked");
-    out.into_iter().map(|r| r.expect("worker result present")).collect()
 }
 
 #[cfg(test)]

@@ -164,10 +164,7 @@ impl CudaSim {
             clock: VirtualClock::new(),
             cupti: CuptiRegistry::new(),
             host_mem: MemTracker::unbounded(),
-            dev_mem: models
-                .iter()
-                .map(|m| MemTracker::with_capacity(m.memory_bytes()))
-                .collect(),
+            dev_mem: models.iter().map(|m| MemTracker::with_capacity(m.memory_bytes())).collect(),
             libraries: Vec::new(),
             modules: Vec::new(),
             launches: 0,
@@ -205,6 +202,13 @@ impl CudaSim {
     /// Soname of an opened library.
     pub fn library_name(&self, lib: LibraryId) -> Option<&str> {
         self.libraries.get(lib.0).map(|l| l.soname.as_str())
+    }
+
+    /// Page-occupied bytes of an opened library's file (real bytes, as
+    /// measured at open time) — the effective on-disk footprint after
+    /// hole punching, which debloat reports compare before/after.
+    pub fn library_occupied_bytes(&self, lib: LibraryId) -> Option<u64> {
+        self.libraries.get(lib.0).map(|l| l.occupied_total)
     }
 
     /// Open (dlopen) a shared library: parse it, index its symbols,
@@ -371,8 +375,7 @@ impl CudaSim {
                 let pages = lib_entry.occupied_fatbin * scale;
                 self.alloc_host(pages);
             }
-            let all: Vec<u32> =
-                self.modules[module_id.0].element_sizes.keys().copied().collect();
+            let all: Vec<u32> = self.modules[module_id.0].element_sizes.keys().copied().collect();
             for index in all {
                 self.load_element(module_id, index)?;
             }
@@ -522,8 +525,7 @@ impl CudaSim {
                 library: library.soname.clone(),
             });
         }
-        let body =
-            &library.image.bytes()[f.range.start as usize..f.range.end as usize];
+        let body = &library.image.bytes()[f.range.start as usize..f.range.end as usize];
         let hash = fnv1a(body);
         let len = f.len;
         let soname = library.soname.clone();
@@ -671,10 +673,7 @@ mod tests {
         let elements: Vec<Element> = archs
             .iter()
             .flat_map(|&a| {
-                vec![
-                    Element::cubin(a, &cubin).unwrap(),
-                    Element::cubin(a, &unused).unwrap(),
-                ]
+                vec![Element::cubin(a, &cubin).unwrap(), Element::cubin(a, &unused).unwrap()]
             })
             .collect();
         let fb = Fatbin::new(vec![Region::new(elements)]);
@@ -719,11 +718,10 @@ mod tests {
             .unwrap()
             .to_bytes()
             .len() as u64;
-            let unused_sz =
-                Cubin::new(vec![KernelDef::entry("never_used", vec![0x13; 500])])
-                    .unwrap()
-                    .to_bytes()
-                    .len() as u64;
+            let unused_sz = Cubin::new(vec![KernelDef::entry("never_used", vec![0x13; 500])])
+                .unwrap()
+                .to_bytes()
+                .len() as u64;
             cubin_sz + unused_sz
         };
         assert_eq!(after, one_arch_bytes);
@@ -756,10 +754,7 @@ mod tests {
         let mut sim = CudaSim::new(&[GpuModel::H100]);
         let lib = sim.open_library(&lib_with_archs(&[SmArch::SM75])).unwrap();
         let module = sim.load_module(lib, 0, LoadMode::Eager).unwrap();
-        assert!(matches!(
-            sim.get_function(module, "gemm"),
-            Err(CudaError::KernelNotFound { .. })
-        ));
+        assert!(matches!(sim.get_function(module, "gemm"), Err(CudaError::KernelNotFound { .. })));
     }
 
     #[test]
@@ -770,10 +765,7 @@ mod tests {
         let h1 = sim.host_call(lib, "gemm_dispatch").unwrap();
         let h2 = sim.host_call(lib, "gemm_dispatch").unwrap();
         assert_eq!(h1, h2);
-        assert!(matches!(
-            sim.host_call(lib, "missing"),
-            Err(CudaError::SymbolNotFound { .. })
-        ));
+        assert!(matches!(sim.host_call(lib, "missing"), Err(CudaError::SymbolNotFound { .. })));
 
         // Zero the function body and reopen: the call faults.
         let elf = Elf::parse(image.bytes()).unwrap();
@@ -817,8 +809,7 @@ mod tests {
         let (listing, _) = fatbin::extract_from_elf(image.bytes()).unwrap();
         let mut debloated = image.clone();
         for item in &listing {
-            let keep = item.arch == SmArch::SM75
-                && item.kernel_names.iter().any(|k| k == "gemm");
+            let keep = item.arch == SmArch::SM75 && item.kernel_names.iter().any(|k| k == "gemm");
             if !keep {
                 debloated.zero_range(item.payload_range).unwrap();
             }
@@ -891,14 +882,36 @@ mod tests {
     }
 
     #[test]
+    fn library_occupied_bytes_matches_image_occupancy() {
+        // A cold function spanning several pages, so zeroing it frees
+        // whole blocks at page granularity.
+        let image = ElfBuilder::new("libocc.so")
+            .function("hot", vec![0x90; 64])
+            .function("cold", vec![0xaa; 20_000])
+            .build()
+            .unwrap();
+        let mut sim = CudaSim::new(&[GpuModel::T4]);
+        let lib = sim.open_library(&image).unwrap();
+        assert_eq!(sim.library_occupied_bytes(lib), Some(image.page_occupancy().occupied_bytes));
+        assert_eq!(sim.library_occupied_bytes(LibraryId(99)), None);
+
+        // A debloated (cold-zeroed) copy reports a smaller footprint.
+        let elf = Elf::parse(image.bytes()).unwrap();
+        let ranges = elf.function_ranges().unwrap();
+        let (_, cold) = ranges.iter().find(|(n, _)| n == "cold").unwrap();
+        let mut debloated = image.clone();
+        debloated.zero_range(*cold).unwrap();
+        let mut sim2 = CudaSim::new(&[GpuModel::T4]);
+        let lib2 = sim2.open_library(&debloated).unwrap();
+        assert!(sim2.library_occupied_bytes(lib2) < sim.library_occupied_bytes(lib));
+    }
+
+    #[test]
     fn device_oom_reported() {
         let mut sim = CudaSim::new(&[GpuModel::T4]);
         let cap = GpuModel::T4.memory_bytes();
         assert!(sim.alloc_device(0, cap - 10).is_ok());
-        assert!(matches!(
-            sim.alloc_device(0, 100),
-            Err(CudaError::OutOfMemory { .. })
-        ));
+        assert!(matches!(sim.alloc_device(0, 100), Err(CudaError::OutOfMemory { .. })));
         sim.free_device(0, cap).unwrap();
         assert!(sim.alloc_device(0, 100).is_ok());
     }

@@ -493,11 +493,8 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected() {
-        let err = ElfBuilder::new("x")
-            .function("f", vec![1])
-            .function("f", vec![2])
-            .build()
-            .unwrap_err();
+        let err =
+            ElfBuilder::new("x").function("f", vec![1]).function("f", vec![2]).build().unwrap_err();
         assert!(matches!(err, ElfError::InvalidInput { .. }));
     }
 
@@ -516,11 +513,8 @@ mod tests {
     #[test]
     fn fatbin_section_present_only_when_set() {
         let without = ElfBuilder::new("a").function("f", vec![1]).build().unwrap();
-        let with = ElfBuilder::new("a")
-            .function("f", vec![1])
-            .fatbin(vec![9; 100])
-            .build()
-            .unwrap();
+        let with =
+            ElfBuilder::new("a").function("f", vec![1]).fatbin(vec![9; 100]).build().unwrap();
         assert!(Elf::parse(without.bytes()).unwrap().section_by_name(".nv_fatbin").is_none());
         let elf = Elf::parse(with.bytes()).unwrap();
         let sec = elf.section_by_name(".nv_fatbin").unwrap();

@@ -64,10 +64,9 @@ impl fmt::Display for ElfError {
                 write!(f, "dangling string-table reference at offset {offset}")
             }
             ElfError::NoSuchSection { name } => write!(f, "no section named {name}"),
-            ElfError::RangeOutOfBounds { start, end, len } => write!(
-                f,
-                "range [{start:#x}, {end:#x}) out of bounds for image of {len} bytes"
-            ),
+            ElfError::RangeOutOfBounds { start, end, len } => {
+                write!(f, "range [{start:#x}, {end:#x}) out of bounds for image of {len} bytes")
+            }
             ElfError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
         }
     }
@@ -95,7 +94,8 @@ mod tests {
 
     #[test]
     fn truncated_reports_all_fields() {
-        let err = ElfError::Truncated { context: "ELF header", offset: 3, needed: 64, available: 10 };
+        let err =
+            ElfError::Truncated { context: "ELF header", offset: 3, needed: 64, available: 10 };
         let msg = err.to_string();
         assert!(msg.contains("ELF header"));
         assert!(msg.contains("64"));

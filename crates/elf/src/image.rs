@@ -188,10 +188,7 @@ impl ElfImage {
         if range.start >= end {
             return 0;
         }
-        self.bytes[range.start as usize..end as usize]
-            .iter()
-            .filter(|&&b| b != 0)
-            .count() as u64
+        self.bytes[range.start as usize..end as usize].iter().filter(|&&b| b != 0).count() as u64
     }
 }
 
@@ -261,10 +258,7 @@ mod tests {
     fn zeroing_shrinks_occupancy() {
         let mut img = image();
         let before = img.page_occupancy();
-        let ranges = crate::Elf::parse(img.bytes())
-            .unwrap()
-            .function_ranges()
-            .unwrap();
+        let ranges = crate::Elf::parse(img.bytes()).unwrap().function_ranges().unwrap();
         let (_, g_range) = ranges.iter().find(|(n, _)| n == "g").unwrap().clone();
         img.zero_range(g_range).unwrap();
         let after = img.page_occupancy();

@@ -52,7 +52,7 @@ impl FileRange {
     pub fn intersection(&self, other: &FileRange) -> Option<FileRange> {
         let start = self.start.max(other.start);
         let end = self.end.min(other.end);
-        (start < end).then(|| FileRange { start, end })
+        (start < end).then_some(FileRange { start, end })
     }
 
     /// Shift both endpoints by `delta` bytes.

@@ -117,10 +117,7 @@ pub(crate) fn read_str(strtab: &[u8], offset: usize) -> Result<String> {
         return Err(ElfError::BadStringRef { offset });
     }
     let tail = &strtab[offset..];
-    let nul = tail
-        .iter()
-        .position(|&b| b == 0)
-        .ok_or(ElfError::BadStringRef { offset })?;
+    let nul = tail.iter().position(|&b| b == 0).ok_or(ElfError::BadStringRef { offset })?;
     Ok(String::from_utf8_lossy(&tail[..nul]).into_owned())
 }
 

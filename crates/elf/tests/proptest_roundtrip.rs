@@ -1,118 +1,173 @@
 //! Property tests: builder → parser round-trips and range algebra laws.
+//!
+//! The build environment is offline, so instead of the `proptest` crate
+//! these properties are driven by a small deterministic xorshift PRNG:
+//! every case is reproducible from its printed seed, and each property is
+//! exercised across the same order of magnitude of cases the original
+//! `proptest` configuration used.
 
-use proptest::prelude::*;
 use simelf::range::{complement_within, covered_bytes, covers, normalize};
 use simelf::{Elf, ElfBuilder, FileRange, SymbolKind};
 
-fn arb_name(i: usize) -> String {
+/// xorshift64* — deterministic, dependency-free case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(2).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform-ish value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+const CASES: u64 = 64;
+
+fn case_name(i: usize) -> String {
     format!("fn_{i:04}")
 }
 
-fn arb_functions() -> impl Strategy<Value = Vec<Vec<u8>>> {
-    prop::collection::vec(prop::collection::vec(1u8..=255, 1..200), 1..40)
+/// 1..40 function bodies of 1..200 independently random nonzero bytes
+/// each (per-byte randomness, so any in-body reorder/corruption in the
+/// builder is visible to the round-trip compare).
+fn gen_bodies(rng: &mut Rng) -> Vec<Vec<u8>> {
+    let count = rng.range(1, 40) as usize;
+    (0..count)
+        .map(|_| {
+            let len = rng.range(1, 200) as usize;
+            (0..len).map(|_| rng.range(1, 256) as u8).collect()
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_ranges(rng: &mut Rng, count_max: u64, start_max: u64, len_max: u64) -> Vec<FileRange> {
+    let count = rng.range(0, count_max) as usize;
+    (0..count)
+        .map(|_| {
+            let s = rng.range(0, start_max);
+            let l = rng.range(0, len_max);
+            FileRange::new(s, s + l)
+        })
+        .collect()
+}
 
-    #[test]
-    fn build_parse_roundtrips_symbols(bodies in arb_functions(), fatbin in prop::collection::vec(any::<u8>(), 0..512)) {
-        let mut b = ElfBuilder::new("libprop.so");
-        for (i, body) in bodies.iter().enumerate() {
-            b.function(arb_name(i), body.clone());
-        }
-        if !fatbin.is_empty() {
-            b.fatbin(fatbin.clone());
-        }
-        let img = b.build().unwrap();
+fn build(bodies: &[Vec<u8>], fatbin: Option<Vec<u8>>) -> simelf::ElfImage {
+    let mut b = ElfBuilder::new("libprop.so");
+    for (i, body) in bodies.iter().enumerate() {
+        b.function(case_name(i), body.clone());
+    }
+    if let Some(fb) = fatbin {
+        b.fatbin(fb);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn build_parse_roundtrips_symbols() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let bodies = gen_bodies(&mut rng);
+        let fatbin: Vec<u8> = {
+            let len = rng.range(0, 512) as usize;
+            (0..len).map(|_| rng.next() as u8).collect()
+        };
+        let img = build(&bodies, (!fatbin.is_empty()).then(|| fatbin.clone()));
         let elf = Elf::parse(img.bytes()).unwrap();
         let syms = elf.symbols().unwrap();
-        prop_assert_eq!(syms.len(), bodies.len());
+        assert_eq!(syms.len(), bodies.len(), "seed {seed}");
         for (i, sym) in syms.iter().enumerate() {
-            prop_assert_eq!(&sym.name, &arb_name(i));
-            prop_assert_eq!(sym.kind, SymbolKind::Func);
-            prop_assert_eq!(sym.size, bodies[i].len() as u64);
+            assert_eq!(sym.name, case_name(i), "seed {seed}");
+            assert_eq!(sym.kind, SymbolKind::Func, "seed {seed}");
+            assert_eq!(sym.size, bodies[i].len() as u64, "seed {seed}");
             let got = &img.bytes()[sym.value as usize..(sym.value + sym.size) as usize];
-            prop_assert_eq!(got, bodies[i].as_slice());
+            assert_eq!(got, bodies[i].as_slice(), "seed {seed}");
         }
         if !fatbin.is_empty() {
             let sec = elf.section_by_name(".nv_fatbin").unwrap();
-            prop_assert_eq!(elf.section_data(&sec), fatbin.as_slice());
+            assert_eq!(elf.section_data(&sec), fatbin.as_slice(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn function_ranges_are_disjoint_and_inside_text(bodies in arb_functions()) {
-        let mut b = ElfBuilder::new("libprop.so");
-        for (i, body) in bodies.iter().enumerate() {
-            b.function(arb_name(i), body.clone());
-        }
-        let img = b.build().unwrap();
+#[test]
+fn function_ranges_are_disjoint_and_inside_text() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed ^ 0xD15C0);
+        let bodies = gen_bodies(&mut rng);
+        let img = build(&bodies, None);
         let elf = Elf::parse(img.bytes()).unwrap();
         let text = elf.section_by_name(".text").unwrap().file_range();
         let mut ranges = elf.function_ranges().unwrap();
         ranges.sort_by_key(|(_, r)| r.start);
         for window in ranges.windows(2) {
-            prop_assert!(!window[0].1.overlaps(&window[1].1));
+            assert!(!window[0].1.overlaps(&window[1].1), "seed {seed}");
         }
         for (_, r) in &ranges {
-            prop_assert!(covers(&[text], *r));
+            assert!(covers(&[text], *r), "seed {seed}: {r} outside {text}");
         }
     }
+}
 
-    #[test]
-    fn normalize_is_idempotent_and_preserves_coverage(
-        raw in prop::collection::vec((0u64..10_000, 0u64..200), 0..50)
-    ) {
-        let ranges: Vec<FileRange> =
-            raw.iter().map(|&(s, l)| FileRange::new(s, s + l)).collect();
+#[test]
+fn normalize_is_idempotent_and_preserves_coverage() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed ^ 0x0FF5E7);
+        let ranges = gen_ranges(&mut rng, 50, 10_000, 200);
         let once = normalize(ranges.clone());
         let twice = normalize(once.clone());
-        prop_assert_eq!(&once, &twice);
+        assert_eq!(once, twice, "seed {seed}");
         // Every input byte is still covered.
         for r in &ranges {
-            prop_assert!(covers(&once, *r));
+            assert!(covers(&once, *r), "seed {seed}");
         }
         // Canonical: sorted, disjoint, non-empty.
         for w in once.windows(2) {
-            prop_assert!(w[0].end < w[1].start, "merged ranges must not touch: {} {}", w[0], w[1]);
+            assert!(w[0].end < w[1].start, "seed {seed}: merged ranges touch: {} {}", w[0], w[1]);
         }
         for r in &once {
-            prop_assert!(!r.is_empty());
+            assert!(!r.is_empty(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn complement_partitions_window(
-        raw in prop::collection::vec((0u64..5_000, 0u64..100), 0..30),
-        win_start in 0u64..1000,
-        win_len in 0u64..8000,
-    ) {
-        let keep: Vec<FileRange> =
-            raw.iter().map(|&(s, l)| FileRange::new(s, s + l)).collect();
+#[test]
+fn complement_partitions_window() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed ^ 0xC0817);
+        let keep = gen_ranges(&mut rng, 30, 5_000, 100);
+        let win_start = rng.range(0, 1000);
+        let win_len = rng.range(0, 8000);
         let window = FileRange::new(win_start, win_start + win_len);
         let holes = complement_within(&keep, window);
         // keep∩window and holes are disjoint and together cover the window.
-        let clipped: Vec<FileRange> = keep
-            .iter()
-            .filter_map(|r| r.intersection(&window))
-            .collect();
+        let clipped: Vec<FileRange> = keep.iter().filter_map(|r| r.intersection(&window)).collect();
         let total = covered_bytes(&clipped) + covered_bytes(&holes);
-        prop_assert_eq!(total, window.len());
+        assert_eq!(total, window.len(), "seed {seed}");
         for h in &holes {
             for k in &clipped {
-                prop_assert!(!h.overlaps(k), "hole {h} overlaps keep {k}");
+                assert!(!h.overlaps(k), "seed {seed}: hole {h} overlaps keep {k}");
             }
         }
     }
+}
 
-    #[test]
-    fn zeroing_complement_preserves_kept_bytes(bodies in arb_functions()) {
-        let mut b = ElfBuilder::new("libprop.so");
-        for (i, body) in bodies.iter().enumerate() {
-            b.function(arb_name(i), body.clone());
-        }
-        let mut img = b.build().unwrap();
+#[test]
+fn zeroing_complement_preserves_kept_bytes() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed ^ 0x2E80);
+        let bodies = gen_bodies(&mut rng);
+        let mut img = build(&bodies, None);
         let elf = Elf::parse(img.bytes()).unwrap();
         let text = elf.section_by_name(".text").unwrap().file_range();
         let ranges = elf.function_ranges().unwrap();
@@ -120,23 +175,21 @@ proptest! {
         let keep: Vec<FileRange> =
             ranges.iter().enumerate().filter(|(i, _)| i % 2 == 0).map(|(_, (_, r))| *r).collect();
         let holes = complement_within(&keep, text);
-        let before: Vec<Vec<u8>> = keep
-            .iter()
-            .map(|r| img.bytes()[r.start as usize..r.end as usize].to_vec())
-            .collect();
+        let before: Vec<Vec<u8>> =
+            keep.iter().map(|r| img.bytes()[r.start as usize..r.end as usize].to_vec()).collect();
         img.zero_ranges(&holes).unwrap();
         for (r, want) in keep.iter().zip(&before) {
             let got = &img.bytes()[r.start as usize..r.end as usize];
-            prop_assert_eq!(got, want.as_slice());
+            assert_eq!(got, want.as_slice(), "seed {seed}");
         }
         // Odd-indexed bodies are gone.
         for (i, (_, r)) in ranges.iter().enumerate() {
             if i % 2 == 1 {
-                prop_assert!(img.is_zeroed(*r));
+                assert!(img.is_zeroed(*r), "seed {seed}");
             }
         }
         // The image still parses and its symbols are intact.
         let reparsed = Elf::parse(img.bytes()).unwrap();
-        prop_assert_eq!(reparsed.symbols().unwrap().len(), bodies.len());
+        assert_eq!(reparsed.symbols().unwrap().len(), bodies.len(), "seed {seed}");
     }
 }

@@ -31,14 +31,8 @@ impl SmArch {
     /// The six architectures the paper observed a single PyTorch library
     /// shipping code for (§4.3: "elements for 6 different GPU
     /// architectures").
-    pub const PAPER_SET: [SmArch; 6] = [
-        SmArch::SM70,
-        SmArch::SM75,
-        SmArch::SM80,
-        SmArch::SM86,
-        SmArch::SM89,
-        SmArch::SM90,
-    ];
+    pub const PAPER_SET: [SmArch; 6] =
+        [SmArch::SM70, SmArch::SM75, SmArch::SM80, SmArch::SM86, SmArch::SM89, SmArch::SM90];
 
     /// Major version (e.g. 7 for `sm_75`).
     pub fn major(self) -> u32 {

@@ -92,18 +92,12 @@ mod tests {
 
     #[test]
     fn decompress_rejects_odd_length() {
-        assert!(matches!(
-            rle_decompress(&[1, 2, 3], 100),
-            Err(FatbinError::BadCompression { .. })
-        ));
+        assert!(matches!(rle_decompress(&[1, 2, 3], 100), Err(FatbinError::BadCompression { .. })));
     }
 
     #[test]
     fn decompress_rejects_zero_count() {
-        assert!(matches!(
-            rle_decompress(&[0, 5], 100),
-            Err(FatbinError::BadCompression { .. })
-        ));
+        assert!(matches!(rle_decompress(&[0, 5], 100), Err(FatbinError::BadCompression { .. })));
     }
 
     #[test]

@@ -45,9 +45,9 @@ impl ElementKind {
         match v {
             1 => Ok(ElementKind::Ptx),
             2 => Ok(ElementKind::Cubin),
-            other => Err(FatbinError::Malformed {
-                reason: format!("unknown element kind {other}"),
-            }),
+            other => {
+                Err(FatbinError::Malformed { reason: format!("unknown element kind {other}") })
+            }
         }
     }
 }
@@ -213,24 +213,19 @@ impl Element {
         }
         let kind = ElementKind::from_u8(e[2])?;
         let compressed = e[3] & FLAG_COMPRESSED != 0;
-        let header_size =
-            u32::from_le_bytes(e[4..8].try_into().expect("len 4")) as usize;
+        let header_size = u32::from_le_bytes(e[4..8].try_into().expect("len 4")) as usize;
         if header_size != ELEMENT_HEADER_SIZE {
             return Err(FatbinError::Malformed {
                 reason: format!("element header size {header_size}"),
             });
         }
-        let payload_size =
-            u64::from_le_bytes(e[8..16].try_into().expect("len 8")) as usize;
+        let payload_size = u64::from_le_bytes(e[8..16].try_into().expect("len 8")) as usize;
         let uncompressed_size = u64::from_le_bytes(e[16..24].try_into().expect("len 8"));
         let arch = SmArch(u32::from_le_bytes(e[24..28].try_into().expect("len 4")));
         let body_start = at + ELEMENT_HEADER_SIZE;
         let body_end = body_start + payload_size;
         if body_end > bytes.len() {
-            return Err(FatbinError::Truncated {
-                context: "element payload",
-                offset: body_start,
-            });
+            return Err(FatbinError::Truncated { context: "element payload", offset: body_start });
         }
         Ok((
             Element {

@@ -103,10 +103,7 @@ impl Cubin {
             for &c in &d.callees {
                 if c as usize >= defs.len() {
                     return Err(FatbinError::InvalidInput {
-                        reason: format!(
-                            "kernel {} calls out-of-range kernel index {c}",
-                            d.name
-                        ),
+                        reason: format!("kernel {} calls out-of-range kernel index {c}", d.name),
                     });
                 }
             }
@@ -240,14 +237,10 @@ impl Cubin {
         if magic != CUBIN_MAGIC {
             return Err(FatbinError::BadMagic { context: "cubin", offset: 0 });
         }
-        let kernel_count =
-            u16::from_le_bytes(bytes[6..8].try_into().expect("len 2")) as usize;
-        let strtab_size =
-            u32::from_le_bytes(bytes[8..12].try_into().expect("len 4")) as usize;
-        let entries_size =
-            u32::from_le_bytes(bytes[12..16].try_into().expect("len 4")) as usize;
-        let code_size =
-            u64::from_le_bytes(bytes[16..24].try_into().expect("len 8")) as usize;
+        let kernel_count = u16::from_le_bytes(bytes[6..8].try_into().expect("len 2")) as usize;
+        let strtab_size = u32::from_le_bytes(bytes[8..12].try_into().expect("len 4")) as usize;
+        let entries_size = u32::from_le_bytes(bytes[12..16].try_into().expect("len 4")) as usize;
+        let code_size = u64::from_le_bytes(bytes[16..24].try_into().expect("len 8")) as usize;
 
         let strtab_start = HEADER_SIZE + entries_size;
         let code_start = strtab_start + strtab_size;
@@ -267,8 +260,7 @@ impl Cubin {
             let name_off = u32::from_le_bytes(e[0..4].try_into().expect("len 4")) as usize;
             let code_off = u64::from_le_bytes(e[4..12].try_into().expect("len 8")) as usize;
             let k_size = u64::from_le_bytes(e[12..20].try_into().expect("len 8")) as usize;
-            let callee_count =
-                u16::from_le_bytes(e[20..22].try_into().expect("len 2")) as usize;
+            let callee_count = u16::from_le_bytes(e[20..22].try_into().expect("len 2")) as usize;
             let entry_kind = e[22];
             at += ENTRY_FIXED;
             if at + 4 * callee_count > strtab_start {
@@ -369,18 +361,15 @@ mod tests {
 
     #[test]
     fn rejects_bad_callee_index() {
-        let err = Cubin::new(vec![KernelDef::entry("a", vec![1]).with_callees(vec![9])])
-            .unwrap_err();
+        let err =
+            Cubin::new(vec![KernelDef::entry("a", vec![1]).with_callees(vec![9])]).unwrap_err();
         assert!(matches!(err, FatbinError::InvalidInput { .. }));
     }
 
     #[test]
     fn rejects_duplicate_names() {
-        let err = Cubin::new(vec![
-            KernelDef::entry("a", vec![1]),
-            KernelDef::device("a", vec![2]),
-        ])
-        .unwrap_err();
+        let err = Cubin::new(vec![KernelDef::entry("a", vec![1]), KernelDef::device("a", vec![2])])
+            .unwrap_err();
         assert!(matches!(err, FatbinError::InvalidInput { .. }));
     }
 

@@ -153,8 +153,7 @@ mod tests {
         }
         // The bytes at the reported range parse as the same element.
         let first = &listing[0];
-        let slice =
-            &img.bytes()[first.range.start as usize..first.range.end as usize];
+        let slice = &img.bytes()[first.range.start as usize..first.range.end as usize];
         // Element starts with its magic.
         assert_eq!(u16::from_le_bytes([slice[0], slice[1]]), 0x50ED);
     }
@@ -162,10 +161,7 @@ mod tests {
     #[test]
     fn extract_from_elf_without_fatbin_errors() {
         let img = ElfBuilder::new("libcpu.so").function("f", vec![1; 8]).build().unwrap();
-        assert!(matches!(
-            extract_from_elf(img.bytes()),
-            Err(FatbinError::Malformed { .. })
-        ));
+        assert!(matches!(extract_from_elf(img.bytes()), Err(FatbinError::Malformed { .. })));
     }
 
     #[test]

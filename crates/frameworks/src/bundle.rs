@@ -1,0 +1,155 @@
+//! Framework bundles: the full set of shared libraries one framework
+//! installation ships, generated deterministically.
+//!
+//! *Nothing here records which code is bloat.* A bundle is just libraries
+//! plus a [`LibManifest`] per library describing what the executor *may*
+//! call — which of it actually runs is decided by the workload, observed
+//! by CUPTI, and only then known to the debloater.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use simelf::ElfImage;
+
+use crate::genlib;
+use crate::ops::OpFamily;
+use crate::spec::{FrameworkKind, LibTag};
+use crate::Result;
+
+/// What one library offers for one op family.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FamilyManifest {
+    /// Host dispatch functions for the family (the executor calls one,
+    /// selected by tensor-shape hash, per op instance per step).
+    pub dispatch_fns: Vec<String>,
+    /// Entry kernel of each kernel-variant group (one cubin per group;
+    /// the executor resolves one, selected by shape hash, per op).
+    pub entry_kernels: Vec<String>,
+}
+
+/// The navigable description of one generated library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibManifest {
+    /// Shared object name.
+    pub soname: String,
+    /// Symbol namespace token.
+    pub lib_tag: String,
+    /// Structural role within the bundle.
+    pub tag: LibTag,
+    /// Per-family offerings (BTreeMap for deterministic iteration).
+    pub families: BTreeMap<OpFamily, FamilyManifest>,
+    /// Infrastructure functions, all executed at framework load.
+    pub infra_fns: Vec<String>,
+    /// Number of cold (never-executed) functions generated.
+    pub cold_fn_count: usize,
+    /// True if the library ships a `.nv_fatbin`.
+    pub has_gpu_code: bool,
+}
+
+/// One generated shared library: the ELF image plus its manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedLibrary {
+    /// The ELF64 image (real bytes; parseable by [`simelf::Elf`]).
+    pub image: ElfImage,
+    /// The executor-facing description.
+    pub manifest: LibManifest,
+}
+
+/// A framework's complete library set, in provider-resolution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameworkBundle {
+    framework: FrameworkKind,
+    libraries: Vec<GeneratedLibrary>,
+}
+
+impl FrameworkBundle {
+    /// Generate the bundle for `framework` (deterministic; identical
+    /// bytes on every call).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SimmlError::Generation`] if a library spec is internally
+    /// inconsistent — a programming error in [`crate::spec`], not an
+    /// input condition.
+    pub fn generate(framework: FrameworkKind) -> Result<FrameworkBundle> {
+        let libraries =
+            framework.lib_specs().iter().map(genlib::generate).collect::<Result<Vec<_>>>()?;
+        Ok(FrameworkBundle { framework, libraries })
+    }
+
+    /// Which framework this bundle belongs to.
+    pub fn framework(&self) -> FrameworkKind {
+        self.framework
+    }
+
+    /// The libraries, in provider-resolution order.
+    pub fn libraries(&self) -> &[GeneratedLibrary] {
+        &self.libraries
+    }
+
+    /// Find a library by soname.
+    pub fn find(&self, soname: &str) -> Option<&GeneratedLibrary> {
+        self.libraries.iter().find(|l| l.manifest.soname == soname)
+    }
+
+    /// Total on-disk bytes across all libraries (real bytes).
+    pub fn total_file_bytes(&self) -> u64 {
+        self.libraries.iter().map(|l| l.image.len()).sum()
+    }
+}
+
+/// Process-wide bundle cache: generating a bundle is pure, so every
+/// caller (baseline run, detection run, debloater, tests) shares one
+/// immutable copy per framework.
+pub fn cached_bundle(framework: FrameworkKind) -> Arc<FrameworkBundle> {
+    static CACHE: OnceLock<Mutex<HashMap<FrameworkKind, Arc<FrameworkBundle>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("bundle cache poisoned");
+    map.entry(framework)
+        .or_insert_with(|| {
+            Arc::new(
+                FrameworkBundle::generate(framework)
+                    .expect("bundle generation is deterministic and must not fail"),
+            )
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_bundle_is_shared() {
+        let a = cached_bundle(FrameworkKind::PyTorch);
+        let b = cached_bundle(FrameworkKind::PyTorch);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.framework(), FrameworkKind::PyTorch);
+    }
+
+    #[test]
+    fn bundle_matches_roster() {
+        let bundle = FrameworkBundle::generate(FrameworkKind::TensorFlow).unwrap();
+        let specs = FrameworkKind::TensorFlow.lib_specs();
+        assert_eq!(bundle.libraries().len(), specs.len());
+        for (lib, spec) in bundle.libraries().iter().zip(&specs) {
+            assert_eq!(lib.manifest.soname, spec.soname);
+            assert_eq!(lib.manifest.has_gpu_code, spec.has_gpu_code());
+        }
+    }
+
+    #[test]
+    fn bundle_is_megabytes_not_gigabytes() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let total = bundle.total_file_bytes();
+        assert!(total > 2 << 20, "suspiciously small bundle: {total}");
+        assert!(total < 64 << 20, "bundle too large for test scale: {total}");
+    }
+
+    #[test]
+    fn find_locates_by_soname() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        assert!(bundle.find("libtorch_cuda.so").is_some());
+        assert!(bundle.find("libmissing.so").is_none());
+    }
+}

@@ -19,6 +19,11 @@ pub enum SimmlError {
         /// Human-readable description.
         reason: String,
     },
+    /// The workload itself is unexecutable (e.g. names no devices).
+    InvalidWorkload {
+        /// Human-readable description.
+        reason: String,
+    },
     /// The simulated runtime failed (kernel/function missing, OOM, ...).
     Cuda(simcuda::CudaError),
 }
@@ -33,6 +38,7 @@ impl fmt::Display for SimmlError {
                 write!(f, "no opened library implements op family {family}")
             }
             SimmlError::Generation { reason } => write!(f, "generation failed: {reason}"),
+            SimmlError::InvalidWorkload { reason } => write!(f, "invalid workload: {reason}"),
             SimmlError::Cuda(e) => write!(f, "runtime error: {e}"),
         }
     }

@@ -1,0 +1,401 @@
+//! The workload executor.
+//!
+//! [`run_workload`] drives a [`Workload`] against a generated library set
+//! on the simulated CUDA runtime, reproducing the control flow the
+//! paper's tool observes: libraries are dlopened, GPU modules load
+//! eagerly or lazily, each kernel is resolved *once* through
+//! `cuModuleGetFunction` (the hook Negativa-ML subscribes to), host
+//! dispatch chains execute per step, and kernels launch with modelled
+//! compute times. A deterministic output checksum folds every host
+//! function body hash and kernel code hash the run touches — byte-level
+//! change in any executed code changes the checksum, which is how the
+//! debloater's verification phase detects semantic breakage.
+//!
+//! Steady-state iterations beyond [`RunConfig::sample_steps`] are
+//! fast-forwarded on the virtual clock (every step is identical, so one
+//! measured step is enough), keeping million-step workloads cheap while
+//! preserving the paper's relative time comparisons.
+//!
+//! Multi-GPU workloads run one worker (thread + private [`CudaSim`]) per
+//! device via [`simcuda::multi::run_workers`], merging rank metrics and
+//! asserting rank-identical checksums.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use simcuda::cupti::CuptiSubscriber;
+use simcuda::{CostModel, CudaSim, FnHandle, GpuModel, LibraryId, ModuleId};
+
+use crate::bundle::GeneratedLibrary;
+use crate::error::SimmlError;
+use crate::metrics::WorkloadMetrics;
+use crate::namegen::stable_hash;
+use crate::ops::{OpFamily, OpInstance};
+use crate::scale;
+use crate::workload::{Operation, Workload};
+use crate::Result;
+
+const MIB: u64 = 1 << 20;
+/// Model bytes staged host→device per sample in a batch transfer.
+const BYTES_PER_SAMPLE: u64 = 256 * 1024;
+
+/// Knobs for one execution.
+#[derive(Clone)]
+pub struct RunConfig {
+    /// CUPTI subscribers to attach before the run (profiling tools; the
+    /// debloater's kernel detector rides here).
+    pub subscribers: Vec<Arc<dyn CuptiSubscriber>>,
+    /// Steps executed in full before fast-forwarding the remainder.
+    pub sample_steps: u64,
+    /// Model-byte scale factor (see [`simcuda::CudaSim::with_config`]).
+    pub byte_scale: u64,
+    /// Virtual-time cost model.
+    pub cost: CostModel,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            subscribers: Vec::new(),
+            sample_steps: 2,
+            byte_scale: scale::BYTE_SCALE,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for RunConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunConfig")
+            .field("subscribers", &self.subscribers.len())
+            .field("sample_steps", &self.sample_steps)
+            .field("byte_scale", &self.byte_scale)
+            .finish()
+    }
+}
+
+/// The result of one workload execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Deterministic output checksum. Identical across reruns; identical
+    /// before and after a *correct* debloat; different if any executed
+    /// code byte changed.
+    pub checksum: u64,
+    /// Runtime metrics (merged across ranks for distributed runs).
+    pub metrics: WorkloadMetrics,
+}
+
+/// FNV-1a-style order-sensitive checksum fold.
+fn mix(h: &mut u64, v: u64) {
+    *h ^= v;
+    *h = h.wrapping_mul(0x0000_0100_0000_01b3).rotate_left(17);
+}
+
+/// One op's resolved execution recipe.
+struct OpPlan {
+    lib_index: usize,
+    dispatch_fn: String,
+    entry_kernel: Option<String>,
+    launches_per_step: u32,
+    compute_ns: u64,
+}
+
+/// Execute `workload` against `libraries` (a bundle's library list, or a
+/// debloated copy of one).
+///
+/// # Errors
+///
+/// [`SimmlError::NoProvider`] if no library implements a required op
+/// family, and [`SimmlError::Cuda`] for runtime faults — including the
+/// [`simcuda::CudaError::KernelNotFound`] / `FunctionFault` integrity
+/// errors an over-compacted library produces.
+pub fn run_workload(
+    workload: &Workload,
+    libraries: &[GeneratedLibrary],
+    config: &RunConfig,
+) -> Result<RunOutcome> {
+    let world = workload.devices.len();
+    let Some(&first_device) = workload.devices.first() else {
+        return Err(SimmlError::InvalidWorkload {
+            reason: format!("workload {} names no devices", workload.label()),
+        });
+    };
+    if world == 1 {
+        return run_rank(workload, libraries, config, first_device, 0, 1);
+    }
+    let results = simcuda::multi::run_workers(world, |rank| {
+        run_rank(workload, libraries, config, workload.devices[rank], rank, world)
+    });
+    let mut outcomes = Vec::with_capacity(world);
+    for r in results {
+        outcomes.push(r?);
+    }
+    let checksum = outcomes[0].checksum;
+    if outcomes.iter().any(|o| o.checksum != checksum) {
+        return Err(SimmlError::Generation {
+            reason: "distributed ranks diverged: per-rank checksums differ".into(),
+        });
+    }
+    let metrics = WorkloadMetrics::merge_ranks(
+        &outcomes.iter().map(|o| o.metrics.clone()).collect::<Vec<_>>(),
+    );
+    Ok(RunOutcome { checksum, metrics })
+}
+
+fn run_rank(
+    workload: &Workload,
+    libraries: &[GeneratedLibrary],
+    config: &RunConfig,
+    device: GpuModel,
+    _rank: usize,
+    world: usize,
+) -> Result<RunOutcome> {
+    let mut sim = CudaSim::with_config(&[device], config.cost, config.byte_scale);
+    for sub in &config.subscribers {
+        sim.subscribe(sub.clone());
+    }
+    let mut checksum = stable_hash(&[&workload.label()]);
+
+    // ---- framework load: dlopen everything, load GPU modules ----------
+    let mut lib_ids: Vec<LibraryId> = Vec::with_capacity(libraries.len());
+    for lib in libraries {
+        lib_ids.push(sim.open_library(&lib.image)?);
+    }
+    let mut modules: HashMap<usize, ModuleId> = HashMap::new();
+    for (i, lib) in libraries.iter().enumerate() {
+        if lib.manifest.has_gpu_code {
+            modules.insert(i, sim.load_module(lib_ids[i], 0, workload.load_mode)?);
+        }
+    }
+    // Framework import executes every infrastructure function once.
+    for (i, lib) in libraries.iter().enumerate() {
+        for f in &lib.manifest.infra_fns {
+            mix(&mut checksum, sim.host_call(lib_ids[i], f)?);
+        }
+    }
+
+    // ---- resolve the op plan ------------------------------------------
+    let mut ops = workload.model.ops(workload.operation);
+    if world > 1 {
+        // Distributed execution adds a collective per step.
+        let family = match workload.operation {
+            Operation::Train => OpFamily::AllReduce,
+            Operation::Inference => OpFamily::AllGather,
+        };
+        ops.push(OpInstance { family, launches_per_step: 2, compute_ns: 60_000, shape_id: 0 });
+    }
+    let plans = resolve_plan(workload, libraries, &ops)?;
+
+    // ---- model/state memory -------------------------------------------
+    sim.alloc_host(workload.dataset.pipeline_host_mb() * MIB);
+    let weights = workload.model.weights_mb() * MIB / world as u64;
+    sim.alloc_device(0, weights)?;
+    if workload.operation == Operation::Train {
+        // Gradients plus optimizer moments.
+        sim.alloc_device(0, 2 * weights)?;
+    }
+    let per_sample = (weights / 100).clamp(MIB, 256 * MIB);
+    sim.alloc_device(0, per_sample * workload.batch_size as u64)?;
+    if workload.operation == Operation::Inference && workload.inference_steps > 1 {
+        // KV cache sized by decode horizon.
+        sim.alloc_device(0, (workload.inference_steps as u64 * 4 * MIB) / world as u64)?;
+    }
+
+    // ---- steps: sample fully, fast-forward the rest -------------------
+    let total_steps = workload.total_steps().max(1);
+    let sample_steps = config.sample_steps.clamp(1, total_steps);
+    let batch_bytes = workload.batch_size as u64 * BYTES_PER_SAMPLE;
+    let mut handles: HashMap<String, FnHandle> = HashMap::new();
+    let mut step_digest = 0u64;
+    let sampling_started = sim.elapsed_ns();
+    for step in 0..sample_steps {
+        let mut this_step = stable_hash(&["step"]);
+        sim.memcpy_h2d(0, batch_bytes)?;
+        for plan in &plans {
+            mix(&mut this_step, sim.host_call(lib_ids[plan.lib_index], &plan.dispatch_fn)?);
+            if let Some(kernel) = &plan.entry_kernel {
+                let handle = match handles.get(kernel) {
+                    Some(h) => h.clone(),
+                    None => {
+                        let module = modules[&plan.lib_index];
+                        let h = sim.get_function(module, kernel)?;
+                        handles.insert(kernel.clone(), h.clone());
+                        h
+                    }
+                };
+                for _ in 0..plan.launches_per_step {
+                    mix(&mut this_step, sim.launch(&handle, plan.compute_ns)?);
+                }
+            }
+        }
+        sim.synchronize();
+        if step == 0 {
+            step_digest = this_step;
+        }
+        mix(&mut checksum, this_step);
+    }
+    let per_step_ns = (sim.elapsed_ns() - sampling_started) / sample_steps;
+    let remaining = total_steps - sample_steps;
+    sim.advance_clock(per_step_ns * remaining);
+    for _ in 0..remaining {
+        mix(&mut checksum, step_digest);
+    }
+
+    Ok(RunOutcome { checksum, metrics: WorkloadMetrics::from_stats(&sim.stats()) })
+}
+
+/// Map each op instance to its provider library, dispatch function, and
+/// (for GPU ops) entry kernel. Provider = first library in bundle order
+/// offering the family; kernel/dispatch variants are selected by hashing
+/// the model's variant tag and the op's shape class, which is what makes
+/// different models — and train vs inference — use largely different
+/// kernels while sharing dispatch code (paper Table 4).
+fn resolve_plan(
+    workload: &Workload,
+    libraries: &[GeneratedLibrary],
+    ops: &[OpInstance],
+) -> Result<Vec<OpPlan>> {
+    let variant = workload.model.variant_tag().to_owned();
+    let op_name = workload.operation.name();
+    let mut plans = Vec::with_capacity(ops.len());
+    for op in ops {
+        let needs_gpu = op.launches_per_step > 0;
+        let lib_index = libraries
+            .iter()
+            .position(|lib| {
+                lib.manifest.families.get(&op.family).is_some_and(|fam| {
+                    !fam.dispatch_fns.is_empty()
+                        && (!needs_gpu
+                            || (lib.manifest.has_gpu_code && !fam.entry_kernels.is_empty()))
+                })
+            })
+            .ok_or(SimmlError::NoProvider { family: op.family.token() })?;
+        let fam = &libraries[lib_index].manifest.families[&op.family];
+        let shape = op.shape_id.to_string();
+        let d = stable_hash(&[&variant, op_name, op.family.token(), "dispatch", &shape]);
+        let dispatch_fn = fam.dispatch_fns[(d % fam.dispatch_fns.len() as u64) as usize].clone();
+        let entry_kernel = needs_gpu.then(|| {
+            let k = stable_hash(&[&variant, op_name, op.family.token(), "kernel", &shape]);
+            fam.entry_kernels[(k % fam.entry_kernels.len() as u64) as usize].clone()
+        });
+        plans.push(OpPlan {
+            lib_index,
+            dispatch_fn,
+            entry_kernel,
+            launches_per_step: op.launches_per_step,
+            compute_ns: op.compute_ns,
+        });
+    }
+    Ok(plans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::cached_bundle;
+    use crate::model::ModelKind;
+    use crate::spec::FrameworkKind;
+    use simcuda::cupti::NsysTracer;
+    use simcuda::LoadMode;
+
+    fn mobilenet_infer() -> Workload {
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Inference)
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let w = mobilenet_infer();
+        let a = run_workload(&w, bundle.libraries(), &RunConfig::default()).unwrap();
+        let b = run_workload(&w, bundle.libraries(), &RunConfig::default()).unwrap();
+        assert_eq!(a, b);
+        assert!(a.metrics.launches > 0);
+        assert!(a.metrics.elapsed_ns > 0);
+        assert!(a.metrics.peak_device_bytes[0] > 0);
+    }
+
+    #[test]
+    fn train_and_inference_use_different_kernels() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let train =
+            Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Train);
+        let infer = mobilenet_infer();
+        let a = run_workload(&train, bundle.libraries(), &RunConfig::default()).unwrap();
+        let b = run_workload(&infer, bundle.libraries(), &RunConfig::default()).unwrap();
+        assert_ne!(a.checksum, b.checksum);
+        assert!(a.metrics.get_function_calls > b.metrics.get_function_calls);
+    }
+
+    #[test]
+    fn kernels_resolve_once_regardless_of_steps() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let w = mobilenet_infer();
+        let one = RunConfig { sample_steps: 1, ..RunConfig::default() };
+        // Fully execute all 64 steps so the handle cache is what keeps
+        // the resolution count flat.
+        let many = RunConfig { sample_steps: 64, ..RunConfig::default() };
+        let a = run_workload(&w, bundle.libraries(), &one).unwrap();
+        let mut w2 = w.clone();
+        w2.inference_steps = 64;
+        let b = run_workload(&w2, bundle.libraries(), &many).unwrap();
+        assert_eq!(
+            a.metrics.get_function_calls, b.metrics.get_function_calls,
+            "get_function fires once per kernel, not per step"
+        );
+    }
+
+    #[test]
+    fn lazy_loading_moves_less_gpu_code_than_eager() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let mut w = mobilenet_infer();
+        w.load_mode = LoadMode::Eager;
+        let eager = run_workload(&w, bundle.libraries(), &RunConfig::default()).unwrap();
+        w.load_mode = LoadMode::Lazy;
+        let lazy = run_workload(&w, bundle.libraries(), &RunConfig::default()).unwrap();
+        assert_eq!(eager.checksum, lazy.checksum, "loading mode must not change output");
+        assert!(lazy.metrics.gpu_code_bytes < eager.metrics.gpu_code_bytes);
+        assert!(lazy.metrics.peak_device_bytes[0] < eager.metrics.peak_device_bytes[0]);
+    }
+
+    #[test]
+    fn attached_tracer_slows_the_run_but_not_its_output() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let w = mobilenet_infer();
+        let plain = run_workload(&w, bundle.libraries(), &RunConfig::default()).unwrap();
+        let tracer = Arc::new(NsysTracer::new());
+        let config = RunConfig { subscribers: vec![tracer.clone()], ..RunConfig::default() };
+        let traced = run_workload(&w, bundle.libraries(), &config).unwrap();
+        assert_eq!(plain.checksum, traced.checksum);
+        assert!(traced.metrics.elapsed_ns > plain.metrics.elapsed_ns);
+        assert!(tracer.event_count() > 0);
+    }
+
+    #[test]
+    fn distributed_ranks_agree_and_report_eight_devices() {
+        let bundle = cached_bundle(FrameworkKind::Vllm);
+        let model = ModelKind::leaderboard_top9().remove(1); // 7.7 B — cheapest
+        let w = Workload::distributed_a100(FrameworkKind::Vllm, model);
+        let outcome = run_workload(&w, bundle.libraries(), &RunConfig::default()).unwrap();
+        assert_eq!(outcome.metrics.peak_device_bytes.len(), 8);
+        assert!(outcome.metrics.launches > 0);
+    }
+
+    #[test]
+    fn empty_device_list_is_an_error_not_a_panic() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let mut w = mobilenet_infer();
+        w.devices.clear();
+        let err = run_workload(&w, bundle.libraries(), &RunConfig::default()).unwrap_err();
+        assert!(matches!(err, SimmlError::InvalidWorkload { .. }));
+    }
+
+    #[test]
+    fn missing_provider_is_reported() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        // Only host-only libraries: GPU ops cannot resolve.
+        let hostonly: Vec<GeneratedLibrary> =
+            bundle.libraries().iter().filter(|l| !l.manifest.has_gpu_code).cloned().collect();
+        let err = run_workload(&mobilenet_infer(), &hostonly, &RunConfig::default()).unwrap_err();
+        assert!(matches!(err, SimmlError::NoProvider { .. }));
+    }
+}

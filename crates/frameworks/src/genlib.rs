@@ -1,0 +1,197 @@
+//! Generation of one synthetic shared library from its [`LibSpec`].
+//!
+//! Layout mirrors what the paper observes in real ML libraries:
+//!
+//! * `.text` holds infrastructure functions first, op dispatch functions
+//!   next, and the (large) cold tail last — real libraries exhibit the
+//!   same locality, which is what makes hole punching effective at page
+//!   granularity.
+//! * `.nv_fatbin` holds one region per op family; each kernel-variant
+//!   group is one cubin compiled for *every* architecture in the spec
+//!   (the paper's "elements for 6 different GPU architectures"), plus
+//!   optional compressed PTX. Kernel SASS bytes are derived from the
+//!   kernel *name* only, so all architecture flavors of a group carry
+//!   identical content — the binary-compatibility property `simcuda`'s
+//!   loader fallback relies on.
+
+use fatbin::{Cubin, Element, Fatbin, KernelDef, Region};
+use simelf::ElfBuilder;
+
+use crate::bundle::{FamilyManifest, GeneratedLibrary, LibManifest};
+use crate::error::SimmlError;
+use crate::namegen;
+use crate::spec::LibSpec;
+use crate::Result;
+
+/// Deterministic nonzero body bytes derived from a symbol name. Bytes
+/// repeat in 16-byte runs so the RLE-compressed element path sees a
+/// realistic compression ratio instead of worst-case expansion.
+fn body_bytes(name: &str, salt: &str, len: usize) -> Vec<u8> {
+    let h = namegen::stable_hash(&[name, salt]);
+    (0..len).map(|i| ((h >> ((i / 16) % 57)) as u8) | 1).collect()
+}
+
+/// Compressible PTX-like text for one family.
+fn ptx_text(lib_tag: &str, family_token: &str, index: usize) -> String {
+    let mut text = format!(".version 8.3 // {lib_tag}/{family_token}/{index}\n");
+    text.push_str(&"add.s32 %r1, %r1, 1;\n".repeat(40));
+    text
+}
+
+/// Materialize `spec` into an ELF image plus the manifest the executor
+/// navigates by.
+pub(crate) fn generate(spec: &LibSpec) -> Result<GeneratedLibrary> {
+    let mut builder = ElfBuilder::new(spec.soname.clone());
+    let mut manifest = LibManifest {
+        soname: spec.soname.clone(),
+        lib_tag: spec.lib_tag.clone(),
+        tag: spec.tag,
+        families: Default::default(),
+        infra_fns: Vec::with_capacity(spec.infra_fns),
+        cold_fn_count: spec.cold_fns,
+        has_gpu_code: spec.has_gpu_code(),
+    };
+
+    // ---- .text: infra, dispatch, cold (in that order) -----------------
+    for i in 0..spec.infra_fns {
+        let name = namegen::infra_fn(&spec.lib_tag, i);
+        builder.function(name.clone(), body_bytes(&name, "infra", spec.infra_bytes));
+        manifest.infra_fns.push(name);
+    }
+    for &family in &spec.families {
+        let mut dispatch_fns = Vec::with_capacity(spec.dispatch_per_family);
+        for i in 0..spec.dispatch_per_family {
+            let name = namegen::op_fn(&spec.lib_tag, family, i);
+            builder.function(name.clone(), body_bytes(&name, "dispatch", spec.dispatch_bytes));
+            dispatch_fns.push(name);
+        }
+        manifest
+            .families
+            .insert(family, FamilyManifest { dispatch_fns, entry_kernels: Vec::new() });
+    }
+    for i in 0..spec.cold_fns {
+        let name = namegen::cold_fn(&spec.lib_tag, i);
+        // Cold bodies vary in size (power-law-ish tail via the hash).
+        let len = spec.cold_bytes + (namegen::stable_hash(&[&name]) % 96) as usize;
+        builder.function(name.clone(), body_bytes(&name, "cold", len));
+    }
+
+    // ---- .nv_fatbin: one region per family -----------------------------
+    if spec.has_gpu_code() {
+        let mut regions = Vec::with_capacity(spec.families.len());
+        for &family in &spec.families {
+            let mut elements = Vec::new();
+            for group in 0..spec.groups_per_family {
+                let mut defs = Vec::with_capacity(spec.kernels_per_group);
+                for k in 0..spec.kernels_per_group {
+                    let name = namegen::kernel_name(&spec.lib_tag, family, group, k);
+                    let len = if k == 0 { spec.kernel_bytes } else { spec.kernel_bytes * 2 / 5 };
+                    let code = body_bytes(&name, "sass", len.max(16));
+                    defs.push(if k == 0 {
+                        KernelDef::entry(name, code)
+                            .with_callees((1..spec.kernels_per_group as u32).collect())
+                    } else {
+                        KernelDef::device(name, code)
+                    });
+                }
+                let cubin = Cubin::new(defs)
+                    .map_err(|e| SimmlError::Generation { reason: e.to_string() })?;
+                for &arch in &spec.archs {
+                    // Exercise the compressed-element path on a third of
+                    // the groups, as real fatbins mix both forms.
+                    let element = if group % 3 == 0 {
+                        Element::cubin_compressed(arch, &cubin)
+                    } else {
+                        Element::cubin(arch, &cubin)
+                    }
+                    .map_err(|e| SimmlError::Generation { reason: e.to_string() })?;
+                    elements.push(element);
+                }
+            }
+            for p in 0..spec.ptx_per_family {
+                let arch = spec.archs[p % spec.archs.len()];
+                elements.push(Element::ptx(arch, &ptx_text(&spec.lib_tag, family.token(), p)));
+            }
+            regions.push(Region::new(elements));
+            let fam = manifest.families.get_mut(&family).expect("family inserted above");
+            for group in 0..spec.groups_per_family {
+                fam.entry_kernels.push(namegen::kernel_name(&spec.lib_tag, family, group, 0));
+            }
+        }
+        builder.fatbin(Fatbin::new(regions).to_bytes());
+    }
+
+    let image = builder.build().map_err(|e| SimmlError::Generation { reason: e.to_string() })?;
+    Ok(GeneratedLibrary { image, manifest })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FrameworkKind, LibTag};
+    use fatbin::extract_from_elf;
+    use simelf::Elf;
+
+    fn main_gpu_spec() -> LibSpec {
+        FrameworkKind::PyTorch.lib_specs().into_iter().find(|s| s.tag == LibTag::MainGpu).unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = main_gpu_spec();
+        let a = generate(&spec).unwrap();
+        let b = generate(&spec).unwrap();
+        assert_eq!(a.image.bytes(), b.image.bytes());
+        assert_eq!(a.manifest, b.manifest);
+    }
+
+    #[test]
+    fn manifest_symbols_exist_in_the_image() {
+        let lib = generate(&main_gpu_spec()).unwrap();
+        let elf = Elf::parse(lib.image.bytes()).unwrap();
+        let names: std::collections::HashSet<String> =
+            elf.function_ranges().unwrap().into_iter().map(|(n, _)| n).collect();
+        for f in &lib.manifest.infra_fns {
+            assert!(names.contains(f), "missing infra fn {f}");
+        }
+        for fam in lib.manifest.families.values() {
+            for f in &fam.dispatch_fns {
+                assert!(names.contains(f), "missing dispatch fn {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_kernels_exist_in_the_fatbin() {
+        let lib = generate(&main_gpu_spec()).unwrap();
+        let (listing, _) = extract_from_elf(lib.image.bytes()).unwrap();
+        let all_kernels: std::collections::HashSet<&str> =
+            listing.iter().flat_map(|e| e.entry_names.iter().map(String::as_str)).collect();
+        for fam in lib.manifest.families.values() {
+            for k in &fam.entry_kernels {
+                assert!(all_kernels.contains(k.as_str()), "missing kernel {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_group_ships_all_spec_archs() {
+        let spec = main_gpu_spec();
+        let lib = generate(&spec).unwrap();
+        let (listing, _) = extract_from_elf(lib.image.bytes()).unwrap();
+        let cubins = listing.iter().filter(|e| e.kind == fatbin::ElementKind::Cubin).count();
+        assert_eq!(cubins, spec.families.len() * spec.groups_per_family * spec.archs.len());
+    }
+
+    #[test]
+    fn cpu_library_has_no_fatbin() {
+        let spec = FrameworkKind::PyTorch
+            .lib_specs()
+            .into_iter()
+            .find(|s| s.tag == LibTag::MainCpu)
+            .unwrap();
+        let lib = generate(&spec).unwrap();
+        assert!(!lib.manifest.has_gpu_code);
+        assert!(Elf::parse(lib.image.bytes()).unwrap().section_by_name(".nv_fatbin").is_none());
+    }
+}

@@ -56,6 +56,7 @@ pub use bundle::{cached_bundle, FrameworkBundle, GeneratedLibrary, LibManifest};
 pub use dataset::Dataset;
 pub use error::SimmlError;
 pub use executor::{run_workload, RunConfig, RunOutcome};
+pub use metrics::WorkloadMetrics;
 pub use model::ModelKind;
 pub use ops::OpFamily;
 pub use spec::{FrameworkKind, LibTag};

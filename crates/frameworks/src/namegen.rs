@@ -42,10 +42,7 @@ pub fn op_fn(lib_tag: &str, family: OpFamily, index: usize) -> String {
 /// types); `kernel` indexes kernels within the group's cubin.
 pub fn kernel_name(lib_tag: &str, family: OpFamily, group: usize, kernel: usize) -> String {
     let h = stable_hash(&[lib_tag, family.token()]) & 0xffff;
-    format!(
-        "_ZN7{lib_tag}4cuda{}_kernel_v{group}_{kernel}_tile{h:04x}Ev",
-        family.token()
-    )
+    format!("_ZN7{lib_tag}4cuda{}_kernel_v{group}_{kernel}_tile{h:04x}Ev", family.token())
 }
 
 /// Soname for a generated tail library.

@@ -1,0 +1,434 @@
+//! Framework identities and their structural library rosters.
+//!
+//! A [`FrameworkKind`] names one of the four frameworks the paper
+//! evaluates; [`FrameworkKind::lib_specs`] expands it into the ordered
+//! roster of [`LibSpec`]s the bundle generator materializes. Roster order
+//! doubles as the executor's provider-resolution order: the first library
+//! providing an op family wins, so specialized math libraries shadow the
+//! monolithic framework library exactly as cuDNN/cuBLAS shadow
+//! `libtorch_cuda` dispatch in the real stacks.
+//!
+//! The numbers here are *structure*, not bulk: counts and sizes are
+//! chosen so a generated bundle keeps the paper's proportions (most
+//! device code targets GPUs you don't have; most host code is never
+//! executed) while staying small enough that the whole debloat pipeline
+//! runs in test time. Absolute reductions are ratios, which the scale
+//! factors cancel out of (see [`crate::scale`]).
+
+use fatbin::SmArch;
+
+use crate::namegen;
+use crate::ops::OpFamily;
+
+/// The ML frameworks the paper evaluates (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FrameworkKind {
+    /// PyTorch 2.x — `libtorch_cuda` and friends.
+    PyTorch,
+    /// TensorFlow 2.x.
+    TensorFlow,
+    /// vLLM (which itself embeds the PyTorch bundle).
+    Vllm,
+    /// Hugging Face Transformers (also torch-based).
+    Transformers,
+}
+
+impl FrameworkKind {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameworkKind::PyTorch => "PyTorch",
+            FrameworkKind::TensorFlow => "TensorFlow",
+            FrameworkKind::Vllm => "vLLM",
+            FrameworkKind::Transformers => "Transformers",
+        }
+    }
+
+    /// Short token used in generated sonames and symbol namespaces.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FrameworkKind::PyTorch => "torch",
+            FrameworkKind::TensorFlow => "tf",
+            FrameworkKind::Vllm => "vllm",
+            FrameworkKind::Transformers => "hft",
+        }
+    }
+
+    /// All four frameworks, in the paper's order.
+    pub const ALL: [FrameworkKind; 4] = [
+        FrameworkKind::PyTorch,
+        FrameworkKind::TensorFlow,
+        FrameworkKind::Vllm,
+        FrameworkKind::Transformers,
+    ];
+
+    /// The ordered library roster this framework's bundle contains.
+    ///
+    /// Order matters twice: it is generation order *and* the executor's
+    /// op-family provider resolution order.
+    pub fn lib_specs(self) -> Vec<LibSpec> {
+        match self {
+            FrameworkKind::PyTorch => {
+                let mut specs = vec![
+                    LibSpec::cudnn(),
+                    LibSpec::cublas(),
+                    LibSpec::nccl(),
+                    LibSpec::main_gpu("libtorch_cuda.so", "torch"),
+                    LibSpec::main_cpu("libtorch_cpu.so", "torchcpu"),
+                    LibSpec::binding("libtorch_python.so", "torchpy"),
+                ];
+                specs.extend(LibSpec::tails("torch", 6));
+                specs
+            }
+            FrameworkKind::TensorFlow => {
+                let mut specs = vec![
+                    LibSpec::cudnn(),
+                    LibSpec::cublas(),
+                    LibSpec::nccl(),
+                    LibSpec::main_gpu("libtensorflow_cc.so", "tf"),
+                    LibSpec::main_cpu("libtensorflow_framework.so", "tfcore"),
+                ];
+                specs.extend(LibSpec::tails("tf", 7));
+                specs
+            }
+            FrameworkKind::Vllm => {
+                // vLLM layers its own serving kernels on top of the torch
+                // bundle; its paged-attention library precedes torch in
+                // resolution order.
+                let mut specs = vec![
+                    LibSpec::vllm_c(),
+                    LibSpec::cudnn(),
+                    LibSpec::cublas(),
+                    LibSpec::nccl(),
+                    LibSpec::main_gpu("libtorch_cuda.so", "torch"),
+                    LibSpec::main_cpu("libtorch_cpu.so", "torchcpu"),
+                ];
+                specs.extend(LibSpec::tails("vllm", 5));
+                specs
+            }
+            FrameworkKind::Transformers => {
+                let mut specs = vec![
+                    LibSpec::cudnn(),
+                    LibSpec::cublas(),
+                    LibSpec::nccl(),
+                    LibSpec::main_gpu("libtorch_cuda.so", "torch"),
+                    LibSpec::main_cpu("libtorch_cpu.so", "torchcpu"),
+                    LibSpec::binding("libtokenizers_sim.so", "tok"),
+                ];
+                specs.extend(LibSpec::tails("hft", 5));
+                specs
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FrameworkKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The structural role of a generated library within its bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LibTag {
+    /// The monolithic GPU library (`libtorch_cuda`-like): every op
+    /// family, multi-architecture fatbin, the paper's main bloat source.
+    MainGpu,
+    /// The host-side core (`libtorch_cpu`-like): no device code.
+    MainCpu,
+    /// A specialized math/kernel library (cuDNN/cuBLAS-like).
+    Math,
+    /// A collective-communication library (NCCL-like).
+    Comm,
+    /// Language-binding / glue code (Python bindings, tokenizers).
+    Binding,
+    /// A dependency-tail library: host code the workload never touches.
+    Tail,
+}
+
+/// The recipe for one generated shared library.
+///
+/// Sizes are *real* on-disk bytes (the bundle is materialized at
+/// `1/BYTE_SCALE` of paper scale); counts are real generated entities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibSpec {
+    /// Shared object name.
+    pub soname: String,
+    /// Structural role.
+    pub tag: LibTag,
+    /// Symbol namespace token (distinct per library so symbol and kernel
+    /// names never collide across libraries).
+    pub lib_tag: String,
+    /// Op families this library implements.
+    pub families: Vec<OpFamily>,
+    /// Kernel-variant groups generated per family (each group is one
+    /// cubin: an entry kernel plus device-side callees).
+    pub groups_per_family: usize,
+    /// Kernels per group cubin (1 entry + N-1 device kernels).
+    pub kernels_per_group: usize,
+    /// SASS bytes of a group's entry kernel (device kernels are ~40%).
+    pub kernel_bytes: usize,
+    /// Architectures each group's cubin is compiled for.
+    pub archs: Vec<SmArch>,
+    /// PTX elements appended per family (compressed text, as real
+    /// toolchains ship).
+    pub ptx_per_family: usize,
+    /// Host dispatch functions generated per family.
+    pub dispatch_per_family: usize,
+    /// Body bytes of one dispatch function.
+    pub dispatch_bytes: usize,
+    /// Infrastructure functions (executed on every load/run).
+    pub infra_fns: usize,
+    /// Body bytes of one infrastructure function.
+    pub infra_bytes: usize,
+    /// Cold functions (never executed by any workload — Type I bloat).
+    pub cold_fns: usize,
+    /// Body bytes of one cold function.
+    pub cold_bytes: usize,
+}
+
+impl LibSpec {
+    /// True if this library ships a `.nv_fatbin` section.
+    pub fn has_gpu_code(&self) -> bool {
+        self.groups_per_family > 0 && !self.archs.is_empty() && !self.families.is_empty()
+    }
+
+    fn cudnn() -> LibSpec {
+        LibSpec {
+            soname: "libcudnn_sim.so".into(),
+            tag: LibTag::Math,
+            lib_tag: "cudnn".into(),
+            families: vec![
+                OpFamily::Conv,
+                OpFamily::ConvBackward,
+                OpFamily::BatchNorm,
+                OpFamily::Pooling,
+                OpFamily::Activation,
+            ],
+            groups_per_family: 6,
+            kernels_per_group: 3,
+            kernel_bytes: 7_000,
+            archs: SmArch::PAPER_SET.to_vec(),
+            ptx_per_family: 1,
+            dispatch_per_family: 6,
+            dispatch_bytes: 240,
+            infra_fns: 40,
+            infra_bytes: 160,
+            cold_fns: 300,
+            cold_bytes: 380,
+        }
+    }
+
+    fn cublas() -> LibSpec {
+        LibSpec {
+            soname: "libcublas_sim.so".into(),
+            tag: LibTag::Math,
+            lib_tag: "cublas".into(),
+            families: vec![OpFamily::GemmSmall, OpFamily::GemmLarge],
+            groups_per_family: 8,
+            kernels_per_group: 2,
+            kernel_bytes: 9_000,
+            archs: SmArch::PAPER_SET.to_vec(),
+            ptx_per_family: 1,
+            dispatch_per_family: 8,
+            dispatch_bytes: 220,
+            infra_fns: 30,
+            infra_bytes: 150,
+            cold_fns: 260,
+            cold_bytes: 360,
+        }
+    }
+
+    fn nccl() -> LibSpec {
+        LibSpec {
+            soname: "libnccl_sim.so".into(),
+            tag: LibTag::Comm,
+            lib_tag: "nccl".into(),
+            families: vec![OpFamily::AllReduce, OpFamily::AllGather],
+            groups_per_family: 4,
+            kernels_per_group: 2,
+            kernel_bytes: 5_000,
+            archs: SmArch::PAPER_SET.to_vec(),
+            ptx_per_family: 0,
+            dispatch_per_family: 4,
+            dispatch_bytes: 200,
+            infra_fns: 24,
+            infra_bytes: 140,
+            cold_fns: 160,
+            cold_bytes: 320,
+        }
+    }
+
+    fn vllm_c() -> LibSpec {
+        LibSpec {
+            soname: "libvllm_c.so".into(),
+            tag: LibTag::MainGpu,
+            lib_tag: "vllmc".into(),
+            families: vec![
+                OpFamily::PagedAttention,
+                OpFamily::Attention,
+                OpFamily::Rotary,
+                OpFamily::KvCache,
+                OpFamily::Sampling,
+            ],
+            groups_per_family: 5,
+            kernels_per_group: 3,
+            kernel_bytes: 8_000,
+            archs: SmArch::PAPER_SET.to_vec(),
+            ptx_per_family: 1,
+            dispatch_per_family: 5,
+            dispatch_bytes: 230,
+            infra_fns: 50,
+            infra_bytes: 170,
+            cold_fns: 420,
+            cold_bytes: 400,
+        }
+    }
+
+    fn main_gpu(soname: &str, lib_tag: &str) -> LibSpec {
+        LibSpec {
+            soname: soname.into(),
+            tag: LibTag::MainGpu,
+            lib_tag: lib_tag.into(),
+            families: OpFamily::ALL.to_vec(),
+            groups_per_family: 4,
+            kernels_per_group: 3,
+            kernel_bytes: 7_000,
+            archs: SmArch::PAPER_SET.to_vec(),
+            ptx_per_family: 1,
+            dispatch_per_family: 6,
+            dispatch_bytes: 260,
+            infra_fns: 240,
+            infra_bytes: 180,
+            cold_fns: 2600,
+            cold_bytes: 420,
+        }
+    }
+
+    fn main_cpu(soname: &str, lib_tag: &str) -> LibSpec {
+        LibSpec {
+            soname: soname.into(),
+            tag: LibTag::MainCpu,
+            lib_tag: lib_tag.into(),
+            // CPU fallback dispatch exists for every family, plus the
+            // host-only input pipeline.
+            families: OpFamily::ALL.to_vec(),
+            groups_per_family: 0,
+            kernels_per_group: 0,
+            kernel_bytes: 0,
+            archs: Vec::new(),
+            ptx_per_family: 0,
+            dispatch_per_family: 4,
+            dispatch_bytes: 250,
+            infra_fns: 200,
+            infra_bytes: 170,
+            cold_fns: 2200,
+            cold_bytes: 380,
+        }
+    }
+
+    fn binding(soname: &str, lib_tag: &str) -> LibSpec {
+        LibSpec {
+            soname: soname.into(),
+            tag: LibTag::Binding,
+            lib_tag: lib_tag.into(),
+            families: Vec::new(),
+            groups_per_family: 0,
+            kernels_per_group: 0,
+            kernel_bytes: 0,
+            archs: Vec::new(),
+            ptx_per_family: 0,
+            dispatch_per_family: 0,
+            dispatch_bytes: 0,
+            infra_fns: 60,
+            infra_bytes: 150,
+            cold_fns: 900,
+            cold_bytes: 340,
+        }
+    }
+
+    fn tails(framework: &str, count: usize) -> Vec<LibSpec> {
+        (0..count)
+            .map(|i| LibSpec {
+                soname: namegen::tail_soname(framework, "dep", i),
+                tag: LibTag::Tail,
+                lib_tag: format!("{framework}dep{i}"),
+                families: Vec::new(),
+                groups_per_family: 0,
+                kernels_per_group: 0,
+                kernel_bytes: 0,
+                archs: Vec::new(),
+                ptx_per_family: 0,
+                dispatch_per_family: 0,
+                dispatch_bytes: 0,
+                infra_fns: 8,
+                infra_bytes: 130,
+                cold_fns: 380 + 40 * i,
+                cold_bytes: 300,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_framework_has_a_gpu_and_a_cpu_library() {
+        for fw in FrameworkKind::ALL {
+            let specs = fw.lib_specs();
+            assert!(specs.iter().any(|s| s.tag == LibTag::MainGpu), "{fw}");
+            assert!(specs.iter().any(|s| s.tag == LibTag::MainCpu), "{fw}");
+            assert!(specs.iter().any(|s| s.tag == LibTag::Tail), "{fw}");
+        }
+    }
+
+    #[test]
+    fn sonames_and_lib_tags_are_unique_within_a_roster() {
+        for fw in FrameworkKind::ALL {
+            let specs = fw.lib_specs();
+            let mut sonames: Vec<&str> = specs.iter().map(|s| s.soname.as_str()).collect();
+            sonames.sort_unstable();
+            let n = sonames.len();
+            sonames.dedup();
+            assert_eq!(sonames.len(), n, "{fw} duplicate sonames");
+            let mut tags: Vec<&str> = specs.iter().map(|s| s.lib_tag.as_str()).collect();
+            tags.sort_unstable();
+            let n = tags.len();
+            tags.dedup();
+            assert_eq!(tags.len(), n, "{fw} duplicate lib tags");
+        }
+    }
+
+    #[test]
+    fn every_op_family_has_a_provider() {
+        for fw in FrameworkKind::ALL {
+            let specs = fw.lib_specs();
+            for family in OpFamily::ALL {
+                assert!(
+                    specs.iter().any(|s| s.families.contains(&family)),
+                    "{fw} has no provider for {family}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_libraries_ship_all_six_architectures() {
+        let specs = FrameworkKind::PyTorch.lib_specs();
+        let main = specs.iter().find(|s| s.tag == LibTag::MainGpu).unwrap();
+        assert!(main.has_gpu_code());
+        assert_eq!(main.archs.len(), 6);
+    }
+
+    #[test]
+    fn vllm_paged_attention_shadows_torch() {
+        let specs = FrameworkKind::Vllm.lib_specs();
+        let first_provider =
+            specs.iter().find(|s| s.families.contains(&OpFamily::PagedAttention)).unwrap();
+        assert_eq!(first_provider.soname, "libvllm_c.so");
+    }
+}

@@ -67,8 +67,7 @@ impl Workload {
         use FrameworkKind::*;
         use ModelKind::*;
         use Operation::*;
-        let (dataset, batch_size, epochs, inference_steps) = match (&framework, &model, operation)
-        {
+        let (dataset, batch_size, epochs, inference_steps) = match (&framework, &model, operation) {
             (PyTorch | TensorFlow, MobileNetV2, Train) => (Dataset::Cifar10Train, 16, 3, 0),
             (PyTorch | TensorFlow, MobileNetV2, Inference) => (Dataset::Cifar10Test, 4, 1, 1),
             (PyTorch, Transformer, Train) => (Dataset::Multi30kTrain, 128, 3, 0),

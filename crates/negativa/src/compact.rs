@@ -1,0 +1,157 @@
+//! Stage 3 — compaction.
+//!
+//! Applies a [`RetainPlan`] by zeroing the marked byte ranges *in
+//! place*: offsets never move, headers stay walkable, and the compacted
+//! library remains loadable by the unmodified runtime — which is what
+//! lets debloated libraries drop in for the originals. Savings
+//! materialize as page-granular occupancy (hole-punchable file blocks
+//! and untouched resident pages), measured here before and after so the
+//! analysis stage can report reductions without re-scanning.
+
+use simelf::ElfImage;
+
+use crate::error::NegativaError;
+use crate::locate::RetainPlan;
+use crate::Result;
+
+/// Page size used for occupancy accounting (matches the loader's).
+const PAGE: u64 = 4096;
+
+/// Occupancy deltas of one compaction, in real bytes at page granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionOutcome {
+    /// Whole-file occupied bytes before.
+    pub file_before: u64,
+    /// Whole-file occupied bytes after.
+    pub file_after: u64,
+    /// `.text` occupied bytes before.
+    pub host_before: u64,
+    /// `.text` occupied bytes after.
+    pub host_after: u64,
+    /// `.nv_fatbin` occupied bytes before.
+    pub device_before: u64,
+    /// `.nv_fatbin` occupied bytes after.
+    pub device_after: u64,
+}
+
+/// Produce the compacted copy of `image` according to `plan`.
+///
+/// The input image is left untouched (verification may need to fall back
+/// to it); the returned image carries the same soname so the runtime's
+/// usage attribution keeps working.
+///
+/// # Errors
+///
+/// [`NegativaError::Elf`] if a plan range falls outside the image — a
+/// location bug, never a data-dependent condition.
+pub fn compact(image: &ElfImage, plan: &RetainPlan) -> Result<(ElfImage, CompactionOutcome)> {
+    let mut outcome = CompactionOutcome {
+        file_before: image.page_occupancy().occupied_bytes,
+        ..Default::default()
+    };
+    if let Some(text) = plan.text_range {
+        outcome.host_before = image.occupied_bytes_in(text, PAGE);
+    }
+    if let Some(fatbin) = plan.fatbin_range {
+        outcome.device_before = image.occupied_bytes_in(fatbin, PAGE);
+    }
+
+    let mut compacted = image.clone();
+    compacted.zero_ranges(&plan.zero_host).map_err(NegativaError::Elf)?;
+    compacted.zero_ranges(&plan.zero_device).map_err(NegativaError::Elf)?;
+
+    outcome.file_after = compacted.page_occupancy().occupied_bytes;
+    if let Some(text) = plan.text_range {
+        outcome.host_after = compacted.occupied_bytes_in(text, PAGE);
+    }
+    if let Some(fatbin) = plan.fatbin_range {
+        outcome.device_after = compacted.occupied_bytes_in(fatbin, PAGE);
+    }
+    Ok((compacted, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::UsageMap;
+    use crate::locate::locate;
+    use fatbin::{Cubin, Element, Fatbin, KernelDef, Region, SmArch};
+    use simelf::{Elf, ElfBuilder};
+
+    fn sample() -> ElfImage {
+        let used = Cubin::new(vec![KernelDef::entry("gemm", vec![0x11; 2000])]).unwrap();
+        let unused = Cubin::new(vec![KernelDef::entry("never", vec![0x13; 5000])]).unwrap();
+        let elements = vec![
+            Element::cubin(SmArch::SM75, &used).unwrap(),
+            Element::cubin(SmArch::SM75, &unused).unwrap(),
+        ];
+        ElfBuilder::new("libc.so")
+            .function("used_fn", vec![0x90; 800])
+            .function("cold_fn", vec![0x91; 9000])
+            .fatbin(Fatbin::new(vec![Region::new(elements)]).to_bytes())
+            .build()
+            .unwrap()
+    }
+
+    fn usage() -> UsageMap {
+        let mut u = UsageMap::new();
+        u.record_kernel("libc.so", "gemm");
+        u.record_host_fn("libc.so", "used_fn");
+        u
+    }
+
+    #[test]
+    fn compaction_shrinks_occupancy_without_resizing() {
+        let image = sample();
+        let plan = locate(&image, &usage(), SmArch::SM75).unwrap();
+        let (compacted, outcome) = compact(&image, &plan).unwrap();
+        assert_eq!(compacted.len(), image.len(), "offsets never move");
+        assert!(outcome.file_after < outcome.file_before);
+        assert!(outcome.host_after < outcome.host_before);
+        assert!(outcome.device_after < outcome.device_before);
+        assert!(outcome.host_after > 0, "used function keeps its page");
+        assert!(outcome.device_after > 0, "used element keeps its pages");
+    }
+
+    #[test]
+    fn compacted_image_still_parses_and_loads() {
+        let image = sample();
+        let plan = locate(&image, &usage(), SmArch::SM75).unwrap();
+        let (compacted, _) = compact(&image, &plan).unwrap();
+        // ELF structure intact.
+        let elf = Elf::parse(compacted.bytes()).unwrap();
+        assert_eq!(elf.symbols().unwrap().len(), 2);
+        // The runtime opens it and resolves the retained kernel; the
+        // removed one is gone.
+        let mut sim = simcuda::CudaSim::new(&[simcuda::GpuModel::T4]);
+        let lib = sim.open_library(&compacted).unwrap();
+        let module = sim.load_module(lib, 0, simcuda::LoadMode::Eager).unwrap();
+        assert!(sim.get_function(module, "gemm").is_ok());
+        assert!(matches!(
+            sim.get_function(module, "never"),
+            Err(simcuda::CudaError::KernelNotFound { .. })
+        ));
+        assert!(sim.host_call(lib, "used_fn").is_ok());
+        assert!(matches!(
+            sim.host_call(lib, "cold_fn"),
+            Err(simcuda::CudaError::FunctionFault { .. })
+        ));
+    }
+
+    #[test]
+    fn original_image_is_untouched() {
+        let image = sample();
+        let before = image.bytes().to_vec();
+        let plan = locate(&image, &usage(), SmArch::SM75).unwrap();
+        let _ = compact(&image, &plan).unwrap();
+        assert_eq!(image.bytes(), before.as_slice());
+    }
+
+    #[test]
+    fn out_of_bounds_plan_is_rejected() {
+        let image = sample();
+        let mut plan = locate(&image, &usage(), SmArch::SM75).unwrap();
+        plan.zero_host.push(simelf::FileRange::new(0, image.len() + 1));
+        assert!(matches!(compact(&image, &plan), Err(NegativaError::Elf(_))));
+    }
+}

@@ -1,0 +1,115 @@
+use std::fmt;
+
+/// Errors surfaced by the debloat pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NegativaError {
+    /// A workload execution (baseline or detection run) failed before
+    /// any compaction happened — the input bundle itself is broken.
+    Workload(simml::SimmlError),
+    /// The verification run hit a zeroed function or unresolvable kernel:
+    /// compaction removed code the workload needs. The debloated bundle
+    /// must be discarded.
+    OverCompaction {
+        /// The integrity fault the runtime reported.
+        source: simcuda::CudaError,
+    },
+    /// The verification run completed but produced different output than
+    /// the original bundle — semantically broken despite not faulting.
+    ChecksumMismatch {
+        /// Workload label.
+        workload: String,
+        /// Checksum of the original bundle's run.
+        expected: u64,
+        /// Checksum of the debloated bundle's run.
+        actual: u64,
+    },
+    /// A library image failed to parse during location/compaction.
+    Elf(simelf::ElfError),
+    /// A fatbin failed to parse during location/compaction.
+    Fatbin(fatbin::FatbinError),
+}
+
+impl fmt::Display for NegativaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NegativaError::Workload(e) => write!(f, "workload execution failed: {e}"),
+            NegativaError::OverCompaction { source } => {
+                write!(f, "over-compaction detected during verification: {source}")
+            }
+            NegativaError::ChecksumMismatch { workload, expected, actual } => write!(
+                f,
+                "verification checksum mismatch for {workload}: \
+                 expected {expected:#018x}, got {actual:#018x}"
+            ),
+            NegativaError::Elf(e) => write!(f, "elf error: {e}"),
+            NegativaError::Fatbin(e) => write!(f, "fatbin error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NegativaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NegativaError::Workload(e) => Some(e),
+            NegativaError::OverCompaction { source } => Some(source),
+            NegativaError::Elf(e) => Some(e),
+            NegativaError::Fatbin(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<simml::SimmlError> for NegativaError {
+    fn from(e: simml::SimmlError) -> Self {
+        NegativaError::Workload(e)
+    }
+}
+
+impl From<simelf::ElfError> for NegativaError {
+    fn from(e: simelf::ElfError) -> Self {
+        NegativaError::Elf(e)
+    }
+}
+
+impl From<fatbin::FatbinError> for NegativaError {
+    fn from(e: fatbin::FatbinError) -> Self {
+        NegativaError::Fatbin(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NegativaError>();
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = NegativaError::OverCompaction {
+            source: simcuda::CudaError::KernelNotFound {
+                kernel: "gemm".into(),
+                library: "libx.so".into(),
+            },
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("over-compaction"));
+    }
+
+    #[test]
+    fn checksum_mismatch_reports_hex() {
+        let e = NegativaError::ChecksumMismatch {
+            workload: "PyTorch/Train/MobileNetV2".into(),
+            expected: 0xab,
+            actual: 0xcd,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("0x00000000000000ab"));
+        assert!(msg.contains("MobileNetV2"));
+    }
+}

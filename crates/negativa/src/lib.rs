@@ -1,0 +1,162 @@
+//! # negativa-ml — the paper's contribution
+//!
+//! The debloater from *The Hidden Bloat in Machine Learning Systems*
+//! (MLSys 2025; see `PAPER.md` at the repository root), implemented
+//! against the simulated substrates of this workspace. ML frameworks
+//! ship shared libraries dominated by code a given workload never runs —
+//! device code for GPUs you don't have, kernels for ops your model never
+//! executes, host functions nothing calls. Negativa-ML removes it in
+//! five stages, each a module here:
+//!
+//! 1. [`detect`] — run the workload once with a CUPTI
+//!    `cuModuleGetFunction` hook (plus host-call probes) attached and
+//!    record every kernel and CPU function actually used.
+//! 2. [`locate`] — map those names to byte ranges: ELF symbol intervals
+//!    on the CPU side, fatbin element payloads on the GPU side, keeping
+//!    only the element flavor the CUDA loader would select for the
+//!    target GPU.
+//! 3. [`compact`] — zero everything else in place. Offsets never move,
+//!    so the debloated library is a drop-in replacement; savings appear
+//!    as hole-punchable file blocks and untouched resident pages.
+//! 4. [`verify`] — re-run the workload on the compacted bundle and
+//!    require bit-identical output, catching over-compaction as
+//!    [`simcuda::CudaError::FunctionFault`] / `KernelNotFound` or as a
+//!    checksum mismatch.
+//! 5. [`report`] — aggregate per-library reductions and runtime deltas
+//!    into a [`DebloatReport`].
+//!
+//! [`Debloater`] wires the stages together behind the one-call API the
+//! façade crate documents:
+//!
+//! ```
+//! use negativa_ml::Debloater;
+//! use simcuda::GpuModel;
+//! use simml::{FrameworkKind, ModelKind, Operation, Workload};
+//!
+//! # fn main() -> Result<(), negativa_ml::NegativaError> {
+//! let workload = Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2,
+//!                                Operation::Inference);
+//! let report = Debloater::new(GpuModel::T4).debloat(&workload)?;
+//! assert!(report.totals().file_reduction_pct() > 30.0);
+//! assert!(report.debloated.elapsed_ns < report.baseline.elapsed_ns);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use simcuda::GpuModel;
+use simml::{cached_bundle, run_workload, GeneratedLibrary, RunConfig, Workload};
+
+pub mod compact;
+pub mod detect;
+mod error;
+pub mod locate;
+pub mod report;
+pub mod verify;
+
+pub use compact::{compact, CompactionOutcome};
+pub use detect::{KernelDetector, UsageMap};
+pub use error::NegativaError;
+pub use locate::{locate, LocateStats, RetainPlan};
+pub use report::{DebloatReport, LibraryReport, Totals};
+pub use verify::verify;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, NegativaError>;
+
+/// The end-to-end debloat pipeline for one workload on one GPU model.
+#[derive(Debug, Clone)]
+pub struct Debloater {
+    gpu: GpuModel,
+    config: RunConfig,
+}
+
+impl Debloater {
+    /// A debloater targeting `gpu` with default execution settings.
+    pub fn new(gpu: GpuModel) -> Debloater {
+        Debloater { gpu, config: RunConfig::default() }
+    }
+
+    /// Override the execution settings (scale, cost model, sampling).
+    ///
+    /// Subscribers in `config` are attached to *every* run including
+    /// verification; the kernel detector is added on top for the
+    /// detection run.
+    pub fn with_config(gpu: GpuModel, config: RunConfig) -> Debloater {
+        Debloater { gpu, config }
+    }
+
+    /// The GPU model this debloater targets.
+    pub fn gpu(&self) -> GpuModel {
+        self.gpu
+    }
+
+    /// Run the full pipeline and return the analysis report.
+    ///
+    /// The workload's framework bundle is generated (or fetched from the
+    /// process-wide cache), run three times — baseline, detection with
+    /// the CUPTI kernel detector attached, and verification on the
+    /// compacted copy — and every library is debloated in between.
+    ///
+    /// # Errors
+    ///
+    /// [`NegativaError::Workload`] if the bundle cannot execute at all,
+    /// [`NegativaError::OverCompaction`] / [`NegativaError::ChecksumMismatch`]
+    /// if verification rejects the debloated bundle (no report is
+    /// produced — a failed verification means the originals must stay).
+    pub fn debloat(&self, workload: &Workload) -> Result<DebloatReport> {
+        self.debloat_full(workload).map(|(report, _)| report)
+    }
+
+    /// Like [`Debloater::debloat`], additionally returning the verified
+    /// debloated libraries for downstream use (packaging, re-running).
+    pub fn debloat_full(
+        &self,
+        workload: &Workload,
+    ) -> Result<(DebloatReport, Vec<GeneratedLibrary>)> {
+        let bundle = cached_bundle(workload.framework);
+        // Pin every rank to the debloat target GPU.
+        let mut workload = workload.clone();
+        workload.devices = vec![self.gpu; workload.devices.len().max(1)];
+
+        // Stage 0/1: baseline (no profiler) and detection runs on the
+        // original bundle.
+        let baseline = run_workload(&workload, bundle.libraries(), &self.config)?;
+        let detector = Arc::new(KernelDetector::new());
+        let mut detect_config = self.config.clone();
+        detect_config.subscribers.push(detector.clone());
+        let detection = run_workload(&workload, bundle.libraries(), &detect_config)?;
+        let usage = detector.snapshot();
+
+        // Stages 2+3: locate and compact every library.
+        let mut libraries = Vec::with_capacity(bundle.libraries().len());
+        let mut debloated = Vec::with_capacity(bundle.libraries().len());
+        for lib in bundle.libraries() {
+            let plan = locate(&lib.image, &usage, self.gpu.arch())?;
+            let (image, outcome) = compact(&lib.image, &plan)?;
+            libraries.push(LibraryReport::new(plan.soname, plan.stats, outcome));
+            debloated.push(GeneratedLibrary { image, manifest: lib.manifest.clone() });
+        }
+
+        // Stage 4: verification against the baseline checksum.
+        let verified = verify(&workload, &debloated, baseline.checksum, &self.config)?;
+
+        // Stage 5: analysis.
+        let report = DebloatReport {
+            workload: workload.label(),
+            gpu: self.gpu,
+            libraries,
+            baseline: baseline.metrics,
+            detection: detection.metrics,
+            debloated: verified.metrics,
+            used_kernels: usage.kernel_count(),
+            used_host_fns: usage.host_fn_count(),
+            checksum: verified.checksum,
+        };
+        Ok((report, debloated))
+    }
+}

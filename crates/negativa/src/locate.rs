@@ -1,0 +1,229 @@
+//! Stage 2 — location.
+//!
+//! Maps the detection stage's *names* onto *file byte ranges*:
+//!
+//! * **CPU side** — every used host function's `[st_value, st_value +
+//!   st_size)` interval (from the ELF symbol table) becomes a retain
+//!   range; the complement within `.text` is marked for zeroing.
+//! * **GPU side** — the `cuobjdump`-equivalent extraction lists every
+//!   fatbin element with its payload range. Elements survive only if
+//!   they are the flavor the CUDA loader would actually pick for the
+//!   target GPU (best compatible architecture within the element's
+//!   kernel-group, mirroring `simcuda`'s module loader) *and* contain at
+//!   least one used kernel. Everything else — wrong-architecture SASS,
+//!   unused kernel groups, PTX — is marked for zeroing, matching the
+//!   paper's removal-reason breakdown (Figure 7).
+
+use std::collections::{BTreeMap, HashSet};
+
+use fatbin::{extract_from_elf, ElementKind};
+use simelf::range::complement_within;
+use simelf::{Elf, ElfImage, FileRange};
+use simml::namegen::stable_hash;
+
+use crate::detect::UsageMap;
+use crate::error::NegativaError;
+use crate::Result;
+
+/// Location statistics for one library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LocateStats {
+    /// Host functions in the symbol table.
+    pub total_functions: usize,
+    /// Host functions observed in use.
+    pub used_functions: usize,
+    /// Intact fatbin elements (cubin and PTX).
+    pub total_elements: usize,
+    /// Elements retained after location.
+    pub kept_elements: usize,
+}
+
+/// The compaction work order for one library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetainPlan {
+    /// Which library this plan is for.
+    pub soname: String,
+    /// File range of `.text`, if present.
+    pub text_range: Option<FileRange>,
+    /// File range of `.nv_fatbin`, if present.
+    pub fatbin_range: Option<FileRange>,
+    /// Host byte ranges to zero (unused function bodies and padding).
+    pub zero_host: Vec<FileRange>,
+    /// Device byte ranges to zero (removed element payloads).
+    pub zero_device: Vec<FileRange>,
+    /// Counting statistics.
+    pub stats: LocateStats,
+}
+
+/// Compute the retain/zero plan for one library under `usage`, targeting
+/// a GPU of architecture `gpu`.
+///
+/// # Errors
+///
+/// [`NegativaError::Elf`] / [`NegativaError::Fatbin`] if the image does
+/// not parse — debloating never guesses at malformed inputs.
+pub fn locate(image: &ElfImage, usage: &UsageMap, gpu: fatbin::SmArch) -> Result<RetainPlan> {
+    let soname = image.soname().to_owned();
+    let elf = Elf::parse(image.bytes()).map_err(NegativaError::Elf)?;
+    let mut stats = LocateStats::default();
+
+    // ---- CPU side ------------------------------------------------------
+    let text_range = elf.section_by_name(simelf::types::names::TEXT).map(|s| s.file_range());
+    let mut zero_host = Vec::new();
+    if let Some(text) = text_range {
+        let ranges = elf.function_ranges().map_err(NegativaError::Elf)?;
+        let empty = Default::default();
+        let used = usage.host_fns_for(&soname).unwrap_or(&empty);
+        let keep: Vec<FileRange> =
+            ranges.iter().filter(|(name, _)| used.contains(name)).map(|(_, r)| *r).collect();
+        stats.total_functions = ranges.len();
+        stats.used_functions = keep.len();
+        zero_host = complement_within(&keep, text);
+    }
+
+    // ---- GPU side ------------------------------------------------------
+    let fatbin_range = elf.section_by_name(simelf::types::names::NV_FATBIN).map(|s| s.file_range());
+    let mut zero_device = Vec::new();
+    if fatbin_range.is_some() {
+        let (listing, _) = extract_from_elf(image.bytes()).map_err(NegativaError::Fatbin)?;
+        // Group elements by kernel-name fingerprint (every architecture
+        // flavor of one compilation unit ships the same kernels) and
+        // pick, per group, the flavor the loader would select: highest
+        // compatible architecture, first element on ties. This mirrors
+        // `simcuda::CudaSim::load_module` exactly.
+        let mut best: BTreeMap<u64, (fatbin::SmArch, u32)> = BTreeMap::new();
+        for item in &listing {
+            if item.cleared || item.kind != ElementKind::Cubin || !item.arch.runs_on(gpu) {
+                continue;
+            }
+            let mut names: Vec<&str> = item.kernel_names.iter().map(String::as_str).collect();
+            names.sort_unstable();
+            let fingerprint = stable_hash(&[&names.join("\0")]);
+            match best.entry(fingerprint) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert((item.arch, item.index));
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    if item.arch > o.get().0 {
+                        o.insert((item.arch, item.index));
+                    }
+                }
+            }
+        }
+        let selected: HashSet<u32> = best.values().map(|&(_, index)| index).collect();
+        let empty = Default::default();
+        let used = usage.kernels_for(&soname).unwrap_or(&empty);
+        for item in &listing {
+            if item.cleared {
+                continue; // removed by an earlier compaction — nothing to do
+            }
+            stats.total_elements += 1;
+            let keep = selected.contains(&item.index)
+                && item.kernel_names.iter().any(|k| used.contains(k));
+            if keep {
+                stats.kept_elements += 1;
+            } else {
+                zero_device.push(item.payload_range);
+            }
+        }
+    }
+
+    Ok(RetainPlan { soname, text_range, fatbin_range, zero_host, zero_device, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatbin::{Cubin, Element, Fatbin, KernelDef, Region, SmArch};
+    use simelf::ElfBuilder;
+
+    /// A library with a used and an unused kernel group, each compiled
+    /// for all six paper architectures, plus used/unused host functions.
+    fn sample_library() -> ElfImage {
+        let used = Cubin::new(vec![
+            KernelDef::entry("gemm", vec![0x11; 300]).with_callees(vec![1]),
+            KernelDef::device("gemm_tail", vec![0x12; 80]),
+        ])
+        .unwrap();
+        let unused = Cubin::new(vec![KernelDef::entry("never", vec![0x13; 500])]).unwrap();
+        let elements: Vec<Element> = SmArch::PAPER_SET
+            .iter()
+            .flat_map(|&a| {
+                vec![Element::cubin(a, &used).unwrap(), Element::cubin(a, &unused).unwrap()]
+            })
+            .chain([Element::ptx(SmArch::SM90, ".target sm_90")])
+            .collect();
+        ElfBuilder::new("libloc.so")
+            .function("gemm_dispatch", vec![0x90; 256])
+            .function("cold_helper", vec![0x91; 512])
+            .fatbin(Fatbin::new(vec![Region::new(elements)]).to_bytes())
+            .build()
+            .unwrap()
+    }
+
+    fn usage() -> UsageMap {
+        let mut u = UsageMap::new();
+        u.record_kernel("libloc.so", "gemm");
+        u.record_host_fn("libloc.so", "gemm_dispatch");
+        u
+    }
+
+    #[test]
+    fn keeps_only_the_loader_selected_used_element() {
+        let image = sample_library();
+        let plan = locate(&image, &usage(), SmArch::SM75).unwrap();
+        // 12 cubin elements + 1 PTX; only the sm_75 flavor of the used
+        // group survives.
+        assert_eq!(plan.stats.total_elements, 13);
+        assert_eq!(plan.stats.kept_elements, 1);
+        assert_eq!(plan.zero_device.len(), 12);
+    }
+
+    #[test]
+    fn host_plan_retains_used_functions_only() {
+        let image = sample_library();
+        let plan = locate(&image, &usage(), SmArch::SM75).unwrap();
+        assert_eq!(plan.stats.total_functions, 2);
+        assert_eq!(plan.stats.used_functions, 1);
+        // The used function's body must not intersect any zero range.
+        let elf = Elf::parse(image.bytes()).unwrap();
+        let ranges = elf.function_ranges().unwrap();
+        let (_, used_range) = ranges.iter().find(|(n, _)| n == "gemm_dispatch").unwrap();
+        for z in &plan.zero_host {
+            assert!(!z.overlaps(used_range), "{z} overlaps used function");
+        }
+        let (_, cold_range) = ranges.iter().find(|(n, _)| n == "cold_helper").unwrap();
+        assert!(
+            plan.zero_host.iter().any(|z| z.overlaps(cold_range)),
+            "cold function must be zeroed"
+        );
+    }
+
+    #[test]
+    fn no_usage_zeroes_everything() {
+        let image = sample_library();
+        let plan = locate(&image, &UsageMap::new(), SmArch::SM75).unwrap();
+        assert_eq!(plan.stats.used_functions, 0);
+        assert_eq!(plan.stats.kept_elements, 0);
+        assert_eq!(plan.zero_device.len(), 13);
+    }
+
+    #[test]
+    fn wrong_gpu_arch_keeps_nothing_on_device() {
+        let image = sample_library();
+        // usage says "gemm" but the GPU is sm_60: no compatible SASS.
+        let plan = locate(&image, &usage(), SmArch(60)).unwrap();
+        assert_eq!(plan.stats.kept_elements, 0);
+    }
+
+    #[test]
+    fn library_without_fatbin_has_empty_device_plan() {
+        let image = ElfBuilder::new("libcpu.so").function("f", vec![1; 64]).build().unwrap();
+        let mut u = UsageMap::new();
+        u.record_host_fn("libcpu.so", "f");
+        let plan = locate(&image, &u, SmArch::SM75).unwrap();
+        assert!(plan.fatbin_range.is_none());
+        assert!(plan.zero_device.is_empty());
+        assert_eq!(plan.stats.used_functions, 1);
+    }
+}

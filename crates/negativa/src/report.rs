@@ -1,0 +1,304 @@
+//! Stage 5 — analysis.
+//!
+//! Aggregates per-library compaction outcomes and the three measured
+//! runs (baseline, detection, verification) into the numbers the paper
+//! reports: host/device/file size reductions per library and in total,
+//! peak-memory and execution-time deltas, and the detector's profiling
+//! overhead. All sizes are page-granular occupied bytes — the effective
+//! footprint after hole punching — in real (generated) bytes; every
+//! percentage is scale-invariant.
+
+use simcuda::GpuModel;
+use simml::WorkloadMetrics;
+
+use crate::compact::CompactionOutcome;
+use crate::locate::LocateStats;
+
+fn reduction_pct(before: u64, after: u64) -> f64 {
+    if before == 0 {
+        0.0
+    } else {
+        (before as f64 - after as f64) * 100.0 / before as f64
+    }
+}
+
+/// Before/after sizes of one debloated library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibraryReport {
+    /// Shared object name.
+    pub soname: String,
+    /// Whole-file occupied bytes before compaction.
+    pub file_before: u64,
+    /// Whole-file occupied bytes after compaction.
+    pub file_after: u64,
+    /// `.text` occupied bytes before.
+    pub host_before: u64,
+    /// `.text` occupied bytes after.
+    pub host_after: u64,
+    /// `.nv_fatbin` occupied bytes before.
+    pub device_before: u64,
+    /// `.nv_fatbin` occupied bytes after.
+    pub device_after: u64,
+    /// Host functions in the symbol table.
+    pub total_functions: usize,
+    /// Host functions observed in use.
+    pub used_functions: usize,
+    /// Intact fatbin elements before compaction.
+    pub total_elements: usize,
+    /// Elements retained.
+    pub kept_elements: usize,
+}
+
+impl LibraryReport {
+    /// Assemble from the location and compaction stage outputs.
+    pub fn new(soname: String, stats: LocateStats, outcome: CompactionOutcome) -> LibraryReport {
+        LibraryReport {
+            soname,
+            file_before: outcome.file_before,
+            file_after: outcome.file_after,
+            host_before: outcome.host_before,
+            host_after: outcome.host_after,
+            device_before: outcome.device_before,
+            device_after: outcome.device_after,
+            total_functions: stats.total_functions,
+            used_functions: stats.used_functions,
+            total_elements: stats.total_elements,
+            kept_elements: stats.kept_elements,
+        }
+    }
+
+    /// Whole-file size reduction in percent.
+    pub fn file_reduction_pct(&self) -> f64 {
+        reduction_pct(self.file_before, self.file_after)
+    }
+
+    /// Host (`.text`) size reduction in percent.
+    pub fn host_reduction_pct(&self) -> f64 {
+        reduction_pct(self.host_before, self.host_after)
+    }
+
+    /// Device (`.nv_fatbin`) size reduction in percent.
+    pub fn device_reduction_pct(&self) -> f64 {
+        reduction_pct(self.device_before, self.device_after)
+    }
+}
+
+/// Bundle-wide size totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Totals {
+    /// Whole-bundle occupied bytes before compaction.
+    pub file_before: u64,
+    /// Whole-bundle occupied bytes after compaction.
+    pub file_after: u64,
+    /// Total `.text` occupied bytes before.
+    pub host_before: u64,
+    /// Total `.text` occupied bytes after.
+    pub host_after: u64,
+    /// Total `.nv_fatbin` occupied bytes before.
+    pub device_before: u64,
+    /// Total `.nv_fatbin` occupied bytes after.
+    pub device_after: u64,
+}
+
+impl Totals {
+    /// Whole-bundle file size reduction in percent.
+    pub fn file_reduction_pct(&self) -> f64 {
+        reduction_pct(self.file_before, self.file_after)
+    }
+
+    /// Bundle host code reduction in percent.
+    pub fn host_reduction_pct(&self) -> f64 {
+        reduction_pct(self.host_before, self.host_after)
+    }
+
+    /// Bundle device code reduction in percent.
+    pub fn device_reduction_pct(&self) -> f64 {
+        reduction_pct(self.device_before, self.device_after)
+    }
+}
+
+/// The complete result of one debloat pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DebloatReport {
+    /// Workload label (e.g. `PyTorch/Train/MobileNetV2`).
+    pub workload: String,
+    /// GPU the debloat targeted.
+    pub gpu: GpuModel,
+    /// Per-library outcomes, in bundle order.
+    pub libraries: Vec<LibraryReport>,
+    /// Metrics of the original bundle without any profiler attached.
+    pub baseline: WorkloadMetrics,
+    /// Metrics of the original bundle with the kernel detector attached
+    /// (the paper's §4.6 overhead comparison).
+    pub detection: WorkloadMetrics,
+    /// Metrics of the verification run on the debloated bundle.
+    pub debloated: WorkloadMetrics,
+    /// Distinct kernels observed in use across the bundle.
+    pub used_kernels: usize,
+    /// Distinct host functions observed in use across the bundle.
+    pub used_host_fns: usize,
+    /// The verified output checksum (identical before and after).
+    pub checksum: u64,
+}
+
+impl DebloatReport {
+    /// Sum the per-library sizes.
+    pub fn totals(&self) -> Totals {
+        let mut t = Totals::default();
+        for lib in &self.libraries {
+            t.file_before += lib.file_before;
+            t.file_after += lib.file_after;
+            t.host_before += lib.host_before;
+            t.host_after += lib.host_after;
+            t.device_before += lib.device_before;
+            t.device_after += lib.device_after;
+        }
+        t
+    }
+
+    /// Execution-time reduction of the debloated bundle vs baseline, in
+    /// percent.
+    pub fn time_reduction_pct(&self) -> f64 {
+        reduction_pct(self.baseline.elapsed_ns, self.debloated.elapsed_ns)
+    }
+
+    /// Peak host memory reduction vs baseline, in percent.
+    pub fn host_memory_reduction_pct(&self) -> f64 {
+        reduction_pct(self.baseline.peak_host_bytes, self.debloated.peak_host_bytes)
+    }
+
+    /// Peak GPU memory reduction (worst device) vs baseline, in percent.
+    pub fn device_memory_reduction_pct(&self) -> f64 {
+        let max = |m: &WorkloadMetrics| m.peak_device_bytes.iter().copied().max().unwrap_or(0);
+        reduction_pct(max(&self.baseline), max(&self.debloated))
+    }
+
+    /// Virtual-time overhead of running with the detector attached, in
+    /// percent over baseline.
+    pub fn detection_overhead_pct(&self) -> f64 {
+        if self.baseline.elapsed_ns == 0 {
+            return 0.0;
+        }
+        (self.detection.elapsed_ns as f64 - self.baseline.elapsed_ns as f64) * 100.0
+            / self.baseline.elapsed_ns as f64
+    }
+
+    /// A human-readable multi-line summary (paper-table flavored).
+    pub fn summary(&self) -> String {
+        let t = self.totals();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Debloat {} on {} — file -{:.1}%, host -{:.1}%, device -{:.1}%\n",
+            self.workload,
+            self.gpu,
+            t.file_reduction_pct(),
+            t.host_reduction_pct(),
+            t.device_reduction_pct(),
+        ));
+        out.push_str(&format!(
+            "  used: {} kernels, {} host fns; time -{:.1}%, host mem -{:.1}%, GPU mem -{:.1}%, \
+             detector overhead +{:.1}%\n",
+            self.used_kernels,
+            self.used_host_fns,
+            self.time_reduction_pct(),
+            self.host_memory_reduction_pct(),
+            self.device_memory_reduction_pct(),
+            self.detection_overhead_pct(),
+        ));
+        for lib in &self.libraries {
+            out.push_str(&format!(
+                "  {:<32} file -{:>5.1}%  host -{:>5.1}%  device -{:>5.1}%  fns {}/{}  elems {}/{}\n",
+                lib.soname,
+                lib.file_reduction_pct(),
+                lib.host_reduction_pct(),
+                lib.device_reduction_pct(),
+                lib.used_functions,
+                lib.total_functions,
+                lib.kept_elements,
+                lib.total_elements,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(file: (u64, u64), host: (u64, u64), dev: (u64, u64)) -> LibraryReport {
+        LibraryReport {
+            soname: "lib.so".into(),
+            file_before: file.0,
+            file_after: file.1,
+            host_before: host.0,
+            host_after: host.1,
+            device_before: dev.0,
+            device_after: dev.1,
+            total_functions: 10,
+            used_functions: 3,
+            total_elements: 6,
+            kept_elements: 1,
+        }
+    }
+
+    fn metrics(elapsed: u64, host: u64, dev: u64) -> WorkloadMetrics {
+        WorkloadMetrics {
+            elapsed_ns: elapsed,
+            peak_host_bytes: host,
+            peak_device_bytes: vec![dev],
+            ..Default::default()
+        }
+    }
+
+    fn report() -> DebloatReport {
+        DebloatReport {
+            workload: "PyTorch/Train/MobileNetV2".into(),
+            gpu: GpuModel::T4,
+            libraries: vec![
+                lib((1000, 400), (500, 100), (400, 200)),
+                lib((1000, 600), (500, 300), (0, 0)),
+            ],
+            baseline: metrics(1000, 800, 600),
+            detection: metrics(1410, 800, 600),
+            debloated: metrics(700, 400, 300),
+            used_kernels: 12,
+            used_host_fns: 34,
+            checksum: 0xfeed,
+        }
+    }
+
+    #[test]
+    fn totals_sum_libraries() {
+        let t = report().totals();
+        assert_eq!(t.file_before, 2000);
+        assert_eq!(t.file_after, 1000);
+        assert!((t.file_reduction_pct() - 50.0).abs() < 1e-9);
+        assert!((t.host_reduction_pct() - 60.0).abs() < 1e-9);
+        assert!((t.device_reduction_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runtime_reductions() {
+        let r = report();
+        assert!((r.time_reduction_pct() - 30.0).abs() < 1e-9);
+        assert!((r.host_memory_reduction_pct() - 50.0).abs() < 1e-9);
+        assert!((r.device_memory_reduction_pct() - 50.0).abs() < 1e-9);
+        assert!((r.detection_overhead_pct() - 41.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sides_report_zero_not_nan() {
+        let r = lib((0, 0), (0, 0), (0, 0));
+        assert_eq!(r.file_reduction_pct(), 0.0);
+        assert_eq!(r.device_reduction_pct(), 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_the_headline_numbers() {
+        let s = report().summary();
+        assert!(s.contains("PyTorch/Train/MobileNetV2"));
+        assert!(s.contains("T4"));
+        assert!(s.contains("lib.so"));
+    }
+}

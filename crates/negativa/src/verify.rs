@@ -1,0 +1,116 @@
+//! Stage 4 — verification.
+//!
+//! Re-runs the workload on the compacted bundle and demands *identical
+//! output*. Two failure modes are distinguished:
+//!
+//! * **Integrity faults** — the runtime hits a zeroed host function
+//!   ([`simcuda::CudaError::FunctionFault`]) or cannot resolve a kernel
+//!   ([`simcuda::CudaError::KernelNotFound`]): location removed code the
+//!   workload needs. Reported as [`NegativaError::OverCompaction`].
+//! * **Silent divergence** — the run completes but its output checksum
+//!   differs from the original bundle's. Reported as
+//!   [`NegativaError::ChecksumMismatch`].
+//!
+//! Either way the debloated bundle must be rejected; a clean pass is the
+//! paper's correctness guarantee that debloating preserved workload
+//! behavior.
+
+use simml::{run_workload, GeneratedLibrary, RunConfig, RunOutcome, SimmlError, Workload};
+
+use crate::error::NegativaError;
+use crate::Result;
+
+/// Run `workload` on a debloated library set and check its output
+/// against the original bundle's `expected_checksum`.
+///
+/// Returns the verification run's outcome (its metrics are the paper's
+/// "after debloating" measurements).
+///
+/// # Errors
+///
+/// [`NegativaError::OverCompaction`], [`NegativaError::ChecksumMismatch`],
+/// or [`NegativaError::Workload`] for faults unrelated to compaction.
+pub fn verify(
+    workload: &Workload,
+    debloated: &[GeneratedLibrary],
+    expected_checksum: u64,
+    config: &RunConfig,
+) -> Result<RunOutcome> {
+    let outcome = run_workload(workload, debloated, config).map_err(|e| match e {
+        SimmlError::Cuda(
+            source @ (simcuda::CudaError::FunctionFault { .. }
+            | simcuda::CudaError::KernelNotFound { .. }),
+        ) => NegativaError::OverCompaction { source },
+        other => NegativaError::Workload(other),
+    })?;
+    if outcome.checksum != expected_checksum {
+        return Err(NegativaError::ChecksumMismatch {
+            workload: workload.label(),
+            expected: expected_checksum,
+            actual: outcome.checksum,
+        });
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatbin::extract_from_elf;
+    use simml::{cached_bundle, FrameworkKind, ModelKind, Operation};
+
+    fn workload() -> Workload {
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Inference)
+    }
+
+    #[test]
+    fn unmodified_bundle_verifies_against_its_own_checksum() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let w = workload();
+        let config = RunConfig::default();
+        let baseline = run_workload(&w, bundle.libraries(), &config).unwrap();
+        let verified = verify(&w, bundle.libraries(), baseline.checksum, &config).unwrap();
+        assert_eq!(verified.checksum, baseline.checksum);
+    }
+
+    #[test]
+    fn wrong_expected_checksum_is_a_mismatch() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let w = workload();
+        let config = RunConfig::default();
+        let err = verify(&w, bundle.libraries(), 0xdead_beef, &config).unwrap_err();
+        assert!(matches!(err, NegativaError::ChecksumMismatch { .. }));
+    }
+
+    #[test]
+    fn wiping_all_device_code_is_over_compaction() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let w = workload();
+        let config = RunConfig::default();
+        let baseline = run_workload(&w, bundle.libraries(), &config).unwrap();
+        // Simulate a catastrophically wrong location stage: zero every
+        // element payload in every GPU library.
+        let broken: Vec<GeneratedLibrary> = bundle
+            .libraries()
+            .iter()
+            .map(|lib| {
+                let mut lib = lib.clone();
+                if lib.manifest.has_gpu_code {
+                    let (listing, _) = extract_from_elf(lib.image.bytes()).unwrap();
+                    for item in &listing {
+                        lib.image.zero_range(item.payload_range).unwrap();
+                    }
+                }
+                lib
+            })
+            .collect();
+        let err = verify(&w, &broken, baseline.checksum, &config).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                NegativaError::OverCompaction { source: simcuda::CudaError::KernelNotFound { .. } }
+            ),
+            "got {err}"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end pipeline tests on the paper's Table 1 matrix corner:
+//! PyTorch × MobileNetV2 × {Train, Inference} on a T4 — the acceptance
+//! gate the façade doctest also exercises.
+
+use negativa_ml::Debloater;
+use simcuda::GpuModel;
+use simml::{FrameworkKind, ModelKind, Operation, Workload};
+
+fn debloat(operation: Operation) -> negativa_ml::DebloatReport {
+    let workload = Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, operation);
+    Debloater::new(GpuModel::T4).debloat(&workload).expect("pipeline must verify clean")
+}
+
+/// (a) identical output checksum before/after compaction — `debloat`
+/// returning `Ok` *is* that guarantee (verification compares against the
+/// baseline checksum and errors on mismatch); the report carries the
+/// shared checksum. (b) nonzero host and device reduction. (c) peak
+/// memory and virtual time strictly lower after debloating.
+fn assert_paper_properties(report: &negativa_ml::DebloatReport) {
+    // (a) — the verified checksum exists and the pipeline did not error.
+    assert_ne!(report.checksum, 0, "{}: checksum recorded", report.workload);
+
+    // (b) — both sides of the bundle actually shrank.
+    let totals = report.totals();
+    assert!(
+        totals.host_reduction_pct() > 0.0,
+        "{}: host reduction {:.1}% must be nonzero",
+        report.workload,
+        totals.host_reduction_pct()
+    );
+    assert!(
+        totals.device_reduction_pct() > 0.0,
+        "{}: device reduction {:.1}% must be nonzero",
+        report.workload,
+        totals.device_reduction_pct()
+    );
+
+    // (c) — mirrors simcuda's `debloating_reduces_memory_and_time`.
+    assert!(
+        report.debloated.peak_host_bytes < report.baseline.peak_host_bytes,
+        "{}: peak host memory must drop ({} -> {})",
+        report.workload,
+        report.baseline.peak_host_bytes,
+        report.debloated.peak_host_bytes
+    );
+    let peak = |m: &simml::WorkloadMetrics| m.peak_device_bytes.iter().copied().max().unwrap();
+    assert!(
+        peak(&report.debloated) < peak(&report.baseline),
+        "{}: peak GPU memory must drop",
+        report.workload
+    );
+    assert!(
+        report.debloated.elapsed_ns < report.baseline.elapsed_ns,
+        "{}: virtual time must drop ({} -> {})",
+        report.workload,
+        report.baseline.elapsed_ns,
+        report.debloated.elapsed_ns
+    );
+}
+
+#[test]
+fn pytorch_mobilenet_train_debloats_clean() {
+    let report = debloat(Operation::Train);
+    assert_paper_properties(&report);
+    // The file-size criterion the façade quickstart promises.
+    assert!(report.totals().file_reduction_pct() > 30.0);
+}
+
+#[test]
+fn pytorch_mobilenet_inference_debloats_clean() {
+    let report = debloat(Operation::Inference);
+    assert_paper_properties(&report);
+    assert!(report.totals().file_reduction_pct() > 30.0);
+}
+
+#[test]
+fn train_keeps_more_kernels_than_inference() {
+    let train = debloat(Operation::Train);
+    let infer = debloat(Operation::Inference);
+    assert!(
+        train.used_kernels > infer.used_kernels,
+        "training adds backward/optimizer kernel families ({} vs {})",
+        train.used_kernels,
+        infer.used_kernels
+    );
+}
+
+#[test]
+fn every_gpu_library_reports_device_savings() {
+    let report = debloat(Operation::Inference);
+    for lib in &report.libraries {
+        if lib.total_elements > 0 {
+            assert!(
+                lib.device_after < lib.device_before,
+                "{} kept all its device code",
+                lib.soname
+            );
+            assert!(lib.kept_elements <= lib.total_elements);
+        }
+        assert!(lib.used_functions <= lib.total_functions, "{}", lib.soname);
+    }
+    // The detection stage saw a plausible usage profile.
+    assert!(report.used_kernels > 0);
+    assert!(report.used_host_fns > 0);
+    // Detection overhead is positive but far below a full tracer.
+    assert!(report.detection_overhead_pct() > 0.0);
+    assert!(report.detection_overhead_pct() < 130.0);
+}
+
+#[test]
+fn debloated_bundle_reruns_standalone() {
+    let workload =
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Inference);
+    let (report, debloated) =
+        Debloater::new(GpuModel::T4).debloat_full(&workload).expect("verifies clean");
+    // The debloated libraries are a self-sufficient drop-in bundle: a
+    // fresh run (no debloater involved) reproduces the same output.
+    let outcome = simml::run_workload(&workload, &debloated, &simml::RunConfig::default()).unwrap();
+    assert_eq!(outcome.checksum, report.checksum);
+}
