@@ -219,22 +219,71 @@ impl CudaSim {
     /// ELF or fatbin parse errors for malformed images.
     pub fn open_library(&mut self, image: &ElfImage) -> Result<LibraryId> {
         let elf = Elf::parse(image.bytes())?;
+        let functions = elf.function_ranges()?;
+        let fatbin_range = elf
+            .section_by_name(simelf::types::names::NV_FATBIN)
+            .filter(|s| s.kind != simelf::SectionKind::NoBits)
+            .map(|s| s.file_range());
+        self.open_library_inner(image, &functions, fatbin_range)
+    }
+
+    /// Open (dlopen) a shared library through a pre-built
+    /// [`simelf::ElfIndex`],
+    /// skipping the per-open ELF and symbol-table parse. The index stays
+    /// valid for compacted copies of its source image (zeroing never
+    /// moves offsets), so one index serves the baseline, detection, and
+    /// verification opens of both the original and the debloated bundle.
+    ///
+    /// # Errors
+    ///
+    /// [`CudaError::InvalidHandle`] if `index` does not describe `image`
+    /// (different soname or file length); fatbin parse errors as for
+    /// [`CudaSim::open_library`].
+    pub fn open_library_indexed(
+        &mut self,
+        image: &ElfImage,
+        index: &simelf::ElfIndex,
+    ) -> Result<LibraryId> {
+        if !index.matches(image) {
+            return Err(CudaError::InvalidHandle {
+                what: format!(
+                    "ELF index for {} ({} bytes) does not match image {} ({} bytes)",
+                    index.soname(),
+                    index.file_len(),
+                    image.soname(),
+                    image.len()
+                ),
+            });
+        }
+        self.open_library_inner(image, index.function_ranges(), index.fatbin_range())
+    }
+
+    fn open_library_inner(
+        &mut self,
+        image: &ElfImage,
+        function_ranges: &[(String, FileRange)],
+        fatbin_range: Option<FileRange>,
+    ) -> Result<LibraryId> {
         let mut functions = HashMap::new();
-        for (name, range) in elf.function_ranges()? {
-            functions.insert(name, HostFunction { len: range.len(), range });
+        for (name, range) in function_ranges {
+            functions.insert(name.clone(), HostFunction { len: range.len(), range: *range });
         }
         let symbol_count = functions.len() as u64;
 
-        let (fatbin, occupied_fatbin, element_count) =
-            match elf.section_by_name(simelf::types::names::NV_FATBIN) {
-                Some(sec) => {
-                    let fb = Fatbin::parse(elf.section_data(&sec))?;
-                    let count = fb.element_count() as u64;
-                    let occ = image.occupied_bytes_in(sec.file_range(), PAGE);
-                    (Some(fb), occ, count)
-                }
-                None => (None, 0, 0),
-            };
+        let (fatbin, occupied_fatbin, element_count) = match fatbin_range {
+            Some(range) => {
+                // A range past the file (possible for foreign images with
+                // degenerate section headers) must surface as a parse
+                // error, never a slice panic.
+                let data =
+                    image.bytes().get(range.start as usize..range.end as usize).unwrap_or_default();
+                let fb = Fatbin::parse(data)?;
+                let count = fb.element_count() as u64;
+                let occ = image.occupied_bytes_in(range, PAGE);
+                (Some(fb), occ, count)
+            }
+            None => (None, 0, 0),
+        };
 
         let occupied_total = image.page_occupancy().occupied_bytes;
 
@@ -699,6 +748,38 @@ mod tests {
         assert_eq!(stats.get_function_calls, 1);
         assert!(stats.elapsed_ns > 0);
         assert!(stats.device_peak_bytes[0] > 0);
+    }
+
+    #[test]
+    fn indexed_open_matches_parsed_open() {
+        let image = lib_with_archs(&[SmArch::SM75]);
+        let index = simelf::ElfIndex::build(&image).unwrap();
+        let mut a = CudaSim::new(&[GpuModel::T4]);
+        let la = a.open_library(&image).unwrap();
+        let mut b = CudaSim::new(&[GpuModel::T4]);
+        let lb = b.open_library_indexed(&image, &index).unwrap();
+        assert_eq!(a.stats(), b.stats(), "indexed open charges identical costs");
+        let ha = a.host_call(la, "gemm_dispatch").unwrap();
+        let hb = b.host_call(lb, "gemm_dispatch").unwrap();
+        assert_eq!(ha, hb);
+        let ma = a.load_module(la, 0, LoadMode::Eager).unwrap();
+        let mb = b.load_module(lb, 0, LoadMode::Eager).unwrap();
+        assert_eq!(
+            a.get_function(ma, "gemm").unwrap().code_hash,
+            b.get_function(mb, "gemm").unwrap().code_hash,
+        );
+    }
+
+    #[test]
+    fn stale_index_is_rejected() {
+        let image = lib_with_archs(&[SmArch::SM75]);
+        let index = simelf::ElfIndex::build(&image).unwrap();
+        let other = ElfBuilder::new("libz.so").function("f", vec![1; 8]).build().unwrap();
+        let mut sim = CudaSim::new(&[GpuModel::T4]);
+        assert!(matches!(
+            sim.open_library_indexed(&other, &index),
+            Err(CudaError::InvalidHandle { .. })
+        ));
     }
 
     #[test]

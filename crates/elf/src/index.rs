@@ -1,0 +1,157 @@
+//! Parse-once cached views of ELF images.
+//!
+//! The debloat pipeline opens every library many times: the baseline,
+//! detection, and verification runs each dlopen the whole bundle, and
+//! the location stage parses it once more. Every open used to re-decode
+//! the section table and the symbol table from the raw bytes. An
+//! [`ElfIndex`] hoists that work out of the loop: it is built **once**
+//! per library and then shared by every consumer.
+//!
+//! The index stays valid across compaction because the compactor only
+//! *zeroes byte ranges in place* — section offsets, symbol values, and
+//! the file length never change (see `ElfImage::zero_range`). An index
+//! built from an original library therefore describes its debloated
+//! copy exactly; [`ElfIndex::matches`] guards the two invariants that
+//! identify a compatible image (soname and file length).
+
+use crate::image::ElfImage;
+use crate::parser::{Elf, Section};
+use crate::range::FileRange;
+use crate::Result;
+
+/// A cached, owned parse of one ELF image: section table plus the
+/// `STT_FUNC` symbol intervals. Build once, reuse for every open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElfIndex {
+    soname: String,
+    file_len: u64,
+    sections: Vec<Section>,
+    functions: Vec<(String, FileRange)>,
+}
+
+impl ElfIndex {
+    /// Parse `image` once and cache everything later opens need.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::ElfError`] parse failures — an index is never
+    /// built from a malformed image.
+    pub fn build(image: &ElfImage) -> Result<ElfIndex> {
+        let elf = Elf::parse(image.bytes())?;
+        Ok(ElfIndex {
+            soname: image.soname().to_owned(),
+            file_len: image.len(),
+            sections: elf.sections().cloned().collect(),
+            functions: elf.function_ranges()?,
+        })
+    }
+
+    /// Soname of the image this index was built from.
+    pub fn soname(&self) -> &str {
+        &self.soname
+    }
+
+    /// File length of the indexed image in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    /// Whether this index describes `image`: same soname and file
+    /// length. Compaction preserves both, so an index built from an
+    /// original library also matches its debloated copies.
+    pub fn matches(&self, image: &ElfImage) -> bool {
+        self.soname == image.soname() && self.file_len == image.len()
+    }
+
+    /// All cached sections (including the index-0 null section).
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Find a cached section by exact name.
+    pub fn section_by_name(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Cached `STT_FUNC` symbol intervals, as `(name, range)` pairs, in
+    /// symbol-table order.
+    pub fn function_ranges(&self) -> &[(String, FileRange)] {
+        &self.functions
+    }
+
+    /// File range of `.text`, if present with file-backed contents.
+    pub fn text_range(&self) -> Option<FileRange> {
+        self.section_by_name(crate::types::names::TEXT)
+            .filter(|s| s.kind != crate::types::SectionKind::NoBits)
+            .map(Section::file_range)
+    }
+
+    /// File range of `.nv_fatbin`, if present with file-backed contents
+    /// (a `SHT_NOBITS` section occupies no file bytes to read).
+    pub fn fatbin_range(&self) -> Option<FileRange> {
+        self.section_by_name(crate::types::names::NV_FATBIN)
+            .filter(|s| s.kind != crate::types::SectionKind::NoBits)
+            .map(Section::file_range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ElfBuilder;
+
+    fn sample() -> ElfImage {
+        ElfBuilder::new("libidx.so")
+            .function("hot", vec![0x90; 128])
+            .function("cold", vec![0x91; 4096])
+            .fatbin(vec![0x55; 256])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn index_agrees_with_a_fresh_parse() {
+        let image = sample();
+        let index = ElfIndex::build(&image).unwrap();
+        let elf = Elf::parse(image.bytes()).unwrap();
+        assert_eq!(index.function_ranges(), elf.function_ranges().unwrap().as_slice());
+        assert_eq!(
+            index.section_by_name(".nv_fatbin").map(|s| s.file_range()),
+            elf.section_by_name(".nv_fatbin").map(|s| s.file_range()),
+        );
+        assert_eq!(index.soname(), "libidx.so");
+        assert_eq!(index.file_len(), image.len());
+        assert!(index.text_range().is_some());
+        assert!(index.fatbin_range().is_some());
+    }
+
+    #[test]
+    fn index_survives_compaction() {
+        let image = sample();
+        let index = ElfIndex::build(&image).unwrap();
+        let mut compacted = image.clone();
+        let (_, cold) = index.function_ranges().iter().find(|(n, _)| n == "cold").unwrap();
+        compacted.zero_range(*cold).unwrap();
+        // Zeroing moved no offsets: the index still matches and a fresh
+        // parse of the compacted image sees identical structure.
+        assert!(index.matches(&compacted));
+        let elf = Elf::parse(compacted.bytes()).unwrap();
+        assert_eq!(index.function_ranges(), elf.function_ranges().unwrap().as_slice());
+    }
+
+    #[test]
+    fn mismatched_images_are_rejected() {
+        let image = sample();
+        let index = ElfIndex::build(&image).unwrap();
+        let other = ElfBuilder::new("libother.so").function("f", vec![1; 8]).build().unwrap();
+        assert!(!index.matches(&other));
+        let renamed = ElfImage::from_bytes("librenamed.so", image.bytes().to_vec());
+        assert!(!index.matches(&renamed));
+    }
+
+    #[test]
+    fn malformed_input_never_builds_an_index() {
+        let garbage = ElfImage::from_bytes("bad.so", vec![0u8; 16]);
+        assert!(ElfIndex::build(&garbage).is_err());
+    }
+}

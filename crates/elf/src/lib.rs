@@ -17,6 +17,9 @@
 //!   zeroing (the paper's compaction primitive) and *occupied-extent*
 //!   accounting, which models the on-disk footprint after hole punching
 //!   and the resident memory after page-granular loading.
+//! * [`ElfIndex`] — a parse-once cached view (section table + function
+//!   intervals) shared by every subsequent open; it stays valid across
+//!   compaction because zeroing never moves offsets.
 //! * [`FileRange`] / [`range`] — file-offset interval arithmetic shared by
 //!   the locator and compactor.
 //!
@@ -44,6 +47,7 @@
 mod builder;
 mod error;
 mod image;
+mod index;
 mod parser;
 pub mod range;
 mod symtab;
@@ -52,6 +56,7 @@ pub mod types;
 pub use builder::{ElfBuilder, FunctionDef};
 pub use error::ElfError;
 pub use image::{ElfImage, OccupancyReport};
+pub use index::ElfIndex;
 pub use parser::{Elf, Section, SectionIter};
 pub use range::FileRange;
 pub use symtab::{Symbol, SymbolKind};

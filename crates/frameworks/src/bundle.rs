@@ -98,10 +98,15 @@ impl FrameworkBundle {
     }
 }
 
+/// A pinned, process-shared reference to one framework's bundle. Debloat
+/// sessions hold one of these for their whole detect → plan → apply
+/// lifetime so every stage sees the identical library bytes.
+pub type BundleHandle = Arc<FrameworkBundle>;
+
 /// Process-wide bundle cache: generating a bundle is pure, so every
 /// caller (baseline run, detection run, debloater, tests) shares one
 /// immutable copy per framework.
-pub fn cached_bundle(framework: FrameworkKind) -> Arc<FrameworkBundle> {
+pub fn cached_bundle(framework: FrameworkKind) -> BundleHandle {
     static CACHE: OnceLock<Mutex<HashMap<FrameworkKind, Arc<FrameworkBundle>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().expect("bundle cache poisoned");
@@ -110,6 +115,35 @@ pub fn cached_bundle(framework: FrameworkKind) -> Arc<FrameworkBundle> {
             Arc::new(
                 FrameworkBundle::generate(framework)
                     .expect("bundle generation is deterministic and must not fail"),
+            )
+        })
+        .clone()
+}
+
+/// Process-wide cache of parse-once [`simelf::ElfIndex`] views for a
+/// framework's bundle, in library order. Built the first time a caller
+/// asks and shared ever after, so the three pipeline runs (baseline,
+/// detection, verification) and the location stage never re-parse a
+/// symbol table per open. The indexes remain valid for *compacted*
+/// copies of the bundle, too — compaction zeroes bytes in place and
+/// never moves offsets.
+pub fn cached_indexes(framework: FrameworkKind) -> Arc<Vec<simelf::ElfIndex>> {
+    static CACHE: OnceLock<Mutex<HashMap<FrameworkKind, Arc<Vec<simelf::ElfIndex>>>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("index cache poisoned");
+    map.entry(framework)
+        .or_insert_with(|| {
+            let bundle = cached_bundle(framework);
+            Arc::new(
+                bundle
+                    .libraries()
+                    .iter()
+                    .map(|lib| {
+                        simelf::ElfIndex::build(&lib.image)
+                            .expect("generated libraries always parse")
+                    })
+                    .collect(),
             )
         })
         .clone()
@@ -151,5 +185,17 @@ mod tests {
         let bundle = cached_bundle(FrameworkKind::PyTorch);
         assert!(bundle.find("libtorch_cuda.so").is_some());
         assert!(bundle.find("libmissing.so").is_none());
+    }
+
+    #[test]
+    fn cached_indexes_cover_the_bundle_in_order() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let indexes = cached_indexes(FrameworkKind::PyTorch);
+        assert!(Arc::ptr_eq(&indexes, &cached_indexes(FrameworkKind::PyTorch)));
+        assert_eq!(indexes.len(), bundle.libraries().len());
+        for (index, lib) in indexes.iter().zip(bundle.libraries()) {
+            assert!(index.matches(&lib.image), "{} index mismatch", lib.manifest.soname);
+            assert_eq!(index.fatbin_range().is_some(), lib.manifest.has_gpu_code);
+        }
     }
 }

@@ -39,12 +39,54 @@ const MIB: u64 = 1 << 20;
 /// Model bytes staged host→device per sample in a batch transfer.
 const BYTES_PER_SAMPLE: u64 = 256 * 1024;
 
+/// Factory handing out one CUPTI subscriber per rank of a distributed
+/// run; see [`RunConfig::rank_subscribers`].
+pub type RankSubscriberFactory = dyn Fn(usize) -> Arc<dyn CuptiSubscriber> + Send + Sync;
+
+/// A named per-rank subscriber factory. The name identifies the
+/// profiler mix (e.g. for cache keying) *without* invoking the factory,
+/// which is called exactly once per rank, during the run.
+#[derive(Clone)]
+pub struct RankSubscriberSpec {
+    /// Identifies what the factory attaches (like
+    /// [`CuptiSubscriber::name`] for shared subscribers).
+    pub name: String,
+    /// Called once per rank with the rank index.
+    pub factory: Arc<RankSubscriberFactory>,
+}
+
+impl RankSubscriberSpec {
+    /// A named factory.
+    pub fn new(
+        name: impl Into<String>,
+        factory: impl Fn(usize) -> Arc<dyn CuptiSubscriber> + Send + Sync + 'static,
+    ) -> RankSubscriberSpec {
+        RankSubscriberSpec { name: name.into(), factory: Arc::new(factory) }
+    }
+}
+
+impl std::fmt::Debug for RankSubscriberSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankSubscriberSpec").field("name", &self.name).finish()
+    }
+}
+
 /// Knobs for one execution.
 #[derive(Clone)]
 pub struct RunConfig {
     /// CUPTI subscribers to attach before the run (profiling tools; the
-    /// debloater's kernel detector rides here).
+    /// debloater's kernel detector rides here). Every rank of a
+    /// distributed run shares these same subscriber instances.
     pub subscribers: Vec<Arc<dyn CuptiSubscriber>>,
+    /// Per-rank subscriber factories: each spec's factory is called once
+    /// per rank with the rank index, and the returned subscriber is
+    /// attached to *that rank's* simulator only. This is how the
+    /// debloater collects rank-specific usage maps from a distributed
+    /// workload (single-GPU runs count as rank 0) instead of funneling
+    /// every rank through one merged detector. Multiple specs compose:
+    /// the debloater pushes its detector factory alongside any the
+    /// caller already installed.
+    pub rank_subscribers: Vec<RankSubscriberSpec>,
     /// Steps executed in full before fast-forwarding the remainder.
     pub sample_steps: u64,
     /// Model-byte scale factor (see [`simcuda::CudaSim::with_config`]).
@@ -57,6 +99,7 @@ impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
             subscribers: Vec::new(),
+            rank_subscribers: Vec::new(),
             sample_steps: 2,
             byte_scale: scale::BYTE_SCALE,
             cost: CostModel::default(),
@@ -68,6 +111,7 @@ impl std::fmt::Debug for RunConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunConfig")
             .field("subscribers", &self.subscribers.len())
+            .field("rank_subscribers", &self.rank_subscribers.len())
             .field("sample_steps", &self.sample_steps)
             .field("byte_scale", &self.byte_scale)
             .finish()
@@ -114,6 +158,27 @@ pub fn run_workload(
     libraries: &[GeneratedLibrary],
     config: &RunConfig,
 ) -> Result<RunOutcome> {
+    run_workload_indexed(workload, libraries, None, config)
+}
+
+/// Like [`run_workload`], but opening each library through a pre-built
+/// [`simelf::ElfIndex`] so per-open symbol-table parsing is skipped.
+///
+/// `indexes[i]` must describe `libraries[i]` — either built from it
+/// directly or from the original it was compacted from (compaction
+/// preserves offsets, so one index set serves the baseline, detection,
+/// and verification opens). Pass `None` to parse per open.
+///
+/// # Errors
+///
+/// As [`run_workload`], plus [`SimmlError::Cuda`] wrapping
+/// [`simcuda::CudaError::InvalidHandle`] for a stale index.
+pub fn run_workload_indexed(
+    workload: &Workload,
+    libraries: &[GeneratedLibrary],
+    indexes: Option<&[simelf::ElfIndex]>,
+    config: &RunConfig,
+) -> Result<RunOutcome> {
     let world = workload.devices.len();
     let Some(&first_device) = workload.devices.first() else {
         return Err(SimmlError::InvalidWorkload {
@@ -121,10 +186,10 @@ pub fn run_workload(
         });
     };
     if world == 1 {
-        return run_rank(workload, libraries, config, first_device, 0, 1);
+        return run_rank(workload, libraries, indexes, config, first_device, 0, 1);
     }
     let results = simcuda::multi::run_workers(world, |rank| {
-        run_rank(workload, libraries, config, workload.devices[rank], rank, world)
+        run_rank(workload, libraries, indexes, config, workload.devices[rank], rank, world)
     });
     let mut outcomes = Vec::with_capacity(world);
     for r in results {
@@ -145,21 +210,28 @@ pub fn run_workload(
 fn run_rank(
     workload: &Workload,
     libraries: &[GeneratedLibrary],
+    indexes: Option<&[simelf::ElfIndex]>,
     config: &RunConfig,
     device: GpuModel,
-    _rank: usize,
+    rank: usize,
     world: usize,
 ) -> Result<RunOutcome> {
     let mut sim = CudaSim::with_config(&[device], config.cost, config.byte_scale);
     for sub in &config.subscribers {
         sim.subscribe(sub.clone());
     }
+    for spec in &config.rank_subscribers {
+        sim.subscribe((spec.factory)(rank));
+    }
     let mut checksum = stable_hash(&[&workload.label()]);
 
     // ---- framework load: dlopen everything, load GPU modules ----------
     let mut lib_ids: Vec<LibraryId> = Vec::with_capacity(libraries.len());
-    for lib in libraries {
-        lib_ids.push(sim.open_library(&lib.image)?);
+    for (i, lib) in libraries.iter().enumerate() {
+        lib_ids.push(match indexes.and_then(|ix| ix.get(i)) {
+            Some(index) => sim.open_library_indexed(&lib.image, index)?,
+            None => sim.open_library(&lib.image)?,
+        });
     }
     let mut modules: HashMap<usize, ModuleId> = HashMap::new();
     for (i, lib) in libraries.iter().enumerate() {
@@ -241,7 +313,9 @@ fn run_rank(
         mix(&mut checksum, step_digest);
     }
 
-    Ok(RunOutcome { checksum, metrics: WorkloadMetrics::from_stats(&sim.stats()) })
+    let mut metrics = WorkloadMetrics::from_stats(&sim.stats());
+    metrics.load_ns = sampling_started;
+    Ok(RunOutcome { checksum, metrics })
 }
 
 /// Map each op instance to its provider library, dispatch function, and
@@ -368,6 +442,49 @@ mod tests {
         assert_eq!(plain.checksum, traced.checksum);
         assert!(traced.metrics.elapsed_ns > plain.metrics.elapsed_ns);
         assert!(tracer.event_count() > 0);
+    }
+
+    #[test]
+    fn indexed_run_matches_parsed_run_exactly() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let indexes = crate::bundle::cached_indexes(FrameworkKind::PyTorch);
+        let w = mobilenet_infer();
+        let plain = run_workload(&w, bundle.libraries(), &RunConfig::default()).unwrap();
+        let indexed =
+            run_workload_indexed(&w, bundle.libraries(), Some(&indexes), &RunConfig::default())
+                .unwrap();
+        assert_eq!(plain, indexed, "skipping the per-open parse must not change anything");
+    }
+
+    #[test]
+    fn load_phase_is_split_out_of_total_time() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let outcome =
+            run_workload(&mobilenet_infer(), bundle.libraries(), &RunConfig::default()).unwrap();
+        let (load, steady) = outcome.metrics.load_time_split_ns();
+        assert!(load > 0, "framework load takes time");
+        assert!(steady > 0, "steps take time");
+        assert_eq!(load + steady, outcome.metrics.elapsed_ns);
+    }
+
+    #[test]
+    fn rank_subscribers_attach_one_per_rank() {
+        let bundle = cached_bundle(FrameworkKind::Vllm);
+        let model = ModelKind::leaderboard_top9().remove(1); // 7.7 B — cheapest
+        let w = Workload::distributed_a100(FrameworkKind::Vllm, model);
+        let tracers: Vec<Arc<NsysTracer>> =
+            (0..w.devices.len()).map(|_| Arc::new(NsysTracer::new())).collect();
+        let spec = {
+            let tracers = tracers.clone();
+            RankSubscriberSpec::new("per-rank-nsys", move |rank| {
+                tracers[rank].clone() as Arc<dyn CuptiSubscriber>
+            })
+        };
+        let config = RunConfig { rank_subscribers: vec![spec], ..RunConfig::default() };
+        run_workload(&w, bundle.libraries(), &config).unwrap();
+        for (rank, tracer) in tracers.iter().enumerate() {
+            assert!(tracer.event_count() > 0, "rank {rank} subscriber saw no events");
+        }
     }
 
     #[test]

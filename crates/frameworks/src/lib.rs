@@ -52,10 +52,15 @@ pub mod scale;
 pub mod spec;
 mod workload;
 
-pub use bundle::{cached_bundle, FrameworkBundle, GeneratedLibrary, LibManifest};
+pub use bundle::{
+    cached_bundle, cached_indexes, BundleHandle, FrameworkBundle, GeneratedLibrary, LibManifest,
+};
 pub use dataset::Dataset;
 pub use error::SimmlError;
-pub use executor::{run_workload, RunConfig, RunOutcome};
+pub use executor::{
+    run_workload, run_workload_indexed, RankSubscriberFactory, RankSubscriberSpec, RunConfig,
+    RunOutcome,
+};
 pub use metrics::WorkloadMetrics;
 pub use model::ModelKind;
 pub use ops::OpFamily;

@@ -63,8 +63,14 @@ impl UsageMap {
         self.host_fns.values().map(BTreeSet::len).sum()
     }
 
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty() && self.host_fns.is_empty()
+    }
+
     /// Union another usage map into this one (per-rank sets of a
-    /// distributed workload merge this way).
+    /// distributed workload and per-workload sets of a shared bundle
+    /// both merge this way).
     pub fn merge(&mut self, other: &UsageMap) {
         for (soname, kernels) in &other.kernels {
             self.kernels.entry(soname.clone()).or_default().extend(kernels.iter().cloned());
@@ -72,6 +78,35 @@ impl UsageMap {
         for (soname, fns) in &other.host_fns {
             self.host_fns.entry(soname.clone()).or_default().extend(fns.iter().cloned());
         }
+    }
+
+    /// A stable fingerprint of the complete usage contents. Two maps
+    /// fingerprint equal iff they record the same (library, symbol)
+    /// sets — `BTreeMap`/`BTreeSet` iteration order makes the fold
+    /// deterministic. Every [`crate::BundlePlan`] records the
+    /// fingerprint of the union usage it was located from as its
+    /// provenance identity (the plan *cache* is keyed by workload set
+    /// and config instead, since usage is only known after detection).
+    pub fn fingerprint(&self) -> u64 {
+        fn fold(hash: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *hash ^= b as u64;
+                *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            *hash ^= 0x1f;
+            *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for (side, map) in [("kernel", &self.kernels), ("hostfn", &self.host_fns)] {
+            for (soname, symbols) in map {
+                fold(&mut hash, side.as_bytes());
+                fold(&mut hash, soname.as_bytes());
+                for symbol in symbols {
+                    fold(&mut hash, symbol.as_bytes());
+                }
+            }
+        }
+        hash
     }
 }
 
@@ -190,5 +225,30 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.kernel_count(), 3);
         assert!(a.kernels_for("other.so").unwrap().contains("k3"));
+    }
+
+    #[test]
+    fn fingerprint_depends_on_contents_not_insertion_order() {
+        let mut a = UsageMap::new();
+        a.record_kernel("lib.so", "k1");
+        a.record_kernel("lib.so", "k2");
+        a.record_host_fn("lib.so", "f1");
+        let mut b = UsageMap::new();
+        b.record_host_fn("lib.so", "f1");
+        b.record_kernel("lib.so", "k2");
+        b.record_kernel("lib.so", "k1");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let mut c = a.clone();
+        c.record_kernel("lib.so", "k3");
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert!(UsageMap::new().is_empty());
+        assert!(!a.is_empty());
+        // A kernel and a host fn of the same name are distinct usage.
+        let mut k = UsageMap::new();
+        k.record_kernel("lib.so", "x");
+        let mut h = UsageMap::new();
+        h.record_host_fn("lib.so", "x");
+        assert_ne!(k.fingerprint(), h.fingerprint());
     }
 }

@@ -28,6 +28,19 @@ pub enum NegativaError {
     Elf(simelf::ElfError),
     /// A fatbin failed to parse during location/compaction.
     Fatbin(fatbin::FatbinError),
+    /// A workload named no devices. The debloater pins every rank to its
+    /// target GPU and refuses to guess a world size for an empty device
+    /// list (it used to silently assume one GPU).
+    EmptyDevices {
+        /// Workload label.
+        workload: String,
+    },
+    /// A `debloat_many` workload set is unusable as a whole: empty, or
+    /// mixing frameworks that do not share a bundle.
+    InvalidWorkloadSet {
+        /// What is wrong with the set.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NegativaError {
@@ -44,6 +57,12 @@ impl fmt::Display for NegativaError {
             ),
             NegativaError::Elf(e) => write!(f, "elf error: {e}"),
             NegativaError::Fatbin(e) => write!(f, "fatbin error: {e}"),
+            NegativaError::EmptyDevices { workload } => {
+                write!(f, "workload {workload} names no devices; nothing to pin to the target GPU")
+            }
+            NegativaError::InvalidWorkloadSet { reason } => {
+                write!(f, "invalid workload set: {reason}")
+            }
         }
     }
 }
@@ -99,6 +118,17 @@ mod tests {
         };
         assert!(e.source().is_some());
         assert!(e.to_string().contains("over-compaction"));
+    }
+
+    #[test]
+    fn empty_devices_names_the_workload() {
+        use std::error::Error;
+        let e = NegativaError::EmptyDevices { workload: "PyTorch/Train/MobileNetV2".into() };
+        assert!(e.to_string().contains("no devices"));
+        assert!(e.to_string().contains("MobileNetV2"));
+        assert!(e.source().is_none());
+        let s = NegativaError::InvalidWorkloadSet { reason: "mixed frameworks".into() };
+        assert!(s.to_string().contains("mixed frameworks"));
     }
 
     #[test]

@@ -5,28 +5,41 @@
 //! against the simulated substrates of this workspace. ML frameworks
 //! ship shared libraries dominated by code a given workload never runs —
 //! device code for GPUs you don't have, kernels for ops your model never
-//! executes, host functions nothing calls. Negativa-ML removes it in
-//! five stages, each a module here:
+//! executes, host functions nothing calls. Negativa-ML removes it.
 //!
-//! 1. [`detect`] — run the workload once with a CUPTI
-//!    `cuModuleGetFunction` hook (plus host-call probes) attached and
-//!    record every kernel and CPU function actually used.
-//! 2. [`locate`] — map those names to byte ranges: ELF symbol intervals
-//!    on the CPU side, fatbin element payloads on the GPU side, keeping
-//!    only the element flavor the CUDA loader would select for the
-//!    target GPU.
-//! 3. [`compact`] — zero everything else in place. Offsets never move,
-//!    so the debloated library is a drop-in replacement; savings appear
-//!    as hole-punchable file blocks and untouched resident pages.
-//! 4. [`verify`] — re-run the workload on the compacted bundle and
-//!    require bit-identical output, catching over-compaction as
-//!    [`simcuda::CudaError::FunctionFault`] / `KernelNotFound` or as a
-//!    checksum mismatch.
-//! 5. [`report`] — aggregate per-library reductions and runtime deltas
-//!    into a [`DebloatReport`].
+//! ## Architecture: detect → plan → apply
 //!
-//! [`Debloater`] wires the stages together behind the one-call API the
-//! façade crate documents:
+//! The pipeline is organized as three separable phases driven by a
+//! [`DebloatSession`], which pins one framework bundle (and its
+//! parse-once [`simelf::ElfIndex`] views — no open re-parses a symbol
+//! table) for its whole lifetime:
+//!
+//! 1. **Detect** ([`DebloatSession::detect`], module [`detect`]) — run
+//!    each workload once with a CUPTI `cuModuleGetFunction` hook (plus
+//!    host-call probes) attached and record every kernel and CPU
+//!    function actually used, as a [`UsageMap`]. Distributed workloads
+//!    attach one detector *per rank* and union the rank-specific maps;
+//!    multiple workloads sharing the bundle union the same way.
+//! 2. **Plan** ([`DebloatSession::plan`], module [`plan`]) — map the
+//!    union usage to byte ranges ([`locate()`]) per library, fanned out
+//!    one thread per library via `std::thread::scope`, producing a
+//!    cacheable [`BundlePlan`]: per-library [`RetainPlan`]s keyed by
+//!    framework, GPU architecture, and a usage fingerprint, alongside
+//!    each workload's baseline checksum and metrics. A process-wide
+//!    **plan cache** ([`plan::plan_cache_stats`]) lets a repeated
+//!    debloat of the same (framework, model, operation, GPU) skip
+//!    detection entirely.
+//! 3. **Apply** ([`DebloatSession::apply`] + [`DebloatSession::verify_all`],
+//!    modules [`mod@compact`] / [`mod@verify`]) — zero the planned ranges in
+//!    place (offsets never move; the debloated library is a drop-in
+//!    replacement) and re-run *every* contributing workload, demanding
+//!    bit-identical output against its own baseline checksum.
+//!
+//! [`Debloater`] composes the phases behind two entry points:
+//! [`Debloater::debloat`] for one workload and
+//! [`Debloater::debloat_many`] for several workloads sharing one bundle
+//! (the paper's deployment scenario: one framework installation serving
+//! many jobs — compact once, against the union of everything observed).
 //!
 //! ```
 //! use negativa_ml::Debloater;
@@ -48,13 +61,19 @@
 
 use std::sync::Arc;
 
+use simcuda::cupti::CuptiSubscriber;
 use simcuda::GpuModel;
-use simml::{cached_bundle, run_workload, GeneratedLibrary, RunConfig, Workload};
+use simelf::ElfIndex;
+use simml::{
+    cached_bundle, cached_indexes, BundleHandle, FrameworkKind, GeneratedLibrary, RunConfig,
+    RunOutcome, Workload,
+};
 
 pub mod compact;
 pub mod detect;
 mod error;
 pub mod locate;
+pub mod plan;
 pub mod report;
 pub mod verify;
 
@@ -62,32 +81,42 @@ pub use compact::{compact, CompactionOutcome};
 pub use detect::{KernelDetector, UsageMap};
 pub use error::NegativaError;
 pub use locate::{locate, LocateStats, RetainPlan};
-pub use report::{DebloatReport, LibraryReport, Totals};
-pub use verify::verify;
+pub use plan::{BundlePlan, PlanCacheStats, PlanKey, WorkloadBaseline};
+pub use report::{DebloatReport, LibraryReport, MultiDebloatReport, Totals, WorkloadVerification};
+pub use verify::{verify, verify_indexed};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, NegativaError>;
 
-/// The end-to-end debloat pipeline for one workload on one GPU model.
+/// The end-to-end debloat pipeline for one GPU model.
 #[derive(Debug, Clone)]
 pub struct Debloater {
     gpu: GpuModel,
     config: RunConfig,
+    parallel: bool,
 }
 
 impl Debloater {
     /// A debloater targeting `gpu` with default execution settings.
     pub fn new(gpu: GpuModel) -> Debloater {
-        Debloater { gpu, config: RunConfig::default() }
+        Debloater { gpu, config: RunConfig::default(), parallel: true }
     }
 
     /// Override the execution settings (scale, cost model, sampling).
     ///
     /// Subscribers in `config` are attached to *every* run including
-    /// verification; the kernel detector is added on top for the
-    /// detection run.
+    /// verification; the kernel detector is added on top (one per rank)
+    /// for detection runs.
     pub fn with_config(gpu: GpuModel, config: RunConfig) -> Debloater {
-        Debloater { gpu, config }
+        Debloater { gpu, config, parallel: true }
+    }
+
+    /// Toggle the per-library locate/compact thread fan-out (on by
+    /// default). The serial path produces byte-identical results; turn
+    /// it off to debug or to pin work to one core.
+    pub fn with_parallelism(mut self, parallel: bool) -> Debloater {
+        self.parallel = parallel;
+        self
     }
 
     /// The GPU model this debloater targets.
@@ -95,15 +124,27 @@ impl Debloater {
         self.gpu
     }
 
-    /// Run the full pipeline and return the analysis report.
-    ///
-    /// The workload's framework bundle is generated (or fetched from the
-    /// process-wide cache), run three times — baseline, detection with
-    /// the CUPTI kernel detector attached, and verification on the
-    /// compacted copy — and every library is debloated in between.
+    /// Open a session against `framework`'s bundle: pins the bundle
+    /// handle and its parse-once ELF indexes, exposing the detect /
+    /// plan / apply phases individually for callers that want to
+    /// compose them (e.g. a long-lived debloat service).
+    pub fn session(&self, framework: FrameworkKind) -> DebloatSession {
+        DebloatSession {
+            gpu: self.gpu,
+            config: self.config.clone(),
+            parallel: self.parallel,
+            framework,
+            bundle: cached_bundle(framework),
+            indexes: cached_indexes(framework),
+        }
+    }
+
+    /// Run the full pipeline for one workload and return the analysis
+    /// report.
     ///
     /// # Errors
     ///
+    /// [`NegativaError::EmptyDevices`] if the workload names no devices,
     /// [`NegativaError::Workload`] if the bundle cannot execute at all,
     /// [`NegativaError::OverCompaction`] / [`NegativaError::ChecksumMismatch`]
     /// if verification rejects the debloated bundle (no report is
@@ -118,45 +159,349 @@ impl Debloater {
         &self,
         workload: &Workload,
     ) -> Result<(DebloatReport, Vec<GeneratedLibrary>)> {
-        let bundle = cached_bundle(workload.framework);
-        // Pin every rank to the debloat target GPU.
-        let mut workload = workload.clone();
-        workload.devices = vec![self.gpu; workload.devices.len().max(1)];
-
-        // Stage 0/1: baseline (no profiler) and detection runs on the
-        // original bundle.
-        let baseline = run_workload(&workload, bundle.libraries(), &self.config)?;
-        let detector = Arc::new(KernelDetector::new());
-        let mut detect_config = self.config.clone();
-        detect_config.subscribers.push(detector.clone());
-        let detection = run_workload(&workload, bundle.libraries(), &detect_config)?;
-        let usage = detector.snapshot();
-
-        // Stages 2+3: locate and compact every library.
-        let mut libraries = Vec::with_capacity(bundle.libraries().len());
-        let mut debloated = Vec::with_capacity(bundle.libraries().len());
-        for lib in bundle.libraries() {
-            let plan = locate(&lib.image, &usage, self.gpu.arch())?;
-            let (image, outcome) = compact(&lib.image, &plan)?;
-            libraries.push(LibraryReport::new(plan.soname, plan.stats, outcome));
-            debloated.push(GeneratedLibrary { image, manifest: lib.manifest.clone() });
-        }
-
-        // Stage 4: verification against the baseline checksum.
-        let verified = verify(&workload, &debloated, baseline.checksum, &self.config)?;
-
-        // Stage 5: analysis.
+        let session = self.session(workload.framework);
+        let (plan, cache_hit) = session.plan_cached(std::slice::from_ref(workload))?;
+        let (libraries, debloated) = session.apply(&plan)?;
+        let verified =
+            session.verify_all(std::slice::from_ref(workload), &plan, &debloated)?.remove(0);
+        let base = &plan.baselines[0];
         let report = DebloatReport {
-            workload: workload.label(),
+            workload: base.label.clone(),
             gpu: self.gpu,
             libraries,
-            baseline: baseline.metrics,
-            detection: detection.metrics,
+            baseline: base.baseline.clone(),
+            detection: base.detection.clone(),
             debloated: verified.metrics,
-            used_kernels: usage.kernel_count(),
-            used_host_fns: usage.host_fn_count(),
+            used_kernels: plan.used_kernels,
+            used_host_fns: plan.used_host_fns,
             checksum: verified.checksum,
+            plan_cache_hit: cache_hit,
         };
         Ok((report, debloated))
+    }
+
+    /// Debloat one shared bundle against the **union** usage of several
+    /// workloads — the paper's multi-workload deployment scenario. Usage
+    /// is detected per workload (and per rank for distributed ones),
+    /// unioned via [`UsageMap::merge`], compacted once, and the result
+    /// is verified against *every* workload's own baseline checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`NegativaError::InvalidWorkloadSet`] for an empty set or one
+    /// mixing frameworks; otherwise as [`Debloater::debloat`].
+    pub fn debloat_many(&self, workloads: &[Workload]) -> Result<MultiDebloatReport> {
+        self.debloat_many_full(workloads).map(|(report, _)| report)
+    }
+
+    /// Like [`Debloater::debloat_many`], additionally returning the
+    /// verified debloated libraries.
+    pub fn debloat_many_full(
+        &self,
+        workloads: &[Workload],
+    ) -> Result<(MultiDebloatReport, Vec<GeneratedLibrary>)> {
+        let Some(first) = workloads.first() else {
+            return Err(NegativaError::InvalidWorkloadSet {
+                reason: "debloat_many needs at least one workload".into(),
+            });
+        };
+        let framework = first.framework;
+        if let Some(stray) = workloads.iter().find(|w| w.framework != framework) {
+            return Err(NegativaError::InvalidWorkloadSet {
+                reason: format!(
+                    "workloads mix frameworks ({} vs {}); they cannot share a bundle",
+                    framework.name(),
+                    stray.framework.name()
+                ),
+            });
+        }
+        let session = self.session(framework);
+        let (plan, cache_hit) = session.plan_cached(workloads)?;
+        let (libraries, debloated) = session.apply(&plan)?;
+        let outcomes = session.verify_all(workloads, &plan, &debloated)?;
+        let per_workload = plan
+            .baselines
+            .iter()
+            .zip(&outcomes)
+            .map(|(base, outcome)| WorkloadVerification {
+                label: base.label.clone(),
+                baseline_checksum: base.checksum,
+                verified_checksum: outcome.checksum,
+                baseline: base.baseline.clone(),
+                detection: base.detection.clone(),
+                debloated: outcome.metrics.clone(),
+            })
+            .collect();
+        let report = MultiDebloatReport {
+            gpu: self.gpu,
+            libraries,
+            workloads: per_workload,
+            used_kernels: plan.used_kernels,
+            used_host_fns: plan.used_host_fns,
+            plan_cache_hit: cache_hit,
+        };
+        Ok((report, debloated))
+    }
+}
+
+/// Everything the detection phase measured: the union [`UsageMap`] plus
+/// each contributing workload's baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Union of everything observed in use, across workloads and ranks.
+    pub usage: UsageMap,
+    /// One baseline per workload, in input order.
+    pub baselines: Vec<WorkloadBaseline>,
+}
+
+/// One framework bundle pinned for a detect → plan → apply lifetime.
+///
+/// Created by [`Debloater::session`]. Holds the shared
+/// [`BundleHandle`] and the bundle's parse-once [`ElfIndex`] views, so
+/// no phase — baseline, detection, location, or verification — parses a
+/// symbol table more than once per library per process.
+#[derive(Debug, Clone)]
+pub struct DebloatSession {
+    gpu: GpuModel,
+    config: RunConfig,
+    parallel: bool,
+    framework: FrameworkKind,
+    bundle: BundleHandle,
+    indexes: Arc<Vec<ElfIndex>>,
+}
+
+impl DebloatSession {
+    /// The framework this session's bundle belongs to.
+    pub fn framework(&self) -> FrameworkKind {
+        self.framework
+    }
+
+    /// The pinned bundle handle.
+    pub fn bundle(&self) -> &BundleHandle {
+        &self.bundle
+    }
+
+    /// Pin a workload to this session: every rank is retargeted to the
+    /// session's GPU, preserving the rank count.
+    ///
+    /// # Errors
+    ///
+    /// [`NegativaError::EmptyDevices`] if the workload names no devices
+    /// (the debloater refuses to guess a world size), and
+    /// [`NegativaError::InvalidWorkloadSet`] if the workload belongs to
+    /// a different framework than this session.
+    pub fn normalize(&self, workload: &Workload) -> Result<Workload> {
+        if workload.framework != self.framework {
+            return Err(NegativaError::InvalidWorkloadSet {
+                reason: format!(
+                    "workload {} does not run on this session's {} bundle",
+                    workload.label(),
+                    self.framework.name()
+                ),
+            });
+        }
+        if workload.devices.is_empty() {
+            return Err(NegativaError::EmptyDevices { workload: workload.label() });
+        }
+        let mut workload = workload.clone();
+        workload.devices = vec![self.gpu; workload.devices.len()];
+        Ok(workload)
+    }
+
+    /// Phase 1 — run every workload twice on the original bundle:
+    /// baseline (no profiler) and detection (one [`KernelDetector`] per
+    /// rank, rank-specific usage unioned via [`UsageMap::merge`]).
+    ///
+    /// # Errors
+    ///
+    /// [`NegativaError::InvalidWorkloadSet`] for an empty set;
+    /// normalization and execution errors as documented on
+    /// [`DebloatSession::normalize`] and [`Debloater::debloat`].
+    pub fn detect(&self, workloads: &[Workload]) -> Result<Detection> {
+        let normalized: Vec<Workload> =
+            workloads.iter().map(|w| self.normalize(w)).collect::<Result<_>>()?;
+        self.detect_normalized(&normalized)
+    }
+
+    /// [`DebloatSession::detect`] for workloads already pinned by
+    /// [`DebloatSession::normalize`] (so composed phases normalize each
+    /// workload exactly once).
+    fn detect_normalized(&self, workloads: &[Workload]) -> Result<Detection> {
+        if workloads.is_empty() {
+            return Err(NegativaError::InvalidWorkloadSet {
+                reason: "detection needs at least one workload".into(),
+            });
+        }
+        let libraries = self.bundle.libraries();
+        let mut usage = UsageMap::new();
+        let mut baselines = Vec::with_capacity(workloads.len());
+        for workload in workloads {
+            let baseline = self.run(workload, libraries, &self.config)?;
+
+            let detectors: Vec<Arc<KernelDetector>> =
+                (0..workload.devices.len()).map(|_| Arc::new(KernelDetector::new())).collect();
+            let mut detect_config = self.config.clone();
+            let handout = detectors.clone();
+            // Pushed, not assigned: any caller-installed per-rank
+            // profilers keep receiving the detection run's events.
+            detect_config
+                .rank_subscribers
+                .push(simml::RankSubscriberSpec::new("negativa-rank-detectors", move |rank| {
+                    handout[rank].clone() as Arc<dyn CuptiSubscriber>
+                }));
+            let detection = self.run(workload, libraries, &detect_config)?;
+            for detector in &detectors {
+                usage.merge(&detector.snapshot());
+            }
+            baselines.push(WorkloadBaseline {
+                label: workload.label(),
+                checksum: baseline.checksum,
+                baseline: baseline.metrics,
+                detection: detection.metrics,
+            });
+        }
+        Ok(Detection { usage, baselines })
+    }
+
+    /// Phase 2 — turn a detection result into a cacheable
+    /// [`BundlePlan`]: locate every library under the union usage,
+    /// fanned out per library via `std::thread::scope` (byte-identical
+    /// to the serial path).
+    ///
+    /// # Errors
+    ///
+    /// [`NegativaError::Elf`] / [`NegativaError::Fatbin`] for images
+    /// that fail to parse during location.
+    pub fn plan(&self, detection: &Detection) -> Result<BundlePlan> {
+        let retain = plan::locate_all(
+            self.bundle.libraries(),
+            &detection.usage,
+            self.gpu.arch(),
+            self.parallel,
+        )?;
+        Ok(BundlePlan {
+            framework: self.framework,
+            gpu: self.gpu,
+            usage_fingerprint: detection.usage.fingerprint(),
+            retain,
+            baselines: detection.baselines.clone(),
+            used_kernels: detection.usage.kernel_count(),
+            used_host_fns: detection.usage.host_fn_count(),
+        })
+    }
+
+    /// Phases 1+2 with the process-wide plan cache in front: returns
+    /// `(plan, true)` when the workload set's key was already planned —
+    /// skipping baseline and detection runs entirely — and runs the full
+    /// detect + plan otherwise, caching the result.
+    ///
+    /// # Errors
+    ///
+    /// As [`DebloatSession::detect`] and [`DebloatSession::plan`].
+    pub fn plan_cached(&self, workloads: &[Workload]) -> Result<(Arc<BundlePlan>, bool)> {
+        let normalized: Vec<Workload> =
+            workloads.iter().map(|w| self.normalize(w)).collect::<Result<_>>()?;
+        let key = PlanKey::for_workloads(self.framework, self.gpu, &self.config, &normalized);
+        if let Some(plan) = plan::cache_lookup(&key) {
+            return Ok((plan, true));
+        }
+        let detection = self.detect_normalized(&normalized)?;
+        let plan = Arc::new(self.plan(&detection)?);
+        plan::cache_insert(key, plan.clone());
+        Ok((plan, false))
+    }
+
+    /// Phase 3a — compact every library according to `plan`, fanned out
+    /// per library via `std::thread::scope`. Returns the per-library
+    /// reports and the debloated (not yet verified!) libraries.
+    ///
+    /// # Errors
+    ///
+    /// [`NegativaError::InvalidWorkloadSet`] if the plan does not belong
+    /// to this session's bundle or targets a different GPU (its retain
+    /// ranges would keep the wrong SASS flavors); [`NegativaError::Elf`]
+    /// for plan ranges outside an image (a location bug, never
+    /// data-dependent).
+    pub fn apply(&self, plan: &BundlePlan) -> Result<(Vec<LibraryReport>, Vec<GeneratedLibrary>)> {
+        let libraries = self.bundle.libraries();
+        if plan.framework != self.framework
+            || plan.gpu != self.gpu
+            || plan.retain.len() != libraries.len()
+        {
+            return Err(NegativaError::InvalidWorkloadSet {
+                reason: format!(
+                    "plan for {} on {} ({} libraries) does not match this session's {} bundle \
+                     on {} ({} libraries)",
+                    plan.framework.name(),
+                    plan.gpu,
+                    plan.retain.len(),
+                    self.framework.name(),
+                    self.gpu,
+                    libraries.len()
+                ),
+            });
+        }
+        let compacted =
+            plan::fan_out(libraries, self.parallel, |i, lib| compact(&lib.image, &plan.retain[i]))?;
+        let mut reports = Vec::with_capacity(libraries.len());
+        let mut debloated = Vec::with_capacity(libraries.len());
+        for ((image, outcome), (retain, lib)) in
+            compacted.into_iter().zip(plan.retain.iter().zip(libraries))
+        {
+            reports.push(LibraryReport::new(retain.soname.clone(), retain.stats, outcome));
+            debloated.push(GeneratedLibrary { image, manifest: lib.manifest.clone() });
+        }
+        Ok((reports, debloated))
+    }
+
+    /// Phase 3b — re-run every workload on the debloated libraries and
+    /// require each to reproduce its own baseline checksum from `plan`.
+    /// Outcomes are returned in workload order.
+    ///
+    /// # Errors
+    ///
+    /// [`NegativaError::OverCompaction`] /
+    /// [`NegativaError::ChecksumMismatch`] on the first workload the
+    /// debloated bundle breaks — the compacted libraries must then be
+    /// discarded.
+    pub fn verify_all(
+        &self,
+        workloads: &[Workload],
+        plan: &BundlePlan,
+        debloated: &[GeneratedLibrary],
+    ) -> Result<Vec<RunOutcome>> {
+        if workloads.len() != plan.baselines.len() {
+            return Err(NegativaError::InvalidWorkloadSet {
+                reason: format!(
+                    "{} workloads to verify but the plan holds {} baselines",
+                    workloads.len(),
+                    plan.baselines.len()
+                ),
+            });
+        }
+        let mut outcomes = Vec::with_capacity(workloads.len());
+        for (workload, base) in workloads.iter().zip(&plan.baselines) {
+            let workload = self.normalize(workload)?;
+            outcomes.push(verify_indexed(
+                &workload,
+                debloated,
+                Some(&self.indexes),
+                base.checksum,
+                &self.config,
+            )?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Execute one workload on `libraries` through the session's pinned
+    /// parse-once indexes.
+    fn run(
+        &self,
+        workload: &Workload,
+        libraries: &[GeneratedLibrary],
+        config: &RunConfig,
+    ) -> Result<RunOutcome> {
+        simml::run_workload_indexed(workload, libraries, Some(&self.indexes), config)
+            .map_err(NegativaError::Workload)
     }
 }

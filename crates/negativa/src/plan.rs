@@ -1,0 +1,341 @@
+//! The planning layer — cacheable, reusable compaction work orders.
+//!
+//! Detection produces a [`UsageMap`]; planning turns it into a
+//! [`BundlePlan`]: one [`RetainPlan`] per library (computed by
+//! [`crate::locate()`], fanned out across libraries via
+//! `std::thread::scope`) plus the per-workload baselines the apply stage
+//! verifies against. A plan is pure data — applying it never re-runs
+//! detection — which is what makes it cacheable.
+//!
+//! The process-wide **plan cache** keys plans the way the ROADMAP's
+//! serve-at-scale direction does: by framework, GPU architecture, and a
+//! fingerprint of the workload set (framework, model, operation, GPU,
+//! loading mode, …). A repeated debloat of the same key skips the
+//! baseline and detection runs entirely and goes straight to
+//! compact + verify. [`plan_cache_stats`] exposes hit/miss counters so
+//! cache behavior is observable (and testable).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use fatbin::SmArch;
+use simcuda::GpuModel;
+use simml::namegen::stable_hash;
+use simml::{FrameworkKind, GeneratedLibrary, RunConfig, Workload, WorkloadMetrics};
+
+use crate::detect::UsageMap;
+use crate::locate::{locate, RetainPlan};
+use crate::Result;
+
+/// Cache key of one [`BundlePlan`]: which framework bundle, which GPU
+/// architecture it was located for, a fingerprint of the workload set
+/// whose union usage produced it, and a fingerprint of the execution
+/// configuration the detection runs used (two debloaters with different
+/// cost models or scales must never serve each other's baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Framework whose bundle the plan compacts.
+    pub framework: FrameworkKind,
+    /// GPU architecture the location stage targeted.
+    pub arch: SmArch,
+    /// Order-sensitive fold of [`workload_fingerprint`] over the
+    /// workload set.
+    pub workloads: u64,
+    /// [`config_fingerprint`] of the detection runs' [`RunConfig`].
+    pub config: u64,
+}
+
+impl PlanKey {
+    /// The key for debloating `workloads` (already normalized to the
+    /// debloat target GPU) on `gpu` under `config`.
+    pub fn for_workloads(
+        framework: FrameworkKind,
+        gpu: GpuModel,
+        config: &RunConfig,
+        workloads: &[Workload],
+    ) -> PlanKey {
+        let parts: Vec<String> =
+            workloads.iter().map(|w| workload_fingerprint(w).to_string()).collect();
+        let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+        PlanKey {
+            framework,
+            arch: gpu.arch(),
+            workloads: stable_hash(&refs),
+            config: config_fingerprint(config),
+        }
+    }
+}
+
+/// A stable fingerprint of everything about a [`RunConfig`] that can
+/// change what a run measures or records: sampling, byte scale, the
+/// cost model, and the attached subscribers — shared and per-rank alike
+/// — by name (a different profiler mix yields different timing
+/// baselines). Per-rank specs carry their name explicitly, so no
+/// factory is ever invoked outside a run.
+pub fn config_fingerprint(config: &RunConfig) -> u64 {
+    let subscribers: Vec<&str> = config.subscribers.iter().map(|s| s.name()).collect();
+    let rank_subscribers: Vec<&str> =
+        config.rank_subscribers.iter().map(|spec| spec.name.as_str()).collect();
+    stable_hash(&[
+        &config.sample_steps.to_string(),
+        &config.byte_scale.to_string(),
+        &format!("{:?}", config.cost),
+        &subscribers.join(","),
+        &rank_subscribers.join(","),
+    ])
+}
+
+/// A stable fingerprint of everything about a [`Workload`] that can
+/// change which code runs: framework, model, operation, dataset, batch
+/// geometry, device list, and loading mode.
+pub fn workload_fingerprint(workload: &Workload) -> u64 {
+    let devices: Vec<String> = workload.devices.iter().map(|d| d.to_string()).collect();
+    stable_hash(&[
+        &workload.label(),
+        &format!("{:?}", workload.dataset),
+        &workload.batch_size.to_string(),
+        &workload.epochs.to_string(),
+        &workload.inference_steps.to_string(),
+        &format!("{:?}", workload.load_mode),
+        &devices.join(","),
+    ])
+}
+
+/// What detection measured for one workload on the *original* bundle:
+/// the reference checksum verification must reproduce, plus the metrics
+/// the report compares against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadBaseline {
+    /// Workload label (e.g. `PyTorch/Train/MobileNetV2`).
+    pub label: String,
+    /// Output checksum of the baseline run — the correctness reference.
+    pub checksum: u64,
+    /// Metrics of the baseline run (no profiler attached).
+    pub baseline: WorkloadMetrics,
+    /// Metrics of the detection run (kernel detector attached).
+    pub detection: WorkloadMetrics,
+}
+
+/// The cacheable product of the detection + planning stages for one
+/// bundle: per-library retain plans plus the baselines of every
+/// workload whose usage the plan unions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BundlePlan {
+    /// Framework whose bundle this plan compacts.
+    pub framework: FrameworkKind,
+    /// GPU the plan targets.
+    pub gpu: GpuModel,
+    /// [`UsageMap::fingerprint`] of the union usage the plan was
+    /// located from — its provenance identity. Two plans with equal
+    /// fingerprints (and GPU) retain identical byte sets, which is what
+    /// a serve-at-scale layer can deduplicate on.
+    pub usage_fingerprint: u64,
+    /// One retain plan per library, in bundle order.
+    pub retain: Vec<RetainPlan>,
+    /// Baselines of every contributing workload, in workload order.
+    pub baselines: Vec<WorkloadBaseline>,
+    /// Distinct kernels in the union usage.
+    pub used_kernels: usize,
+    /// Distinct host functions in the union usage.
+    pub used_host_fns: usize,
+}
+
+/// Compute the retain plan of every library in `libraries` under the
+/// union `usage`, targeting `gpu`. With `parallel` set, libraries fan
+/// out one-per-thread via `std::thread::scope`; results are collected
+/// in bundle order either way, so the output — and therefore every
+/// compacted byte downstream — is identical to the serial path.
+///
+/// # Errors
+///
+/// The first [`crate::NegativaError::Elf`] / `Fatbin` parse failure.
+pub fn locate_all(
+    libraries: &[GeneratedLibrary],
+    usage: &UsageMap,
+    gpu: SmArch,
+    parallel: bool,
+) -> Result<Vec<RetainPlan>> {
+    fan_out(libraries, parallel, |_, lib| locate(&lib.image, usage, gpu))
+}
+
+/// Run `f` over `items` — serially, or one thread per item under
+/// `std::thread::scope` — and collect results in item order. The
+/// parallel path is observationally identical to the serial one: same
+/// outputs, same first-error-wins semantics up to which error is
+/// reported when several items fail.
+pub(crate) fn fan_out<T, R, F>(items: &[T], parallel: bool, f: F) -> Result<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R> + Sync,
+{
+    if !parallel || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> =
+            items.iter().enumerate().map(|(i, item)| scope.spawn(move || f(i, item))).collect();
+        handles.into_iter().map(|h| h.join().expect("per-library worker panicked")).collect()
+    })
+}
+
+/// Plan-cache hit/miss counters; see [`plan_cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups that found a cached plan (detection skipped).
+    pub hits: u64,
+    /// Lookups that missed (full detection + planning ran).
+    pub misses: u64,
+}
+
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<PlanKey, Arc<BundlePlan>>> {
+    static CACHE: OnceLock<Mutex<HashMap<PlanKey, Arc<BundlePlan>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Process-wide plan-cache counters (monotonic since process start).
+pub fn plan_cache_stats() -> PlanCacheStats {
+    PlanCacheStats {
+        hits: CACHE_HITS.load(Ordering::Relaxed),
+        misses: CACHE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Look up a cached plan, counting a hit or a miss.
+pub fn cache_lookup(key: &PlanKey) -> Option<Arc<BundlePlan>> {
+    let found = cache().lock().expect("plan cache poisoned").get(key).cloned();
+    match &found {
+        Some(_) => CACHE_HITS.fetch_add(1, Ordering::Relaxed),
+        None => CACHE_MISSES.fetch_add(1, Ordering::Relaxed),
+    };
+    found
+}
+
+/// Insert a freshly computed plan (last writer wins; plans for one key
+/// are identical by construction, detection being deterministic).
+pub fn cache_insert(key: PlanKey, plan: Arc<BundlePlan>) {
+    cache().lock().expect("plan cache poisoned").insert(key, plan);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcuda::LoadMode;
+    use simml::{cached_bundle, ModelKind, Operation};
+
+    fn workload() -> Workload {
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Inference)
+    }
+
+    #[test]
+    fn plan_keys_distinguish_workload_configs() {
+        let config = RunConfig::default();
+        let w = workload();
+        let mut lazy = workload();
+        lazy.load_mode = LoadMode::Lazy;
+        let mut train = workload();
+        train.operation = Operation::Train;
+        let key = |w: &Workload| {
+            PlanKey::for_workloads(
+                FrameworkKind::PyTorch,
+                GpuModel::T4,
+                &config,
+                std::slice::from_ref(w),
+            )
+        };
+        assert_eq!(key(&w), key(&workload()));
+        assert_ne!(key(&w), key(&lazy));
+        assert_ne!(key(&w), key(&train));
+        assert_ne!(
+            key(&w),
+            PlanKey::for_workloads(FrameworkKind::PyTorch, GpuModel::H100, &config, &[workload()]),
+        );
+    }
+
+    #[test]
+    fn plan_keys_distinguish_run_configs() {
+        let w = [workload()];
+        let default = RunConfig::default();
+        let mut more_samples = RunConfig::default();
+        more_samples.sample_steps += 3;
+        let mut rescaled = RunConfig::default();
+        rescaled.byte_scale *= 2;
+        let key =
+            |c: &RunConfig| PlanKey::for_workloads(FrameworkKind::PyTorch, GpuModel::T4, c, &w);
+        assert_eq!(key(&default), key(&RunConfig::default()));
+        assert_ne!(key(&default), key(&more_samples), "sampling changes baselines");
+        assert_ne!(key(&default), key(&rescaled), "byte scale changes every measurement");
+    }
+
+    #[test]
+    fn fan_out_matches_serial_and_keeps_order() {
+        let items: Vec<u64> = (0..17).collect();
+        let serial = fan_out(&items, false, |i, v| Ok(i as u64 * 1000 + v)).unwrap();
+        let parallel = fan_out(&items, true, |i, v| Ok(i as u64 * 1000 + v)).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[3], 3003);
+    }
+
+    #[test]
+    fn fan_out_propagates_errors() {
+        let items = vec![1u64, 2, 3];
+        for parallel in [false, true] {
+            let err = fan_out(&items, parallel, |_, v| {
+                if *v == 2 {
+                    Err(crate::NegativaError::EmptyDevices { workload: "w".into() })
+                } else {
+                    Ok(*v)
+                }
+            })
+            .unwrap_err();
+            assert!(matches!(err, crate::NegativaError::EmptyDevices { .. }));
+        }
+    }
+
+    #[test]
+    fn locate_all_parallel_equals_serial() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let mut usage = UsageMap::new();
+        // A tiny synthetic usage map: enough to make plans non-trivial.
+        for lib in bundle.libraries() {
+            for f in lib.manifest.infra_fns.iter().take(2) {
+                usage.record_host_fn(&lib.manifest.soname, f);
+            }
+        }
+        let serial = locate_all(bundle.libraries(), &usage, SmArch::SM75, false).unwrap();
+        let parallel = locate_all(bundle.libraries(), &usage, SmArch::SM75, true).unwrap();
+        assert_eq!(serial, parallel, "fan-out must not change any plan byte");
+    }
+
+    #[test]
+    fn cache_round_trips_and_counts() {
+        let key = PlanKey {
+            framework: FrameworkKind::PyTorch,
+            arch: SmArch::SM75,
+            workloads: 0xdead_beef_0001,
+            config: 0,
+        };
+        let before = plan_cache_stats();
+        assert!(cache_lookup(&key).is_none());
+        let plan = Arc::new(BundlePlan {
+            framework: FrameworkKind::PyTorch,
+            gpu: GpuModel::T4,
+            usage_fingerprint: 1,
+            retain: Vec::new(),
+            baselines: Vec::new(),
+            used_kernels: 0,
+            used_host_fns: 0,
+        });
+        cache_insert(key, plan.clone());
+        let found = cache_lookup(&key).expect("inserted plan must be found");
+        assert!(Arc::ptr_eq(&found, &plan));
+        let after = plan_cache_stats();
+        assert!(after.hits > before.hits);
+        assert!(after.misses > before.misses);
+    }
+}

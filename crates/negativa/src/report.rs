@@ -9,6 +9,7 @@
 //! percentage is scale-invariant.
 
 use simcuda::GpuModel;
+use simml::scale::real_bytes_to_paper_mb;
 use simml::WorkloadMetrics;
 
 use crate::compact::CompactionOutcome;
@@ -20,6 +21,30 @@ fn reduction_pct(before: u64, after: u64) -> f64 {
     } else {
         (before as f64 - after as f64) * 100.0 / before as f64
     }
+}
+
+/// Format a before/after pair as paper-scale MB plus the reduction, the
+/// way the paper's Table 2 rows read: `841.6 -> 334.1 MB (-60.3%)`.
+fn mb_line(before: u64, after: u64) -> String {
+    format!(
+        "{:.1} -> {:.1} MB (-{:.1}%)",
+        real_bytes_to_paper_mb(before),
+        real_bytes_to_paper_mb(after),
+        reduction_pct(before, after),
+    )
+}
+
+fn sum_library_totals(libraries: &[LibraryReport]) -> Totals {
+    let mut t = Totals::default();
+    for lib in libraries {
+        t.file_before += lib.file_before;
+        t.file_after += lib.file_after;
+        t.host_before += lib.host_before;
+        t.host_after += lib.host_after;
+        t.device_before += lib.device_before;
+        t.device_after += lib.device_after;
+    }
+    t
 }
 
 /// Before/after sizes of one debloated library.
@@ -139,21 +164,16 @@ pub struct DebloatReport {
     pub used_host_fns: usize,
     /// The verified output checksum (identical before and after).
     pub checksum: u64,
+    /// True if the retain plan came from the process-wide plan cache —
+    /// the baseline and detection runs were skipped and their metrics
+    /// here are the cached originals.
+    pub plan_cache_hit: bool,
 }
 
 impl DebloatReport {
     /// Sum the per-library sizes.
     pub fn totals(&self) -> Totals {
-        let mut t = Totals::default();
-        for lib in &self.libraries {
-            t.file_before += lib.file_before;
-            t.file_after += lib.file_after;
-            t.host_before += lib.host_before;
-            t.host_after += lib.host_after;
-            t.device_before += lib.device_before;
-            t.device_after += lib.device_after;
-        }
-        t
+        sum_library_totals(&self.libraries)
     }
 
     /// Execution-time reduction of the debloated bundle vs baseline, in
@@ -183,39 +203,136 @@ impl DebloatReport {
             / self.baseline.elapsed_ns as f64
     }
 
-    /// A human-readable multi-line summary (paper-table flavored).
+    /// A human-readable multi-line summary (paper-table flavored):
+    /// absolute sizes at paper scale (via
+    /// [`simml::scale::real_bytes_to_paper_mb`]) alongside every
+    /// percentage, plus the debloated run's load/steady time split.
     pub fn summary(&self) -> String {
         let t = self.totals();
         let mut out = String::new();
         out.push_str(&format!(
-            "Debloat {} on {} — file -{:.1}%, host -{:.1}%, device -{:.1}%\n",
+            "Debloat {} on {} — file {}, host {}, device {}\n",
             self.workload,
             self.gpu,
-            t.file_reduction_pct(),
-            t.host_reduction_pct(),
-            t.device_reduction_pct(),
+            mb_line(t.file_before, t.file_after),
+            mb_line(t.host_before, t.host_after),
+            mb_line(t.device_before, t.device_after),
         ));
+        let (load_ns, steady_ns) = self.debloated.load_time_split_ns();
         out.push_str(&format!(
-            "  used: {} kernels, {} host fns; time -{:.1}%, host mem -{:.1}%, GPU mem -{:.1}%, \
-             detector overhead +{:.1}%\n",
+            "  used: {} kernels, {} host fns; time -{:.1}% (load/steady {:.2}/{:.2} ms), \
+             host mem -{:.1}%, GPU mem -{:.1}%, detector overhead +{:.1}%\n",
             self.used_kernels,
             self.used_host_fns,
             self.time_reduction_pct(),
+            load_ns as f64 / 1e6,
+            steady_ns as f64 / 1e6,
             self.host_memory_reduction_pct(),
             self.device_memory_reduction_pct(),
             self.detection_overhead_pct(),
         ));
         for lib in &self.libraries {
             out.push_str(&format!(
-                "  {:<32} file -{:>5.1}%  host -{:>5.1}%  device -{:>5.1}%  fns {}/{}  elems {}/{}\n",
+                "  {:<32} file {}  host -{:>5.1}%  device -{:>5.1}%  fns {}/{}  elems {}/{}\n",
                 lib.soname,
-                lib.file_reduction_pct(),
+                mb_line(lib.file_before, lib.file_after),
                 lib.host_reduction_pct(),
                 lib.device_reduction_pct(),
                 lib.used_functions,
                 lib.total_functions,
                 lib.kept_elements,
                 lib.total_elements,
+            ));
+        }
+        out
+    }
+}
+
+/// Verification record of one workload in a multi-workload debloat: the
+/// baseline reference checksum next to what the debloated bundle
+/// actually produced, plus the three measured runs' metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadVerification {
+    /// Workload label.
+    pub label: String,
+    /// Output checksum of the original bundle (the reference).
+    pub baseline_checksum: u64,
+    /// Output checksum of the verification run on the debloated bundle.
+    pub verified_checksum: u64,
+    /// Metrics of the baseline run.
+    pub baseline: WorkloadMetrics,
+    /// Metrics of the detection run.
+    pub detection: WorkloadMetrics,
+    /// Metrics of the verification run on the debloated bundle.
+    pub debloated: WorkloadMetrics,
+}
+
+impl WorkloadVerification {
+    /// True if the debloated bundle reproduced this workload's baseline
+    /// output bit-for-bit.
+    pub fn verified(&self) -> bool {
+        self.baseline_checksum == self.verified_checksum
+    }
+}
+
+/// The result of debloating one shared bundle against the *union* usage
+/// of several workloads ([`crate::Debloater::debloat_many`]): one set of
+/// per-library outcomes, one verification record per workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiDebloatReport {
+    /// GPU the debloat targeted.
+    pub gpu: GpuModel,
+    /// Per-library outcomes of the single shared compaction.
+    pub libraries: Vec<LibraryReport>,
+    /// Per-workload verification records, in input order.
+    pub workloads: Vec<WorkloadVerification>,
+    /// Distinct kernels in the union usage.
+    pub used_kernels: usize,
+    /// Distinct host functions in the union usage.
+    pub used_host_fns: usize,
+    /// True if the union retain plan came from the plan cache.
+    pub plan_cache_hit: bool,
+}
+
+impl MultiDebloatReport {
+    /// Sum the per-library sizes.
+    pub fn totals(&self) -> Totals {
+        sum_library_totals(&self.libraries)
+    }
+
+    /// True if every workload's verification checksum matches its
+    /// baseline. Always true for reports the debloater returns —
+    /// verification errors abort the pipeline — but recorded per
+    /// workload so callers can audit the guarantee.
+    pub fn all_verified(&self) -> bool {
+        self.workloads.iter().all(WorkloadVerification::verified)
+    }
+
+    /// A human-readable multi-line summary: bundle totals once, then one
+    /// verification line per workload.
+    pub fn summary(&self) -> String {
+        let t = self.totals();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Debloat {} workloads (shared bundle) on {} — file {}, host {}, device {}\n",
+            self.workloads.len(),
+            self.gpu,
+            mb_line(t.file_before, t.file_after),
+            mb_line(t.host_before, t.host_after),
+            mb_line(t.device_before, t.device_after),
+        ));
+        out.push_str(&format!(
+            "  union usage: {} kernels, {} host fns{}\n",
+            self.used_kernels,
+            self.used_host_fns,
+            if self.plan_cache_hit { " (plan cache hit)" } else { "" },
+        ));
+        for w in &self.workloads {
+            out.push_str(&format!(
+                "  {:<40} checksum {:#018x} {} baseline\n",
+                w.label,
+                w.verified_checksum,
+                if w.verified() { "==" } else { "!=" },
             ));
         }
         out
@@ -265,6 +382,7 @@ mod tests {
             used_kernels: 12,
             used_host_fns: 34,
             checksum: 0xfeed,
+            plan_cache_hit: false,
         }
     }
 
@@ -300,5 +418,63 @@ mod tests {
         assert!(s.contains("PyTorch/Train/MobileNetV2"));
         assert!(s.contains("T4"));
         assert!(s.contains("lib.so"));
+        assert!(s.contains("load/steady"));
+    }
+
+    #[test]
+    fn summary_pins_paper_scale_mb() {
+        // 8192 real bytes × BYTE_SCALE (128) = exactly 1.0 paper MB, so
+        // this pins a Table-2-style line end to end.
+        let mut r = report();
+        r.libraries = vec![lib((8192, 4096), (4096, 1024), (8192, 0))];
+        let s = r.summary();
+        assert!(s.contains("file 1.0 -> 0.5 MB (-50.0%)"), "{s}");
+        assert!(s.contains("host 0.5 -> 0.1 MB (-75.0%)"), "{s}");
+        assert!(s.contains("device 1.0 -> 0.0 MB (-100.0%)"), "{s}");
+    }
+
+    fn multi_report() -> MultiDebloatReport {
+        MultiDebloatReport {
+            gpu: GpuModel::T4,
+            libraries: vec![lib((1000, 400), (500, 100), (400, 200))],
+            workloads: vec![
+                WorkloadVerification {
+                    label: "PyTorch/Train/MobileNetV2".into(),
+                    baseline_checksum: 0xaa,
+                    verified_checksum: 0xaa,
+                    baseline: metrics(1000, 800, 600),
+                    detection: metrics(1410, 800, 600),
+                    debloated: metrics(700, 400, 300),
+                },
+                WorkloadVerification {
+                    label: "PyTorch/Inference/MobileNetV2".into(),
+                    baseline_checksum: 0xbb,
+                    verified_checksum: 0xbb,
+                    baseline: metrics(500, 400, 300),
+                    detection: metrics(700, 400, 300),
+                    debloated: metrics(350, 200, 150),
+                },
+            ],
+            used_kernels: 20,
+            used_host_fns: 40,
+            plan_cache_hit: true,
+        }
+    }
+
+    #[test]
+    fn multi_report_tracks_per_workload_checksums() {
+        let r = multi_report();
+        assert!(r.all_verified());
+        assert_eq!(r.totals().file_before, 1000);
+        let s = r.summary();
+        assert!(s.contains("2 workloads"), "{s}");
+        assert!(s.contains("plan cache hit"), "{s}");
+        assert!(s.contains("PyTorch/Inference/MobileNetV2"), "{s}");
+        assert!(s.contains("=="), "{s}");
+
+        let mut broken = r.clone();
+        broken.workloads[1].verified_checksum = 0xcc;
+        assert!(!broken.all_verified());
+        assert!(broken.summary().contains("!="));
     }
 }

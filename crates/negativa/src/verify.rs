@@ -15,7 +15,8 @@
 //! paper's correctness guarantee that debloating preserved workload
 //! behavior.
 
-use simml::{run_workload, GeneratedLibrary, RunConfig, RunOutcome, SimmlError, Workload};
+use simelf::ElfIndex;
+use simml::{run_workload_indexed, GeneratedLibrary, RunConfig, RunOutcome, SimmlError, Workload};
 
 use crate::error::NegativaError;
 use crate::Result;
@@ -36,13 +37,32 @@ pub fn verify(
     expected_checksum: u64,
     config: &RunConfig,
 ) -> Result<RunOutcome> {
-    let outcome = run_workload(workload, debloated, config).map_err(|e| match e {
-        SimmlError::Cuda(
-            source @ (simcuda::CudaError::FunctionFault { .. }
-            | simcuda::CudaError::KernelNotFound { .. }),
-        ) => NegativaError::OverCompaction { source },
-        other => NegativaError::Workload(other),
-    })?;
+    verify_indexed(workload, debloated, None, expected_checksum, config)
+}
+
+/// Like [`verify`], opening each library through a pre-built
+/// [`ElfIndex`]. Indexes built from the *original* bundle remain valid
+/// here: compaction zeroes in place and never moves offsets, so the
+/// session's parse-once views serve the verification open too.
+///
+/// # Errors
+///
+/// As [`verify`].
+pub fn verify_indexed(
+    workload: &Workload,
+    debloated: &[GeneratedLibrary],
+    indexes: Option<&[ElfIndex]>,
+    expected_checksum: u64,
+    config: &RunConfig,
+) -> Result<RunOutcome> {
+    let outcome =
+        run_workload_indexed(workload, debloated, indexes, config).map_err(|e| match e {
+            SimmlError::Cuda(
+                source @ (simcuda::CudaError::FunctionFault { .. }
+                | simcuda::CudaError::KernelNotFound { .. }),
+            ) => NegativaError::OverCompaction { source },
+            other => NegativaError::Workload(other),
+        })?;
     if outcome.checksum != expected_checksum {
         return Err(NegativaError::ChecksumMismatch {
             workload: workload.label(),
@@ -57,7 +77,7 @@ pub fn verify(
 mod tests {
     use super::*;
     use fatbin::extract_from_elf;
-    use simml::{cached_bundle, FrameworkKind, ModelKind, Operation};
+    use simml::{cached_bundle, run_workload, FrameworkKind, ModelKind, Operation};
 
     fn workload() -> Workload {
         Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Inference)
@@ -71,6 +91,20 @@ mod tests {
         let baseline = run_workload(&w, bundle.libraries(), &config).unwrap();
         let verified = verify(&w, bundle.libraries(), baseline.checksum, &config).unwrap();
         assert_eq!(verified.checksum, baseline.checksum);
+    }
+
+    #[test]
+    fn indexed_verification_matches_plain() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let indexes = simml::cached_indexes(FrameworkKind::PyTorch);
+        let w = workload();
+        let config = RunConfig::default();
+        let baseline = run_workload(&w, bundle.libraries(), &config).unwrap();
+        let plain = verify(&w, bundle.libraries(), baseline.checksum, &config).unwrap();
+        let indexed =
+            verify_indexed(&w, bundle.libraries(), Some(&indexes), baseline.checksum, &config)
+                .unwrap();
+        assert_eq!(plain, indexed);
     }
 
     #[test]

@@ -1,14 +1,23 @@
-//! End-to-end pipeline tests on the paper's Table 1 matrix corner:
-//! PyTorch × MobileNetV2 × {Train, Inference} on a T4 — the acceptance
-//! gate the façade doctest also exercises.
+//! End-to-end pipeline tests across the paper's Table 1 matrix: the
+//! PyTorch × MobileNetV2 corner in depth (the acceptance gate the façade
+//! doctest also exercises), plus TensorFlow and vLLM / Transformers
+//! bundles on their paper workloads.
 
 use negativa_ml::Debloater;
 use simcuda::GpuModel;
 use simml::{FrameworkKind, ModelKind, Operation, Workload};
 
-fn debloat(operation: Operation) -> negativa_ml::DebloatReport {
-    let workload = Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, operation);
+fn debloat_workload(
+    framework: FrameworkKind,
+    model: ModelKind,
+    operation: Operation,
+) -> negativa_ml::DebloatReport {
+    let workload = Workload::paper(framework, model, operation);
     Debloater::new(GpuModel::T4).debloat(&workload).expect("pipeline must verify clean")
+}
+
+fn debloat(operation: Operation) -> negativa_ml::DebloatReport {
+    debloat_workload(FrameworkKind::PyTorch, ModelKind::MobileNetV2, operation)
 }
 
 /// (a) identical output checksum before/after compaction — `debloat`
@@ -71,6 +80,35 @@ fn pytorch_mobilenet_inference_debloats_clean() {
     let report = debloat(Operation::Inference);
     assert_paper_properties(&report);
     assert!(report.totals().file_reduction_pct() > 30.0);
+}
+
+#[test]
+fn tensorflow_mobilenet_train_debloats_clean() {
+    let report =
+        debloat_workload(FrameworkKind::TensorFlow, ModelKind::MobileNetV2, Operation::Train);
+    assert_paper_properties(&report);
+    assert!(report.totals().file_reduction_pct() > 30.0);
+}
+
+#[test]
+fn tensorflow_transformer_inference_debloats_clean() {
+    let report =
+        debloat_workload(FrameworkKind::TensorFlow, ModelKind::Transformer, Operation::Inference);
+    assert_paper_properties(&report);
+}
+
+#[test]
+fn vllm_llama2_inference_debloats_clean() {
+    let report = debloat_workload(FrameworkKind::Vllm, ModelKind::Llama2, Operation::Inference);
+    assert_paper_properties(&report);
+    assert!(report.totals().file_reduction_pct() > 30.0);
+}
+
+#[test]
+fn transformers_llama2_inference_debloats_clean() {
+    let report =
+        debloat_workload(FrameworkKind::Transformers, ModelKind::Llama2, Operation::Inference);
+    assert_paper_properties(&report);
 }
 
 #[test]

@@ -15,8 +15,10 @@
 //!   and memory/time accounting ([`simcuda`]).
 //! * [`ml`] — synthetic ML frameworks, models and workload executors
 //!   ([`simml`]).
-//! * [`negativa`] — the paper's contribution: detection, location,
-//!   compaction, verification and analysis ([`negativa_ml`]).
+//! * [`negativa`] — the paper's contribution, structured as
+//!   **detect → plan → apply** sessions: detection produces a usage
+//!   map, planning turns it into a cacheable per-library retain plan,
+//!   application compacts and verifies ([`negativa_ml`]).
 //!
 //! # Quickstart
 //!
@@ -32,6 +34,31 @@
 //!                                Operation::Train);
 //! let report = Debloater::new(GpuModel::T4).debloat(&workload)?;
 //! assert!(report.totals().file_reduction_pct() > 30.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Shared-bundle debloat
+//!
+//! One framework installation usually serves many jobs. `debloat_many`
+//! detects usage per workload (and per GPU rank), unions it, compacts
+//! the bundle **once**, and verifies the result against *every*
+//! workload's own baseline checksum:
+//!
+//! ```
+//! use negativa_repro::ml::{FrameworkKind, ModelKind, Operation, Workload};
+//! use negativa_repro::cuda::GpuModel;
+//! use negativa_repro::negativa::Debloater;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let train = Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2,
+//!                             Operation::Train);
+//! let infer = Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2,
+//!                             Operation::Inference);
+//! let report = Debloater::new(GpuModel::T4).debloat_many(&[train, infer])?;
+//! assert!(report.all_verified());
+//! assert_eq!(report.workloads.len(), 2);
+//! assert!(report.totals().file_reduction_pct() > 0.0);
 //! # Ok(())
 //! # }
 //! ```
