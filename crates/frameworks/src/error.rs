@@ -24,6 +24,19 @@ pub enum SimmlError {
         /// Human-readable description.
         reason: String,
     },
+    /// A distributed run's ranks disagreed on the output checksum.
+    /// Rank 0's checksum is the reference; `rank` is the first rank
+    /// that diverged from it. This is an execution-integrity failure,
+    /// distinct from [`SimmlError::Generation`] (which is about
+    /// building libraries, not running them).
+    RankDivergence {
+        /// First rank whose checksum differs from rank 0's.
+        rank: usize,
+        /// Rank 0's checksum (the reference).
+        expected: u64,
+        /// The diverging rank's checksum.
+        actual: u64,
+    },
     /// The simulated runtime failed (kernel/function missing, OOM, ...).
     Cuda(simcuda::CudaError),
 }
@@ -39,6 +52,11 @@ impl fmt::Display for SimmlError {
             }
             SimmlError::Generation { reason } => write!(f, "generation failed: {reason}"),
             SimmlError::InvalidWorkload { reason } => write!(f, "invalid workload: {reason}"),
+            SimmlError::RankDivergence { rank, expected, actual } => write!(
+                f,
+                "distributed ranks diverged: rank {rank} produced checksum {actual:#018x}, \
+                 rank 0 produced {expected:#018x}"
+            ),
             SimmlError::Cuda(e) => write!(f, "runtime error: {e}"),
         }
     }
@@ -67,6 +85,16 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimmlError>();
+    }
+
+    #[test]
+    fn rank_divergence_names_the_rank_and_checksums() {
+        let e = SimmlError::RankDivergence { rank: 3, expected: 0xab, actual: 0xcd };
+        let msg = e.to_string();
+        assert!(msg.contains("rank 3"), "{msg}");
+        assert!(msg.contains("0x00000000000000ab"), "{msg}");
+        assert!(msg.contains("0x00000000000000cd"), "{msg}");
+        assert!(!msg.contains("generation failed"), "divergence is not a generation error: {msg}");
     }
 
     #[test]

@@ -196,9 +196,12 @@ pub fn run_workload_indexed(
         outcomes.push(r?);
     }
     let checksum = outcomes[0].checksum;
-    if outcomes.iter().any(|o| o.checksum != checksum) {
-        return Err(SimmlError::Generation {
-            reason: "distributed ranks diverged: per-rank checksums differ".into(),
+    if let Some((rank, outcome)) = outcomes.iter().enumerate().find(|(_, o)| o.checksum != checksum)
+    {
+        return Err(SimmlError::RankDivergence {
+            rank,
+            expected: checksum,
+            actual: outcome.checksum,
         });
     }
     let metrics = WorkloadMetrics::merge_ranks(
@@ -306,9 +309,14 @@ fn run_rank(
         }
         mix(&mut checksum, this_step);
     }
-    let per_step_ns = (sim.elapsed_ns() - sampling_started) / sample_steps;
+    // Remainder-exact fast-forward: advancing by the *truncated*
+    // per-step average would drift up to `sample_steps - 1` ns behind a
+    // fully executed run for every remaining step.
+    let measured_total = sim.elapsed_ns() - sampling_started;
     let remaining = total_steps - sample_steps;
-    sim.advance_clock(per_step_ns * remaining);
+    let skipped_ns =
+        (u128::from(measured_total) * u128::from(remaining) / u128::from(sample_steps)) as u64;
+    sim.advance_clock(skipped_ns);
     for _ in 0..remaining {
         mix(&mut checksum, step_digest);
     }
@@ -415,6 +423,33 @@ mod tests {
         assert_eq!(
             a.metrics.get_function_calls, b.metrics.get_function_calls,
             "get_function fires once per kernel, not per step"
+        );
+    }
+
+    #[test]
+    fn fast_forward_clock_matches_full_execution() {
+        let bundle = cached_bundle(FrameworkKind::PyTorch);
+        let mut w = mobilenet_infer();
+        w.inference_steps = 64;
+        // 3 does not divide the 61 fast-forwarded steps' cost evenly, so
+        // truncating per-step division would fall behind the fully
+        // executed clock here.
+        let sampled = run_workload(
+            &w,
+            bundle.libraries(),
+            &RunConfig { sample_steps: 3, ..RunConfig::default() },
+        )
+        .unwrap();
+        let full = run_workload(
+            &w,
+            bundle.libraries(),
+            &RunConfig { sample_steps: 64, ..RunConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(sampled.checksum, full.checksum, "fast-forward must not change output");
+        assert_eq!(
+            sampled.metrics.elapsed_ns, full.metrics.elapsed_ns,
+            "fast-forwarded clock must match full execution exactly"
         );
     }
 

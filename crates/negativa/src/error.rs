@@ -41,6 +41,9 @@ pub enum NegativaError {
         /// What is wrong with the set.
         reason: String,
     },
+    /// The [`crate::service::DebloatService`] shut down before this
+    /// request completed (queue closed or response channel dropped).
+    ServiceStopped,
 }
 
 impl fmt::Display for NegativaError {
@@ -62,6 +65,9 @@ impl fmt::Display for NegativaError {
             }
             NegativaError::InvalidWorkloadSet { reason } => {
                 write!(f, "invalid workload set: {reason}")
+            }
+            NegativaError::ServiceStopped => {
+                write!(f, "debloat service stopped before the request completed")
             }
         }
     }

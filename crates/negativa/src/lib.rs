@@ -22,13 +22,15 @@
 //!    multiple workloads sharing the bundle union the same way.
 //! 2. **Plan** ([`DebloatSession::plan`], module [`plan`]) — map the
 //!    union usage to byte ranges ([`locate()`]) per library, fanned out
-//!    one thread per library via `std::thread::scope`, producing a
-//!    cacheable [`BundlePlan`]: per-library [`RetainPlan`]s keyed by
-//!    framework, GPU architecture, and a usage fingerprint, alongside
-//!    each workload's baseline checksum and metrics. A process-wide
-//!    **plan cache** ([`plan::plan_cache_stats`]) lets a repeated
-//!    debloat of the same (framework, model, operation, GPU) skip
-//!    detection entirely.
+//!    through a bounded [`WorkerPool`] shared across every in-flight
+//!    debloat (module [`pool`]), producing a cacheable [`BundlePlan`]:
+//!    per-library [`RetainPlan`]s keyed by framework, GPU architecture,
+//!    and a usage fingerprint, alongside each workload's baseline
+//!    checksum and metrics. Plans live in a capacity-bounded LRU
+//!    [`PlanCache`] with **single-flight** miss handling — concurrent
+//!    requests for one key run one detection between them — so a
+//!    repeated debloat of the same (framework, model, operation, GPU)
+//!    skips detection entirely.
 //! 3. **Apply** ([`DebloatSession::apply`] + [`DebloatSession::verify_all`],
 //!    modules [`mod@compact`] / [`mod@verify`]) — zero the planned ranges in
 //!    place (offsets never move; the debloated library is a drop-in
@@ -40,6 +42,19 @@
 //! [`Debloater::debloat_many`] for several workloads sharing one bundle
 //! (the paper's deployment scenario: one framework installation serving
 //! many jobs — compact once, against the union of everything observed).
+//!
+//! ## The service layer
+//!
+//! On top of the sessions sits [`service::DebloatService`]: a
+//! long-lived, multi-framework front end that accepts
+//! [`service::DebloatRequest`]s over an `std::sync::mpsc` queue from
+//! any number of client threads, owns one [`DebloatSession`] per
+//! framework, deduplicates concurrent planning through its own
+//! [`PlanCache`] (single-flight), bounds per-library work with a shared
+//! [`WorkerPool`], and answers each request on its own response channel
+//! with a verified [`MultiDebloatReport`] plus the compacted libraries.
+//! This is the ROADMAP's serve-at-scale direction: debloating as a
+//! resident operational service, not a one-shot tool.
 //!
 //! ```
 //! use negativa_ml::Debloater;
@@ -74,32 +89,70 @@ pub mod detect;
 mod error;
 pub mod locate;
 pub mod plan;
+pub mod pool;
 pub mod report;
+pub mod service;
 pub mod verify;
 
 pub use compact::{compact, CompactionOutcome};
 pub use detect::{KernelDetector, UsageMap};
 pub use error::NegativaError;
 pub use locate::{locate, LocateStats, RetainPlan};
-pub use plan::{BundlePlan, PlanCacheStats, PlanKey, WorkloadBaseline};
+pub use plan::{BundlePlan, PlanCache, PlanCacheStats, PlanKey, WorkloadBaseline};
+pub use pool::{Parallelism, PoolStats, WorkerPool};
 pub use report::{DebloatReport, LibraryReport, MultiDebloatReport, Totals, WorkloadVerification};
+pub use service::{DebloatRequest, DebloatResponse, DebloatService, ServiceHandle, Ticket};
 pub use verify::{verify, verify_indexed};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, NegativaError>;
+
+/// Validate that `workloads` is non-empty and single-framework, and
+/// return that shared framework — the precondition for every
+/// shared-bundle debloat (`debloat_many`, service requests).
+///
+/// # Errors
+///
+/// [`NegativaError::InvalidWorkloadSet`] for an empty set or one mixing
+/// frameworks.
+pub fn shared_framework(workloads: &[Workload]) -> Result<FrameworkKind> {
+    let Some(first) = workloads.first() else {
+        return Err(NegativaError::InvalidWorkloadSet {
+            reason: "debloat_many needs at least one workload".into(),
+        });
+    };
+    let framework = first.framework;
+    if let Some(stray) = workloads.iter().find(|w| w.framework != framework) {
+        return Err(NegativaError::InvalidWorkloadSet {
+            reason: format!(
+                "workloads mix frameworks ({} vs {}); they cannot share a bundle",
+                framework.name(),
+                stray.framework.name()
+            ),
+        });
+    }
+    Ok(framework)
+}
 
 /// The end-to-end debloat pipeline for one GPU model.
 #[derive(Debug, Clone)]
 pub struct Debloater {
     gpu: GpuModel,
     config: RunConfig,
-    parallel: bool,
+    parallelism: Parallelism,
+    cache: Arc<PlanCache>,
 }
 
 impl Debloater {
-    /// A debloater targeting `gpu` with default execution settings.
+    /// A debloater targeting `gpu` with default execution settings: the
+    /// process-wide shared [`WorkerPool`] and [`PlanCache`].
     pub fn new(gpu: GpuModel) -> Debloater {
-        Debloater { gpu, config: RunConfig::default(), parallel: true }
+        Debloater {
+            gpu,
+            config: RunConfig::default(),
+            parallelism: Parallelism::shared(),
+            cache: plan::process_cache(),
+        }
     }
 
     /// Override the execution settings (scale, cost model, sampling).
@@ -108,14 +161,30 @@ impl Debloater {
     /// verification; the kernel detector is added on top (one per rank)
     /// for detection runs.
     pub fn with_config(gpu: GpuModel, config: RunConfig) -> Debloater {
-        Debloater { gpu, config, parallel: true }
+        Debloater { gpu, config, parallelism: Parallelism::shared(), cache: plan::process_cache() }
     }
 
-    /// Toggle the per-library locate/compact thread fan-out (on by
-    /// default). The serial path produces byte-identical results; turn
-    /// it off to debug or to pin work to one core.
+    /// Toggle the per-library locate/compact fan-out (on by default,
+    /// through the process-wide shared [`WorkerPool`]). The serial path
+    /// produces byte-identical results; turn it off to debug or to pin
+    /// work to one core.
     pub fn with_parallelism(mut self, parallel: bool) -> Debloater {
-        self.parallel = parallel;
+        self.parallelism = if parallel { Parallelism::shared() } else { Parallelism::Serial };
+        self
+    }
+
+    /// Fan per-library work out through `pool` instead of the
+    /// process-wide shared one — e.g. a service's private pool with an
+    /// explicit bound.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Debloater {
+        self.parallelism = Parallelism::Pool(pool);
+        self
+    }
+
+    /// Use `cache` for plans instead of the process-wide default — e.g.
+    /// a service's own capacity-bounded instance.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Debloater {
+        self.cache = cache;
         self
     }
 
@@ -127,12 +196,13 @@ impl Debloater {
     /// Open a session against `framework`'s bundle: pins the bundle
     /// handle and its parse-once ELF indexes, exposing the detect /
     /// plan / apply phases individually for callers that want to
-    /// compose them (e.g. a long-lived debloat service).
+    /// compose them (e.g. the long-lived [`service::DebloatService`]).
     pub fn session(&self, framework: FrameworkKind) -> DebloatSession {
         DebloatSession {
             gpu: self.gpu,
             config: self.config.clone(),
-            parallel: self.parallel,
+            parallelism: self.parallelism.clone(),
+            cache: self.cache.clone(),
             framework,
             bundle: cached_bundle(framework),
             indexes: cached_indexes(framework),
@@ -200,47 +270,8 @@ impl Debloater {
         &self,
         workloads: &[Workload],
     ) -> Result<(MultiDebloatReport, Vec<GeneratedLibrary>)> {
-        let Some(first) = workloads.first() else {
-            return Err(NegativaError::InvalidWorkloadSet {
-                reason: "debloat_many needs at least one workload".into(),
-            });
-        };
-        let framework = first.framework;
-        if let Some(stray) = workloads.iter().find(|w| w.framework != framework) {
-            return Err(NegativaError::InvalidWorkloadSet {
-                reason: format!(
-                    "workloads mix frameworks ({} vs {}); they cannot share a bundle",
-                    framework.name(),
-                    stray.framework.name()
-                ),
-            });
-        }
-        let session = self.session(framework);
-        let (plan, cache_hit) = session.plan_cached(workloads)?;
-        let (libraries, debloated) = session.apply(&plan)?;
-        let outcomes = session.verify_all(workloads, &plan, &debloated)?;
-        let per_workload = plan
-            .baselines
-            .iter()
-            .zip(&outcomes)
-            .map(|(base, outcome)| WorkloadVerification {
-                label: base.label.clone(),
-                baseline_checksum: base.checksum,
-                verified_checksum: outcome.checksum,
-                baseline: base.baseline.clone(),
-                detection: base.detection.clone(),
-                debloated: outcome.metrics.clone(),
-            })
-            .collect();
-        let report = MultiDebloatReport {
-            gpu: self.gpu,
-            libraries,
-            workloads: per_workload,
-            used_kernels: plan.used_kernels,
-            used_host_fns: plan.used_host_fns,
-            plan_cache_hit: cache_hit,
-        };
-        Ok((report, debloated))
+        let framework = shared_framework(workloads)?;
+        self.session(framework).debloat_many_full(workloads)
     }
 }
 
@@ -264,7 +295,8 @@ pub struct Detection {
 pub struct DebloatSession {
     gpu: GpuModel,
     config: RunConfig,
-    parallel: bool,
+    parallelism: Parallelism,
+    cache: Arc<PlanCache>,
     framework: FrameworkKind,
     bundle: BundleHandle,
     indexes: Arc<Vec<ElfIndex>>,
@@ -365,8 +397,8 @@ impl DebloatSession {
 
     /// Phase 2 — turn a detection result into a cacheable
     /// [`BundlePlan`]: locate every library under the union usage,
-    /// fanned out per library via `std::thread::scope` (byte-identical
-    /// to the serial path).
+    /// fanned out per library through the session's bounded
+    /// [`WorkerPool`] (byte-identical to the serial path).
     ///
     /// # Errors
     ///
@@ -377,7 +409,7 @@ impl DebloatSession {
             self.bundle.libraries(),
             &detection.usage,
             self.gpu.arch(),
-            self.parallel,
+            &self.parallelism,
         )?;
         Ok(BundlePlan {
             framework: self.framework,
@@ -390,10 +422,12 @@ impl DebloatSession {
         })
     }
 
-    /// Phases 1+2 with the process-wide plan cache in front: returns
+    /// Phases 1+2 with the session's [`PlanCache`] in front: returns
     /// `(plan, true)` when the workload set's key was already planned —
-    /// skipping baseline and detection runs entirely — and runs the full
-    /// detect + plan otherwise, caching the result.
+    /// or when another thread was planning it and this call coalesced
+    /// into that single-flight computation — skipping baseline and
+    /// detection runs entirely; `(plan, false)` when this call ran the
+    /// full detect + plan itself, caching the result.
     ///
     /// # Errors
     ///
@@ -402,18 +436,57 @@ impl DebloatSession {
         let normalized: Vec<Workload> =
             workloads.iter().map(|w| self.normalize(w)).collect::<Result<_>>()?;
         let key = PlanKey::for_workloads(self.framework, self.gpu, &self.config, &normalized);
-        if let Some(plan) = plan::cache_lookup(&key) {
-            return Ok((plan, true));
-        }
-        let detection = self.detect_normalized(&normalized)?;
-        let plan = Arc::new(self.plan(&detection)?);
-        plan::cache_insert(key, plan.clone());
-        Ok((plan, false))
+        self.cache.get_or_compute(key, || {
+            let detection = self.detect_normalized(&normalized)?;
+            self.plan(&detection)
+        })
+    }
+
+    /// Debloat this session's bundle against the union usage of
+    /// `workloads` — the session-level core of
+    /// [`Debloater::debloat_many_full`], shared with the service layer.
+    /// Plans through the session's cache (single-flight), compacts once
+    /// through the bounded pool, verifies every workload's baseline
+    /// checksum, and returns the report plus the verified libraries.
+    ///
+    /// # Errors
+    ///
+    /// As [`Debloater::debloat_many`].
+    pub fn debloat_many_full(
+        &self,
+        workloads: &[Workload],
+    ) -> Result<(MultiDebloatReport, Vec<GeneratedLibrary>)> {
+        let (plan, cache_hit) = self.plan_cached(workloads)?;
+        let (libraries, debloated) = self.apply(&plan)?;
+        let outcomes = self.verify_all(workloads, &plan, &debloated)?;
+        let per_workload = plan
+            .baselines
+            .iter()
+            .zip(&outcomes)
+            .map(|(base, outcome)| WorkloadVerification {
+                label: base.label.clone(),
+                baseline_checksum: base.checksum,
+                verified_checksum: outcome.checksum,
+                baseline: base.baseline.clone(),
+                detection: base.detection.clone(),
+                debloated: outcome.metrics.clone(),
+            })
+            .collect();
+        let report = MultiDebloatReport {
+            gpu: self.gpu,
+            libraries,
+            workloads: per_workload,
+            used_kernels: plan.used_kernels,
+            used_host_fns: plan.used_host_fns,
+            plan_cache_hit: cache_hit,
+        };
+        Ok((report, debloated))
     }
 
     /// Phase 3a — compact every library according to `plan`, fanned out
-    /// per library via `std::thread::scope`. Returns the per-library
-    /// reports and the debloated (not yet verified!) libraries.
+    /// per library through the session's bounded [`WorkerPool`].
+    /// Returns the per-library reports and the debloated (not yet
+    /// verified!) libraries.
     ///
     /// # Errors
     ///
@@ -442,7 +515,7 @@ impl DebloatSession {
             });
         }
         let compacted =
-            plan::fan_out(libraries, self.parallel, |i, lib| compact(&lib.image, &plan.retain[i]))?;
+            self.parallelism.run(libraries, |i, lib| compact(&lib.image, &plan.retain[i]))?;
         let mut reports = Vec::with_capacity(libraries.len());
         let mut debloated = Vec::with_capacity(libraries.len());
         for ((image, outcome), (retain, lib)) in

@@ -2,22 +2,24 @@
 //!
 //! Detection produces a [`UsageMap`]; planning turns it into a
 //! [`BundlePlan`]: one [`RetainPlan`] per library (computed by
-//! [`crate::locate()`], fanned out across libraries via
-//! `std::thread::scope`) plus the per-workload baselines the apply stage
-//! verifies against. A plan is pure data — applying it never re-runs
-//! detection — which is what makes it cacheable.
+//! [`crate::locate()`], fanned out across libraries through the bounded
+//! [`crate::pool::WorkerPool`]) plus the per-workload baselines the
+//! apply stage verifies against. A plan is pure data — applying it
+//! never re-runs detection — which is what makes it cacheable.
 //!
-//! The process-wide **plan cache** keys plans the way the ROADMAP's
-//! serve-at-scale direction does: by framework, GPU architecture, and a
-//! fingerprint of the workload set (framework, model, operation, GPU,
-//! loading mode, …). A repeated debloat of the same key skips the
-//! baseline and detection runs entirely and goes straight to
-//! compact + verify. [`plan_cache_stats`] exposes hit/miss counters so
-//! cache behavior is observable (and testable).
+//! Plans live in a [`PlanCache`]: an instantiable, capacity-bounded LRU
+//! with **single-flight** miss handling
+//! ([`PlanCache::get_or_compute`]), keyed the way the ROADMAP's
+//! serve-at-scale direction needs — framework, GPU architecture, and a
+//! fingerprint of the workload set and run configuration. The
+//! long-lived [`crate::service::DebloatService`] owns one; standalone
+//! [`crate::Debloater`]s default to the process-wide instance behind
+//! the [`cache_lookup`] / [`cache_insert`] / [`plan_cache_stats`] free
+//! functions, which remain for API compatibility.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use fatbin::SmArch;
 use simcuda::GpuModel;
@@ -26,6 +28,7 @@ use simml::{FrameworkKind, GeneratedLibrary, RunConfig, Workload, WorkloadMetric
 
 use crate::detect::UsageMap;
 use crate::locate::{locate, RetainPlan};
+use crate::pool::Parallelism;
 use crate::Result;
 
 /// Cache key of one [`BundlePlan`]: which framework bundle, which GPU
@@ -142,84 +145,345 @@ pub struct BundlePlan {
 }
 
 /// Compute the retain plan of every library in `libraries` under the
-/// union `usage`, targeting `gpu`. With `parallel` set, libraries fan
-/// out one-per-thread via `std::thread::scope`; results are collected
-/// in bundle order either way, so the output — and therefore every
-/// compacted byte downstream — is identical to the serial path.
+/// union `usage`, targeting `gpu`. Libraries fan out per `parallelism`
+/// (bounded pool or inline); results are collected in bundle order
+/// either way, so the output — and therefore every compacted byte
+/// downstream — is identical to the serial path.
 ///
 /// # Errors
 ///
-/// The first [`crate::NegativaError::Elf`] / `Fatbin` parse failure.
+/// The first [`crate::NegativaError::Elf`] / `Fatbin` parse failure (in
+/// bundle order).
 pub fn locate_all(
     libraries: &[GeneratedLibrary],
     usage: &UsageMap,
     gpu: SmArch,
-    parallel: bool,
+    parallelism: &Parallelism,
 ) -> Result<Vec<RetainPlan>> {
-    fan_out(libraries, parallel, |_, lib| locate(&lib.image, usage, gpu))
+    parallelism.run(libraries, |_, lib| locate(&lib.image, usage, gpu))
 }
 
-/// Run `f` over `items` — serially, or one thread per item under
-/// `std::thread::scope` — and collect results in item order. The
-/// parallel path is observationally identical to the serial one: same
-/// outputs, same first-error-wins semantics up to which error is
-/// reported when several items fail.
-pub(crate) fn fan_out<T, R, F>(items: &[T], parallel: bool, f: F) -> Result<Vec<R>>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> Result<R> + Sync,
-{
-    if !parallel || items.len() < 2 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
-    }
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> =
-            items.iter().enumerate().map(|(i, item)| scope.spawn(move || f(i, item))).collect();
-        handles.into_iter().map(|h| h.join().expect("per-library worker panicked")).collect()
-    })
-}
-
-/// Plan-cache hit/miss counters; see [`plan_cache_stats`].
+/// Plan-cache counters; see [`PlanCache::stats`] (per instance) and
+/// [`plan_cache_stats`] (the process-wide default instance).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PlanCacheStats {
-    /// Lookups that found a cached plan (detection skipped).
+    /// Lookups served from the cache — including single-flight waiters
+    /// handed a plan another thread was already computing.
     pub hits: u64,
-    /// Lookups that missed (full detection + planning ran).
+    /// Lookups that found nothing and (for
+    /// [`PlanCache::get_or_compute`]) triggered a detection + planning
+    /// run.
     pub misses: u64,
+    /// Plans evicted to keep the cache within its capacity.
+    pub evictions: u64,
+    /// Detection + planning computations actually started. With
+    /// single-flight coalescing this stays at one per unique key no
+    /// matter how many concurrent requests miss on it.
+    pub detections: u64,
+    /// Calls that blocked on another thread's in-flight computation of
+    /// the same key instead of starting their own.
+    pub coalesced: u64,
 }
 
-static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
-static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
-
-fn cache() -> &'static Mutex<HashMap<PlanKey, Arc<BundlePlan>>> {
-    static CACHE: OnceLock<Mutex<HashMap<PlanKey, Arc<BundlePlan>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// One cache slot: a finished plan, or a marker that some thread is
+/// computing it right now (single-flight).
+#[derive(Debug)]
+enum Slot {
+    Ready { plan: Arc<BundlePlan>, last_used: u64 },
+    InFlight,
 }
 
-/// Process-wide plan-cache counters (monotonic since process start).
-pub fn plan_cache_stats() -> PlanCacheStats {
-    PlanCacheStats {
-        hits: CACHE_HITS.load(Ordering::Relaxed),
-        misses: CACHE_MISSES.load(Ordering::Relaxed),
+#[derive(Debug)]
+struct CacheState {
+    entries: HashMap<PlanKey, Slot>,
+    /// Monotonic recency counter; every touch stamps the entry.
+    tick: u64,
+}
+
+/// A capacity-bounded LRU cache of [`BundlePlan`]s with single-flight
+/// miss handling.
+///
+/// ## Eviction contract
+///
+/// The cache holds at most [`PlanCache::capacity`] *finished* plans.
+/// Every hit, insert, or completed computation stamps its entry's
+/// recency; when an insert would exceed capacity, the least recently
+/// used finished plan is evicted (and counted in
+/// [`PlanCacheStats::evictions`]). In-flight computations are tracked
+/// outside the bound — they are transient markers, never evicted, and
+/// do not count toward [`PlanCache::len`].
+///
+/// ## Single-flight contract
+///
+/// [`PlanCache::get_or_compute`] guarantees at most one computation per
+/// key runs at a time: the first miss inserts an in-flight marker and
+/// runs `compute` outside the lock; concurrent callers for the same key
+/// block until it finishes and then share the resulting plan (counted
+/// as hits + [`PlanCacheStats::coalesced`]). If the computation fails,
+/// the marker is removed, every waiter wakes, and the first to re-check
+/// becomes the new computer — an error never wedges a key.
+///
+/// ## Refresh contract
+///
+/// [`PlanCache::invalidate`] drops a finished plan so the next request
+/// recomputes it; [`PlanCache::refresh`] is the compound
+/// invalidate-then-recompute. Neither cancels an in-flight computation:
+/// a refresh that races one simply coalesces into it, which keeps the
+/// single-flight guarantee unconditional.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+    ready: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    detections: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl PlanCache {
+    /// Capacity of the process-wide default instance: generous enough
+    /// that a single process never evicts in practice, while still
+    /// bounding a pathological key churn.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    /// An empty cache holding at most `capacity` plans (clamped to at
+    /// least 1).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: capacity.max(1),
+            state: Mutex::new(CacheState { entries: HashMap::new(), tick: 0 }),
+            ready: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            detections: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of finished plans the cache retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Finished plans currently cached (in-flight markers excluded).
+    /// Never exceeds [`PlanCache::capacity`].
+    pub fn len(&self) -> usize {
+        let state = self.lock();
+        state.entries.values().filter(|slot| matches!(slot, Slot::Ready { .. })).count()
+    }
+
+    /// True if no finished plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters since this cache was created.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            detections: self.detections.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Non-blocking lookup: a finished plan counts (and stamps) a hit;
+    /// a missing or still-in-flight key counts a miss.
+    pub fn lookup(&self, key: &PlanKey) -> Option<Arc<BundlePlan>> {
+        let mut state = self.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        match state.entries.get_mut(key) {
+            Some(Slot::Ready { plan, last_used }) => {
+                *last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a plan as most recently used, evicting the LRU entry if
+    /// the capacity bound would be exceeded. Last writer wins — plans
+    /// for one key are identical by construction, detection being
+    /// deterministic.
+    pub fn insert(&self, key: PlanKey, plan: Arc<BundlePlan>) {
+        let mut state = self.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        state.entries.insert(key, Slot::Ready { plan, last_used: tick });
+        self.evict_over_capacity(&mut state);
+        // The insert may have replaced an in-flight marker some thread
+        // is waiting on; wake them so they observe the finished plan.
+        self.ready.notify_all();
+    }
+
+    /// Drop the finished plan for `key`, if any, so the next request
+    /// recomputes it. Returns whether a plan was dropped. An in-flight
+    /// computation is left untouched (its waiters still get a plan).
+    pub fn invalidate(&self, key: &PlanKey) -> bool {
+        let mut state = self.lock();
+        if matches!(state.entries.get(key), Some(Slot::Ready { .. })) {
+            state.entries.remove(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop every finished plan (in-flight computations keep running).
+    pub fn clear(&self) {
+        let mut state = self.lock();
+        state.entries.retain(|_, slot| matches!(slot, Slot::InFlight));
+    }
+
+    /// Look up `key`, computing (and caching) the plan on a miss with
+    /// at-most-one computation per key in flight. Returns the plan and
+    /// whether this call was served without running `compute` itself —
+    /// a plain hit or a single-flight wait.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns; the error is delivered to this
+    /// caller only, and the key is left uncached so a later request can
+    /// retry.
+    pub fn get_or_compute<F>(&self, key: PlanKey, compute: F) -> Result<(Arc<BundlePlan>, bool)>
+    where
+        F: FnOnce() -> Result<BundlePlan>,
+    {
+        let mut waited = false;
+        {
+            let mut state = self.lock();
+            loop {
+                state.tick += 1;
+                let tick = state.tick;
+                match state.entries.get_mut(&key) {
+                    Some(Slot::Ready { plan, last_used }) => {
+                        *last_used = tick;
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok((plan.clone(), true));
+                    }
+                    Some(Slot::InFlight) => {
+                        if !waited {
+                            waited = true;
+                            self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        }
+                        state = self.ready.wait(state).expect("plan cache poisoned");
+                    }
+                    None => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        state.entries.insert(key, Slot::InFlight);
+                        break;
+                    }
+                }
+            }
+        }
+        self.detections.fetch_add(1, Ordering::Relaxed);
+        match compute() {
+            Ok(plan) => {
+                let plan = Arc::new(plan);
+                let mut state = self.lock();
+                state.tick += 1;
+                let tick = state.tick;
+                state.entries.insert(key, Slot::Ready { plan: plan.clone(), last_used: tick });
+                self.evict_over_capacity(&mut state);
+                drop(state);
+                self.ready.notify_all();
+                Ok((plan, false))
+            }
+            Err(e) => {
+                let mut state = self.lock();
+                // Remove only our own marker: a concurrent insert() may
+                // have replaced it with a finished plan already.
+                if matches!(state.entries.get(&key), Some(Slot::InFlight)) {
+                    state.entries.remove(&key);
+                }
+                drop(state);
+                self.ready.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Force a recomputation: invalidate `key` and compute it anew. If
+    /// another thread is already computing the key, this coalesces into
+    /// that computation instead (second result of `true`), preserving
+    /// single-flight.
+    ///
+    /// # Errors
+    ///
+    /// As [`PlanCache::get_or_compute`].
+    pub fn refresh<F>(&self, key: PlanKey, compute: F) -> Result<(Arc<BundlePlan>, bool)>
+    where
+        F: FnOnce() -> Result<BundlePlan>,
+    {
+        self.invalidate(&key);
+        self.get_or_compute(key, compute)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        self.state.lock().expect("plan cache poisoned")
+    }
+
+    /// Evict least-recently-used finished plans until the bound holds.
+    /// In-flight markers are never evicted and never count.
+    fn evict_over_capacity(&self, state: &mut CacheState) {
+        loop {
+            let ready =
+                state.entries.values().filter(|slot| matches!(slot, Slot::Ready { .. })).count();
+            if ready <= self.capacity {
+                return;
+            }
+            let victim = state
+                .entries
+                .iter()
+                .filter_map(|(key, slot)| match slot {
+                    Slot::Ready { last_used, .. } => Some((*last_used, *key)),
+                    Slot::InFlight => None,
+                })
+                .min_by_key(|&(last_used, _)| last_used)
+                .map(|(_, key)| key)
+                .expect("over capacity implies at least one ready entry");
+            state.entries.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
-/// Look up a cached plan, counting a hit or a miss.
-pub fn cache_lookup(key: &PlanKey) -> Option<Arc<BundlePlan>> {
-    let found = cache().lock().expect("plan cache poisoned").get(key).cloned();
-    match &found {
-        Some(_) => CACHE_HITS.fetch_add(1, Ordering::Relaxed),
-        None => CACHE_MISSES.fetch_add(1, Ordering::Relaxed),
-    };
-    found
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(PlanCache::DEFAULT_CAPACITY)
+    }
 }
 
-/// Insert a freshly computed plan (last writer wins; plans for one key
-/// are identical by construction, detection being deterministic).
+/// The process-wide default [`PlanCache`] instance, shared by every
+/// [`crate::Debloater`] not given an explicit cache.
+pub fn process_cache() -> Arc<PlanCache> {
+    static CACHE: OnceLock<Arc<PlanCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Arc::new(PlanCache::default())).clone()
+}
+
+/// Counters of the process-wide default cache (monotonic since process
+/// start).
+pub fn plan_cache_stats() -> PlanCacheStats {
+    process_cache().stats()
+}
+
+/// [`PlanCache::lookup`] on the process-wide default cache.
+pub fn cache_lookup(key: &PlanKey) -> Option<Arc<BundlePlan>> {
+    process_cache().lookup(key)
+}
+
+/// [`PlanCache::insert`] on the process-wide default cache.
 pub fn cache_insert(key: PlanKey, plan: Arc<BundlePlan>) {
-    cache().lock().expect("plan cache poisoned").insert(key, plan);
+    process_cache().insert(key, plan);
 }
 
 #[cfg(test)]
@@ -230,6 +494,22 @@ mod tests {
 
     fn workload() -> Workload {
         Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Inference)
+    }
+
+    fn key(tag: u64) -> PlanKey {
+        PlanKey { framework: FrameworkKind::PyTorch, arch: SmArch::SM75, workloads: tag, config: 0 }
+    }
+
+    fn plan(tag: u64) -> Arc<BundlePlan> {
+        Arc::new(BundlePlan {
+            framework: FrameworkKind::PyTorch,
+            gpu: GpuModel::T4,
+            usage_fingerprint: tag,
+            retain: Vec::new(),
+            baselines: Vec::new(),
+            used_kernels: 0,
+            used_host_fns: 0,
+        })
     }
 
     #[test]
@@ -273,31 +553,6 @@ mod tests {
     }
 
     #[test]
-    fn fan_out_matches_serial_and_keeps_order() {
-        let items: Vec<u64> = (0..17).collect();
-        let serial = fan_out(&items, false, |i, v| Ok(i as u64 * 1000 + v)).unwrap();
-        let parallel = fan_out(&items, true, |i, v| Ok(i as u64 * 1000 + v)).unwrap();
-        assert_eq!(serial, parallel);
-        assert_eq!(serial[3], 3003);
-    }
-
-    #[test]
-    fn fan_out_propagates_errors() {
-        let items = vec![1u64, 2, 3];
-        for parallel in [false, true] {
-            let err = fan_out(&items, parallel, |_, v| {
-                if *v == 2 {
-                    Err(crate::NegativaError::EmptyDevices { workload: "w".into() })
-                } else {
-                    Ok(*v)
-                }
-            })
-            .unwrap_err();
-            assert!(matches!(err, crate::NegativaError::EmptyDevices { .. }));
-        }
-    }
-
-    #[test]
     fn locate_all_parallel_equals_serial() {
         let bundle = cached_bundle(FrameworkKind::PyTorch);
         let mut usage = UsageMap::new();
@@ -307,35 +562,148 @@ mod tests {
                 usage.record_host_fn(&lib.manifest.soname, f);
             }
         }
-        let serial = locate_all(bundle.libraries(), &usage, SmArch::SM75, false).unwrap();
-        let parallel = locate_all(bundle.libraries(), &usage, SmArch::SM75, true).unwrap();
-        assert_eq!(serial, parallel, "fan-out must not change any plan byte");
+        let serial =
+            locate_all(bundle.libraries(), &usage, SmArch::SM75, &Parallelism::Serial).unwrap();
+        let pooled =
+            locate_all(bundle.libraries(), &usage, SmArch::SM75, &Parallelism::shared()).unwrap();
+        assert_eq!(serial, pooled, "fan-out must not change any plan byte");
     }
 
     #[test]
     fn cache_round_trips_and_counts() {
-        let key = PlanKey {
-            framework: FrameworkKind::PyTorch,
-            arch: SmArch::SM75,
-            workloads: 0xdead_beef_0001,
-            config: 0,
-        };
+        let k = key(0xdead_beef_0001);
         let before = plan_cache_stats();
-        assert!(cache_lookup(&key).is_none());
-        let plan = Arc::new(BundlePlan {
-            framework: FrameworkKind::PyTorch,
-            gpu: GpuModel::T4,
-            usage_fingerprint: 1,
-            retain: Vec::new(),
-            baselines: Vec::new(),
-            used_kernels: 0,
-            used_host_fns: 0,
-        });
-        cache_insert(key, plan.clone());
-        let found = cache_lookup(&key).expect("inserted plan must be found");
-        assert!(Arc::ptr_eq(&found, &plan));
+        assert!(cache_lookup(&k).is_none());
+        let p = plan(1);
+        cache_insert(k, p.clone());
+        let found = cache_lookup(&k).expect("inserted plan must be found");
+        assert!(Arc::ptr_eq(&found, &p));
         let after = plan_cache_stats();
         assert!(after.hits > before.hits);
         assert!(after.misses > before.misses);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let cache = PlanCache::new(3);
+        for tag in 1..=3 {
+            cache.insert(key(tag), plan(tag));
+        }
+        assert_eq!(cache.len(), 3);
+        // Touch 1 and 2 so 3 becomes the LRU entry.
+        assert!(cache.lookup(&key(1)).is_some());
+        assert!(cache.lookup(&key(2)).is_some());
+        cache.insert(key(4), plan(4));
+        assert_eq!(cache.len(), 3, "capacity bound holds");
+        assert!(cache.lookup(&key(3)).is_none(), "the LRU entry was evicted");
+        for tag in [1, 2, 4] {
+            assert!(cache.lookup(&key(tag)).is_some(), "entry {tag} must survive");
+        }
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded_under_churn() {
+        let cache = PlanCache::new(2);
+        for tag in 0..20 {
+            cache.insert(key(tag), plan(tag));
+            assert!(cache.len() <= 2, "insert {tag} blew the bound");
+        }
+        assert_eq!(cache.stats().evictions, 18);
+        assert_eq!(cache.capacity(), 2);
+    }
+
+    #[test]
+    fn get_or_compute_caches_and_reports_provenance() {
+        let cache = PlanCache::new(4);
+        let (first, cached) =
+            cache.get_or_compute(key(7), || Ok(plan(7).as_ref().clone())).unwrap();
+        assert!(!cached, "a fresh key computes");
+        let (second, cached) =
+            cache.get_or_compute(key(7), || panic!("hit must not recompute")).unwrap();
+        assert!(cached, "the second request is served from cache");
+        assert!(Arc::ptr_eq(&first, &second), "one shared plan instance");
+        let stats = cache.stats();
+        assert_eq!(stats.detections, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn compute_errors_leave_the_key_retryable() {
+        let cache = PlanCache::new(4);
+        let err = cache
+            .get_or_compute(key(9), || {
+                Err(crate::NegativaError::EmptyDevices { workload: "w".into() })
+            })
+            .unwrap_err();
+        assert!(matches!(err, crate::NegativaError::EmptyDevices { .. }));
+        assert_eq!(cache.len(), 0, "a failed computation caches nothing");
+        let (_, cached) = cache.get_or_compute(key(9), || Ok(plan(9).as_ref().clone())).unwrap();
+        assert!(!cached, "the retry computes anew");
+        assert_eq!(cache.stats().detections, 2);
+    }
+
+    #[test]
+    fn invalidate_then_refresh_recomputes() {
+        let cache = PlanCache::new(4);
+        let (first, _) = cache.get_or_compute(key(7), || Ok(plan(1).as_ref().clone())).unwrap();
+        assert_eq!(first.usage_fingerprint, 1);
+
+        assert!(cache.invalidate(&key(7)), "a cached plan is dropped");
+        assert!(!cache.invalidate(&key(7)), "already gone");
+        assert_eq!(cache.len(), 0);
+        let (recomputed, cached) =
+            cache.get_or_compute(key(7), || Ok(plan(2).as_ref().clone())).unwrap();
+        assert!(!cached, "invalidation forces a recomputation");
+        assert_eq!(recomputed.usage_fingerprint, 2, "the new plan replaces the old");
+
+        // refresh = invalidate + recompute in one call.
+        let (refreshed, cached) = cache.refresh(key(7), || Ok(plan(3).as_ref().clone())).unwrap();
+        assert!(!cached);
+        assert_eq!(refreshed.usage_fingerprint, 3);
+        assert_eq!(cache.stats().detections, 3);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_misses() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+
+        const THREADS: usize = 8;
+        let cache = PlanCache::new(4);
+        let runs = AtomicUsize::new(0);
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let cache = &cache;
+                let runs = &runs;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let (p, _) = cache
+                        .get_or_compute(key(42), || {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            // Deterministic proof the others *blocked*
+                            // rather than raced: hold the computation
+                            // open until every other thread is waiting
+                            // on this key's in-flight marker.
+                            while cache.stats().coalesced < (THREADS - 1) as u64 {
+                                std::thread::yield_now();
+                            }
+                            Ok(plan(42).as_ref().clone())
+                        })
+                        .unwrap();
+                    assert_eq!(p.usage_fingerprint, 42);
+                });
+            }
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly one detection ran");
+        let stats = cache.stats();
+        assert_eq!(stats.detections, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.coalesced, (THREADS - 1) as u64);
+        assert_eq!(stats.hits, (THREADS - 1) as u64, "waiters count as hits");
     }
 }

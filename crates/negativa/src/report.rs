@@ -23,14 +23,24 @@ fn reduction_pct(before: u64, after: u64) -> f64 {
     }
 }
 
-/// Format a before/after pair as paper-scale MB plus the reduction, the
-/// way the paper's Table 2 rows read: `841.6 -> 334.1 MB (-60.3%)`.
+/// Format a reduction percentage as the *signed delta* of the metric:
+/// a shrink prints `-60.3%` (the paper's table convention), a metric
+/// that *grew* prints `+12.0%` — never the double negative `--12.0%`
+/// that hard-coding a `-` sign in front of a negative reduction used to
+/// produce.
+fn delta_pct(reduction: f64) -> String {
+    let delta = -reduction;
+    format!("{:+.1}%", if delta == 0.0 { 0.0 } else { delta })
+}
+
+/// Format a before/after pair as paper-scale MB plus the signed change,
+/// the way the paper's Table 2 rows read: `841.6 -> 334.1 MB (-60.3%)`.
 fn mb_line(before: u64, after: u64) -> String {
     format!(
-        "{:.1} -> {:.1} MB (-{:.1}%)",
+        "{:.1} -> {:.1} MB ({})",
         real_bytes_to_paper_mb(before),
         real_bytes_to_paper_mb(after),
-        reduction_pct(before, after),
+        delta_pct(reduction_pct(before, after)),
     )
 }
 
@@ -220,24 +230,24 @@ impl DebloatReport {
         ));
         let (load_ns, steady_ns) = self.debloated.load_time_split_ns();
         out.push_str(&format!(
-            "  used: {} kernels, {} host fns; time -{:.1}% (load/steady {:.2}/{:.2} ms), \
-             host mem -{:.1}%, GPU mem -{:.1}%, detector overhead +{:.1}%\n",
+            "  used: {} kernels, {} host fns; time {} (load/steady {:.2}/{:.2} ms), \
+             host mem {}, GPU mem {}, detector overhead {:+.1}%\n",
             self.used_kernels,
             self.used_host_fns,
-            self.time_reduction_pct(),
+            delta_pct(self.time_reduction_pct()),
             load_ns as f64 / 1e6,
             steady_ns as f64 / 1e6,
-            self.host_memory_reduction_pct(),
-            self.device_memory_reduction_pct(),
+            delta_pct(self.host_memory_reduction_pct()),
+            delta_pct(self.device_memory_reduction_pct()),
             self.detection_overhead_pct(),
         ));
         for lib in &self.libraries {
             out.push_str(&format!(
-                "  {:<32} file {}  host -{:>5.1}%  device -{:>5.1}%  fns {}/{}  elems {}/{}\n",
+                "  {:<32} file {}  host {:>7}  device {:>7}  fns {}/{}  elems {}/{}\n",
                 lib.soname,
                 mb_line(lib.file_before, lib.file_after),
-                lib.host_reduction_pct(),
-                lib.device_reduction_pct(),
+                delta_pct(lib.host_reduction_pct()),
+                delta_pct(lib.device_reduction_pct()),
                 lib.used_functions,
                 lib.total_functions,
                 lib.kept_elements,
@@ -431,6 +441,36 @@ mod tests {
         assert!(s.contains("file 1.0 -> 0.5 MB (-50.0%)"), "{s}");
         assert!(s.contains("host 0.5 -> 0.1 MB (-75.0%)"), "{s}");
         assert!(s.contains("device 1.0 -> 0.0 MB (-100.0%)"), "{s}");
+    }
+
+    #[test]
+    fn regressing_metrics_print_signed_growth_not_a_double_negative() {
+        let mut r = report();
+        // A library whose file *grew* and a debloated run that got
+        // slower and hungrier than baseline: every delta must print as
+        // `+x%`, never `(--x%)` / `--x%`.
+        r.libraries = vec![lib((1000, 1250), (500, 100), (400, 200))];
+        r.debloated = metrics(1200, 960, 720);
+        let s = r.summary();
+        assert!(!s.contains("--"), "double negative in summary: {s}");
+        assert!(!s.contains("+-"), "mixed sign in summary: {s}");
+        assert!(s.contains("(+25.0%)"), "file growth must print signed: {s}");
+        assert!(s.contains("time +20.0%"), "time regression must print signed: {s}");
+        assert!(s.contains("host mem +20.0%"), "{s}");
+        assert!(s.contains("GPU mem +20.0%"), "{s}");
+        // Shrinking metrics keep the paper's `-x%` convention (the
+        // per-library columns are right-aligned, so match the value).
+        assert!(s.contains("-80.0%"), "{s}");
+        assert!(s.contains("-50.0%"), "{s}");
+    }
+
+    #[test]
+    fn zero_change_prints_positive_zero() {
+        let r = lib((1000, 1000), (0, 0), (0, 0));
+        let mut full = report();
+        full.libraries = vec![r];
+        let s = full.summary();
+        assert!(s.contains("(+0.0%)"), "no change is +0.0%, not -0.0%: {s}");
     }
 
     fn multi_report() -> MultiDebloatReport {

@@ -1,0 +1,442 @@
+//! The long-lived debloat service — the ROADMAP's serve-at-scale
+//! layer.
+//!
+//! The paper's deployment story is one framework installation serving
+//! many jobs; operationally that makes debloating a *resident service*,
+//! not a one-shot tool. [`DebloatService`] is that front end:
+//!
+//! * **One queue in.** Clients — any number of threads — submit
+//!   [`DebloatRequest`]s over an `std::sync::mpsc` queue via cheap
+//!   cloneable [`ServiceHandle`]s. A configurable number of service
+//!   workers drain the queue concurrently.
+//! * **One response channel per request out.** Every request carries
+//!   its own `mpsc` reply sender; the service answers with a verified
+//!   [`MultiDebloatReport`] **plus the compacted libraries**
+//!   ([`DebloatResponse`]), so a client can stream the debloated images
+//!   onward without re-running anything.
+//! * **One [`DebloatSession`] per framework**, created on first use and
+//!   pinned for the service's lifetime — every request against a
+//!   framework reuses the same parse-once ELF indexes.
+//! * **One [`PlanCache`]** with capacity-bounded LRU eviction and
+//!   single-flight planning: concurrent requests for the same
+//!   [`crate::PlanKey`] block on one detection instead of racing.
+//! * **One bounded [`WorkerPool`]** shared across every in-flight
+//!   request, so per-library locate/compact work cannot oversubscribe
+//!   the machine no matter how deep the queue is.
+//!
+//! ```
+//! use negativa_ml::service::DebloatService;
+//! use simcuda::GpuModel;
+//! use simml::{FrameworkKind, ModelKind, Operation, Workload};
+//!
+//! # fn main() -> Result<(), negativa_ml::NegativaError> {
+//! let service = DebloatService::builder(GpuModel::T4).build();
+//! let handle = service.handle();
+//! let w = Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2,
+//!                         Operation::Inference);
+//! let response = handle.request(vec![w])?; // submit + wait
+//! assert!(response.report.all_verified());
+//! assert!(!response.libraries.is_empty());
+//! service.shutdown(); // outstanding handles just get ServiceStopped
+//! assert!(handle.submit(Vec::new()).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use simcuda::GpuModel;
+use simml::{FrameworkKind, GeneratedLibrary, RunConfig, Workload};
+
+use crate::plan::PlanCache;
+use crate::pool::WorkerPool;
+use crate::report::MultiDebloatReport;
+use crate::{shared_framework, DebloatSession, Debloater, NegativaError, Result};
+
+/// One unit of work on the service queue: a workload set to debloat
+/// (all one framework, sharing one bundle) and the channel the answer
+/// goes back on.
+#[derive(Debug)]
+pub struct DebloatRequest {
+    /// Workloads whose union usage the debloat targets. Must be
+    /// non-empty and single-framework ([`shared_framework`]); the
+    /// service reports violations back on the reply channel instead of
+    /// dying.
+    pub workloads: Vec<Workload>,
+    /// Per-request response channel. The service sends exactly one
+    /// message per request; a dropped receiver is tolerated (the result
+    /// is discarded).
+    pub reply: mpsc::Sender<Result<DebloatResponse>>,
+}
+
+/// What the service streams back for a successful request: the verified
+/// report and the compacted library images themselves.
+#[derive(Debug, Clone)]
+pub struct DebloatResponse {
+    /// The multi-workload report; every contributing workload verified.
+    pub report: MultiDebloatReport,
+    /// The debloated libraries, in bundle order — byte-identical to
+    /// what a direct [`Debloater::debloat_many_full`] call returns.
+    pub libraries: Vec<GeneratedLibrary>,
+}
+
+/// Lifetime counters of one [`DebloatService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests taken off the queue.
+    pub accepted: u64,
+    /// Requests answered with a verified report.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+}
+
+/// Configuration of a [`DebloatService`]; built with
+/// [`DebloatService::builder`].
+#[derive(Debug)]
+pub struct DebloatServiceBuilder {
+    gpu: GpuModel,
+    config: RunConfig,
+    service_workers: usize,
+    pool: Option<Arc<WorkerPool>>,
+    cache: Option<Arc<PlanCache>>,
+}
+
+impl DebloatServiceBuilder {
+    /// Override the execution settings every session uses (scale, cost
+    /// model, sampling, subscribers).
+    pub fn run_config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Number of threads draining the request queue (default 2, clamped
+    /// to at least 1). This is the number of *debloats* in flight;
+    /// per-library work inside each is bounded separately by the worker
+    /// pool.
+    pub fn service_workers(mut self, workers: usize) -> Self {
+        self.service_workers = workers.max(1);
+        self
+    }
+
+    /// Share `pool` for per-library locate/compact work (default: the
+    /// process-wide [`WorkerPool::shared`]).
+    pub fn pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Use `cache` for plans (default: a private cache with
+    /// [`PlanCache::DEFAULT_CAPACITY`]). Pass a small-capacity cache to
+    /// exercise LRU eviction under key churn.
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Convenience for [`DebloatServiceBuilder::plan_cache`]: a fresh
+    /// private cache holding at most `capacity` plans.
+    pub fn cache_capacity(self, capacity: usize) -> Self {
+        let cache = Arc::new(PlanCache::new(capacity));
+        self.plan_cache(cache)
+    }
+
+    /// Start the service: spawn the queue workers and return the
+    /// running front end.
+    pub fn build(self) -> DebloatService {
+        let pool = self.pool.unwrap_or_else(WorkerPool::shared);
+        let cache = self.cache.unwrap_or_else(|| Arc::new(PlanCache::default()));
+        let debloater = Debloater::with_config(self.gpu, self.config)
+            .with_pool(pool.clone())
+            .with_plan_cache(cache.clone());
+        let (tx, rx) = mpsc::channel::<QueueItem>();
+        let shared = Arc::new(ServiceShared {
+            debloater,
+            pool,
+            cache,
+            sessions: Mutex::new(HashMap::new()),
+            stopping: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        });
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..self.service_workers)
+            .map(|i| {
+                let shared = shared.clone();
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("debloat-service-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawning a service worker failed")
+            })
+            .collect();
+        DebloatService { shared, tx: Some(tx), workers }
+    }
+}
+
+/// What travels on the service queue: a client request, or the
+/// shutdown sentinel ([`DebloatService::shutdown`] enqueues one per
+/// worker so the service can stop even while client handles are alive).
+#[derive(Debug)]
+enum QueueItem {
+    Request(DebloatRequest),
+    Shutdown,
+}
+
+/// State shared between the service front end and its queue workers.
+#[derive(Debug)]
+struct ServiceShared {
+    debloater: Debloater,
+    pool: Arc<WorkerPool>,
+    cache: Arc<PlanCache>,
+    /// One pinned session per framework, created on first request.
+    sessions: Mutex<HashMap<FrameworkKind, DebloatSession>>,
+    /// Set by shutdown so handles reject new submissions immediately.
+    stopping: AtomicBool,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl ServiceShared {
+    /// The session pinned for `framework`, creating it on first use.
+    fn session(&self, framework: FrameworkKind) -> DebloatSession {
+        let mut sessions = self.sessions.lock().expect("service session map poisoned");
+        sessions.entry(framework).or_insert_with(|| self.debloater.session(framework)).clone()
+    }
+
+    fn process(&self, workloads: &[Workload]) -> Result<DebloatResponse> {
+        let framework = shared_framework(workloads)?;
+        let session = self.session(framework);
+        let (report, libraries) = session.debloat_many_full(workloads)?;
+        Ok(DebloatResponse { report, libraries })
+    }
+}
+
+fn worker_loop(shared: &ServiceShared, rx: &Mutex<mpsc::Receiver<QueueItem>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue, never while
+        // debloating, so workers drain the queue concurrently.
+        let item = match rx.lock().expect("service queue poisoned").recv() {
+            Ok(item) => item,
+            Err(mpsc::RecvError) => return, // every sender dropped
+        };
+        let request = match item {
+            QueueItem::Request(request) => request,
+            QueueItem::Shutdown => return, // one sentinel stops one worker
+        };
+        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        let result = shared.process(&request.workloads);
+        let counter = if result.is_ok() { &shared.completed } else { &shared.failed };
+        counter.fetch_add(1, Ordering::Relaxed);
+        // A client that dropped its ticket just discards the result.
+        let _ = request.reply.send(result);
+    }
+}
+
+/// A pending request's claim check: blocks until the service answers.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<DebloatResponse>>,
+}
+
+impl Ticket {
+    /// Block until the service answers this request.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the debloat produced, or
+    /// [`NegativaError::ServiceStopped`] if the service shut down
+    /// without answering.
+    pub fn wait(self) -> Result<DebloatResponse> {
+        self.rx.recv().map_err(|_| NegativaError::ServiceStopped)?
+    }
+}
+
+/// A cheap, cloneable client of a running [`DebloatService`]. Handles
+/// outliving the service are safe: their submissions fail with
+/// [`NegativaError::ServiceStopped`].
+#[derive(Debug, Clone)]
+pub struct ServiceHandle {
+    tx: mpsc::Sender<QueueItem>,
+    shared: Arc<ServiceShared>,
+}
+
+impl ServiceHandle {
+    /// Enqueue a debloat of `workloads` (one framework, shared bundle)
+    /// and return a [`Ticket`] for the response.
+    ///
+    /// # Errors
+    ///
+    /// [`NegativaError::ServiceStopped`] if the service already shut
+    /// down.
+    pub fn submit(&self, workloads: Vec<Workload>) -> Result<Ticket> {
+        if self.shared.stopping.load(Ordering::SeqCst) {
+            return Err(NegativaError::ServiceStopped);
+        }
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(QueueItem::Request(DebloatRequest { workloads, reply }))
+            .map_err(|_| NegativaError::ServiceStopped)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submit and wait: the blocking convenience for clients that have
+    /// nothing else to do meanwhile.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceHandle::submit`] and [`Ticket::wait`].
+    pub fn request(&self, workloads: Vec<Workload>) -> Result<DebloatResponse> {
+        self.submit(workloads)?.wait()
+    }
+}
+
+/// The long-lived debloat service; see the [module docs](self).
+///
+/// Construct with [`DebloatService::builder`], talk to it through
+/// [`DebloatService::handle`] clones, and stop it with
+/// [`DebloatService::shutdown`] (dropping the service performs the same
+/// sentinel shutdown: queued requests drain, workers join, outstanding
+/// handles get [`NegativaError::ServiceStopped`] on their next submit).
+#[derive(Debug)]
+pub struct DebloatService {
+    shared: Arc<ServiceShared>,
+    tx: Option<mpsc::Sender<QueueItem>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DebloatService {
+    /// Start configuring a service whose sessions target `gpu`.
+    pub fn builder(gpu: GpuModel) -> DebloatServiceBuilder {
+        DebloatServiceBuilder {
+            gpu,
+            config: RunConfig::default(),
+            service_workers: 2,
+            pool: None,
+            cache: None,
+        }
+    }
+
+    /// A new client of this service's request queue.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            tx: self.tx.as_ref().expect("service sender lives until shutdown").clone(),
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// The plan cache backing every session (observability: stats,
+    /// capacity, explicit invalidation).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.shared.cache
+    }
+
+    /// The worker pool bounding per-library work across requests.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.shared.pool
+    }
+
+    /// Lifetime request counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop the service: reject new submissions, let every request
+    /// already queued ahead of the shutdown drain, and join the
+    /// workers. Outstanding [`ServiceHandle`]s stay valid — their
+    /// submissions simply fail with [`NegativaError::ServiceStopped`] —
+    /// so shutdown never blocks on clients.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        let Some(tx) = self.tx.take() else { return };
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // One sentinel per worker: each consumes exactly one and exits,
+        // after finishing whatever requests were queued ahead of it.
+        for _ in &self.workers {
+            let _ = tx.send(QueueItem::Shutdown);
+        }
+        drop(tx);
+        for worker in self.workers.drain(..) {
+            if worker.join().is_err() && !std::thread::panicking() {
+                // Surface worker panics from an explicit shutdown, but
+                // never panic inside a Drop that runs during unwinding —
+                // that would abort the process and mask the root cause.
+                panic!("a service worker panicked");
+            }
+        }
+    }
+}
+
+impl Drop for DebloatService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simml::{ModelKind, Operation};
+
+    fn workload(op: Operation) -> Workload {
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, op)
+    }
+
+    #[test]
+    fn invalid_sets_are_answered_not_fatal() {
+        let service = DebloatService::builder(GpuModel::T4).service_workers(1).build();
+        let handle = service.handle();
+        let err = handle.request(Vec::new()).unwrap_err();
+        assert!(matches!(err, NegativaError::InvalidWorkloadSet { .. }), "got {err}");
+        let mixed = vec![
+            workload(Operation::Inference),
+            Workload::paper(FrameworkKind::TensorFlow, ModelKind::MobileNetV2, Operation::Train),
+        ];
+        let err = handle.request(mixed).unwrap_err();
+        assert!(matches!(err, NegativaError::InvalidWorkloadSet { .. }), "got {err}");
+        // The service survives bad requests and keeps serving.
+        let mut bad = workload(Operation::Inference);
+        bad.devices.clear();
+        let err = handle.request(vec![bad]).unwrap_err();
+        assert!(matches!(err, NegativaError::EmptyDevices { .. }), "got {err}");
+        let stats = service.stats();
+        assert_eq!(stats.accepted, 3);
+        assert_eq!(stats.failed, 3);
+        assert_eq!(stats.completed, 0);
+        drop(handle);
+        service.shutdown();
+    }
+
+    #[test]
+    fn submitting_after_shutdown_is_service_stopped() {
+        let service = DebloatService::builder(GpuModel::T4).service_workers(1).build();
+        let handle = service.handle();
+        service.shutdown();
+        let err = handle.submit(vec![workload(Operation::Inference)]).unwrap_err();
+        assert!(matches!(err, NegativaError::ServiceStopped), "got {err}");
+    }
+
+    #[test]
+    fn dropped_ticket_does_not_wedge_the_service() {
+        let service = DebloatService::builder(GpuModel::T4).service_workers(1).build();
+        let handle = service.handle();
+        let ticket = handle.submit(vec![workload(Operation::Inference)]).unwrap();
+        drop(ticket); // client walked away; service must still drain
+        let response = handle.request(vec![workload(Operation::Inference)]).unwrap();
+        assert!(response.report.all_verified());
+        drop(handle);
+        service.shutdown();
+    }
+}

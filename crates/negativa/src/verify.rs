@@ -55,14 +55,8 @@ pub fn verify_indexed(
     expected_checksum: u64,
     config: &RunConfig,
 ) -> Result<RunOutcome> {
-    let outcome =
-        run_workload_indexed(workload, debloated, indexes, config).map_err(|e| match e {
-            SimmlError::Cuda(
-                source @ (simcuda::CudaError::FunctionFault { .. }
-                | simcuda::CudaError::KernelNotFound { .. }),
-            ) => NegativaError::OverCompaction { source },
-            other => NegativaError::Workload(other),
-        })?;
+    let outcome = run_workload_indexed(workload, debloated, indexes, config)
+        .map_err(|e| classify_run_error(workload, e))?;
     if outcome.checksum != expected_checksum {
         return Err(NegativaError::ChecksumMismatch {
             workload: workload.label(),
@@ -71,6 +65,25 @@ pub fn verify_indexed(
         });
     }
     Ok(outcome)
+}
+
+/// Map an executor error from a verification run to its debloater
+/// meaning: integrity faults are over-compaction, a rank whose checksum
+/// diverged from rank 0's is semantic breakage (a checksum mismatch
+/// naming the rank), and anything else is a plain workload failure.
+fn classify_run_error(workload: &Workload, e: SimmlError) -> NegativaError {
+    match e {
+        SimmlError::Cuda(
+            source @ (simcuda::CudaError::FunctionFault { .. }
+            | simcuda::CudaError::KernelNotFound { .. }),
+        ) => NegativaError::OverCompaction { source },
+        SimmlError::RankDivergence { rank, expected, actual } => NegativaError::ChecksumMismatch {
+            workload: format!("{} (rank {rank} vs rank 0)", workload.label()),
+            expected,
+            actual,
+        },
+        other => NegativaError::Workload(other),
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +118,24 @@ mod tests {
             verify_indexed(&w, bundle.libraries(), Some(&indexes), baseline.checksum, &config)
                 .unwrap();
         assert_eq!(plain, indexed);
+    }
+
+    #[test]
+    fn rank_divergence_is_a_checksum_mismatch_not_a_generic_failure() {
+        let w = workload();
+        let e = SimmlError::RankDivergence { rank: 5, expected: 0x11, actual: 0x22 };
+        match classify_run_error(&w, e) {
+            NegativaError::ChecksumMismatch { workload, expected, actual } => {
+                assert!(workload.contains("rank 5"), "{workload}");
+                assert!(workload.contains("MobileNetV2"), "{workload}");
+                assert_eq!(expected, 0x11);
+                assert_eq!(actual, 0x22);
+            }
+            other => panic!("expected ChecksumMismatch, got {other}"),
+        }
+        // Non-integrity errors still pass through as workload failures.
+        let e = SimmlError::NoProvider { family: "gemm" };
+        assert!(matches!(classify_run_error(&w, e), NegativaError::Workload(_)));
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Integration tests of the serve-at-scale layer: the long-lived
+//! `DebloatService` front end (queue in, per-request channels out), the
+//! capacity-bounded single-flight `PlanCache` behind it, and the
+//! bounded `WorkerPool` shared across in-flight requests.
+
+use std::sync::Arc;
+
+use negativa_ml::service::{DebloatResponse, DebloatService};
+use negativa_ml::{Debloater, PlanCache, WorkerPool};
+use simcuda::GpuModel;
+use simml::{FrameworkKind, ModelKind, Operation, Workload};
+
+fn workload(framework: FrameworkKind, operation: Operation) -> Workload {
+    Workload::paper(framework, ModelKind::MobileNetV2, operation)
+}
+
+/// The acceptance scenario: 8 concurrent requests across 2 frameworks
+/// (4 unique plan keys, each requested twice) through one service.
+#[test]
+fn service_serves_concurrent_multi_framework_requests() {
+    let pool = WorkerPool::new(3);
+    let cache = Arc::new(PlanCache::new(4));
+    let service = DebloatService::builder(GpuModel::T4)
+        .service_workers(4)
+        .pool(pool.clone())
+        .plan_cache(cache.clone())
+        .build();
+    let handle = service.handle();
+
+    let unique_sets: Vec<Vec<Workload>> = vec![
+        vec![workload(FrameworkKind::PyTorch, Operation::Inference)],
+        vec![workload(FrameworkKind::PyTorch, Operation::Train)],
+        vec![
+            workload(FrameworkKind::PyTorch, Operation::Train),
+            workload(FrameworkKind::PyTorch, Operation::Inference),
+        ],
+        vec![workload(FrameworkKind::TensorFlow, Operation::Inference)],
+    ];
+
+    // Enqueue every set twice — 8 requests in flight across 4 queue
+    // workers — before waiting on anything.
+    let tickets: Vec<_> = unique_sets
+        .iter()
+        .enumerate()
+        .cycle()
+        .take(2 * unique_sets.len())
+        .map(|(index, set)| (index, set.clone(), handle.submit(set.clone()).expect("queue open")))
+        .collect();
+
+    // Ground truth: the direct, unqueued entry point on the same sets.
+    let direct: Vec<_> = unique_sets
+        .iter()
+        .map(|set| Debloater::new(GpuModel::T4).debloat_many_full(set).expect("direct verifies"))
+        .collect();
+
+    for (index, set, ticket) in tickets {
+        let DebloatResponse { report, libraries } = ticket.wait().expect("request answered");
+
+        // Every report verified, one verification per workload.
+        assert!(report.all_verified());
+        assert_eq!(report.workloads.len(), set.len());
+
+        // Byte-identical to direct `debloat_many`: same per-library
+        // reports, same per-workload metrics and checksums, and the
+        // compacted images themselves match byte for byte.
+        let (direct_report, direct_libs) = &direct[index];
+        assert_eq!(report.libraries, direct_report.libraries);
+        assert_eq!(report.workloads, direct_report.workloads);
+        assert_eq!(report.used_kernels, direct_report.used_kernels);
+        assert_eq!(report.used_host_fns, direct_report.used_host_fns);
+        assert_eq!(libraries.len(), direct_libs.len());
+        for (served, expected) in libraries.iter().zip(direct_libs) {
+            assert_eq!(served.manifest.soname, expected.manifest.soname);
+            assert_eq!(
+                served.image.bytes(),
+                expected.image.bytes(),
+                "{} diverged from the direct debloat",
+                served.manifest.soname
+            );
+        }
+    }
+
+    // Exactly one detection per unique plan key: the 4 duplicates were
+    // served by the cache — as plain hits or single-flight waiters.
+    let cache_stats = cache.stats();
+    assert_eq!(cache_stats.detections, 4, "single-flight: one detection per unique key");
+    assert_eq!(cache_stats.misses, 4);
+    assert_eq!(cache_stats.hits, 4, "every duplicate request was served without detection");
+
+    // The cache bound held.
+    assert!(cache.len() <= cache.capacity(), "{} > {}", cache.len(), cache.capacity());
+    assert_eq!(cache.len(), 4);
+
+    // The shared worker pool never ran more library jobs at once than
+    // its configured size, across all 8 requests.
+    let pool_stats = pool.stats();
+    assert!(pool_stats.completed > 0, "fan-outs went through the pool");
+    assert!(
+        pool_stats.peak_active <= 3,
+        "pool exceeded its bound: {} active",
+        pool_stats.peak_active
+    );
+
+    let stats = service.stats();
+    assert_eq!(stats.accepted, 8);
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.failed, 0);
+    service.shutdown();
+}
+
+/// A tiny cache under key churn: the service keeps answering correctly
+/// while plans are evicted and recomputed.
+#[test]
+fn service_survives_plan_cache_eviction() {
+    let cache = Arc::new(PlanCache::new(1));
+    let service =
+        DebloatService::builder(GpuModel::T4).service_workers(1).plan_cache(cache.clone()).build();
+    let handle = service.handle();
+
+    let infer = vec![workload(FrameworkKind::PyTorch, Operation::Inference)];
+    let train = vec![workload(FrameworkKind::PyTorch, Operation::Train)];
+
+    let first = handle.request(infer.clone()).unwrap();
+    assert!(!first.report.plan_cache_hit, "fresh key plans from scratch");
+    // A different key evicts the only slot...
+    assert!(handle.request(train).unwrap().report.all_verified());
+    assert_eq!(cache.len(), 1);
+    assert!(cache.stats().evictions >= 1, "capacity 1 must evict");
+    // ...so the first key plans again, reproducing identical results.
+    let again = handle.request(infer).unwrap();
+    assert!(!again.report.plan_cache_hit, "evicted key re-plans");
+    assert_eq!(again.report.libraries, first.report.libraries);
+    assert_eq!(again.report.workloads, first.report.workloads);
+    assert_eq!(cache.stats().detections, 3);
+    service.shutdown();
+}
+
+/// Explicit invalidation forces a re-plan on the next request; the
+/// recomputed plan reproduces identical verified output.
+#[test]
+fn invalidated_plans_are_recomputed_on_demand() {
+    let cache = Arc::new(PlanCache::new(4));
+    let service =
+        DebloatService::builder(GpuModel::T4).service_workers(1).plan_cache(cache.clone()).build();
+    let handle = service.handle();
+    let set = vec![workload(FrameworkKind::PyTorch, Operation::Train)];
+
+    let first = handle.request(set.clone()).unwrap();
+    let cached = handle.request(set.clone()).unwrap();
+    assert!(cached.report.plan_cache_hit, "second request hits");
+
+    // Drop every cached plan (capacity-preserving refresh trigger).
+    cache.clear();
+    let refreshed = handle.request(set).unwrap();
+    assert!(!refreshed.report.plan_cache_hit, "invalidated plan recomputes");
+    assert!(refreshed.report.all_verified());
+    assert_eq!(refreshed.report.libraries, first.report.libraries);
+    assert_eq!(cache.stats().detections, 2);
+    service.shutdown();
+}

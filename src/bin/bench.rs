@@ -1,0 +1,84 @@
+//! `bench` — the debloat-path latency benchmark behind
+//! `BENCH_service.json`.
+//!
+//! Times the three ways a debloat can be served, on one representative
+//! workload:
+//!
+//! * **cold** — a fresh plan cache: baseline + detection runs, location,
+//!   compaction, verification, everything.
+//! * **cache hit** — the same key again: the plan cache skips baseline
+//!   and detection entirely (the paper's repeated-deployment case).
+//! * **service-queued** — a batch of requests through the long-lived
+//!   [`DebloatService`] queue: amortized planning (single-flight makes
+//!   it one detection total) plus the queue/worker overhead.
+//!
+//! Writes the measurements as JSON to `BENCH_service.json` (override
+//! with `BENCH_OUT=path`), so CI can track the perf trajectory.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use negativa_repro::cuda::GpuModel;
+use negativa_repro::ml::{FrameworkKind, ModelKind, Operation, Workload};
+use negativa_repro::negativa::service::DebloatService;
+use negativa_repro::negativa::{Debloater, PlanCache};
+
+fn main() {
+    let gpu = GpuModel::T4;
+    let workload =
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Inference);
+
+    // Warm the process-wide bundle/index caches so "cold" measures the
+    // debloat pipeline, not one-time library generation.
+    let _ = negativa_repro::ml::cached_bundle(FrameworkKind::PyTorch);
+    let _ = negativa_repro::ml::cached_indexes(FrameworkKind::PyTorch);
+
+    // Cold: a private, empty plan cache.
+    let debloater = Debloater::new(gpu).with_plan_cache(Arc::new(PlanCache::new(8)));
+    let started = Instant::now();
+    let cold = debloater.debloat(&workload).expect("cold debloat verifies");
+    let cold_ns = started.elapsed().as_nanos();
+    assert!(!cold.plan_cache_hit);
+
+    // Cache hit: the same key through the same debloater.
+    let started = Instant::now();
+    let hit = debloater.debloat(&workload).expect("cached debloat verifies");
+    let cache_hit_ns = started.elapsed().as_nanos();
+    assert!(hit.plan_cache_hit, "second debloat of one key must hit the cache");
+
+    // Service-queued: a batch of identical requests through the queue.
+    let service_requests: u32 = 16;
+    let service = DebloatService::builder(gpu).service_workers(4).cache_capacity(8).build();
+    let handle = service.handle();
+    let started = Instant::now();
+    let tickets: Vec<_> = (0..service_requests)
+        .map(|_| handle.submit(vec![workload.clone()]).expect("queue open"))
+        .collect();
+    for ticket in tickets {
+        let response = ticket.wait().expect("service answers");
+        assert!(response.report.all_verified());
+    }
+    let service_total_ns = started.elapsed().as_nanos();
+    let detections = service.plan_cache().stats().detections;
+    service.shutdown();
+    assert_eq!(detections, 1, "single-flight: the whole batch shares one detection");
+
+    let json = format!(
+        "{{\n  \"workload\": \"{}\",\n  \"gpu\": \"{}\",\n  \"cold_ns\": {},\n  \
+         \"cache_hit_ns\": {},\n  \"cold_over_hit_speedup\": {:.2},\n  \
+         \"service_requests\": {},\n  \"service_total_ns\": {},\n  \
+         \"service_mean_ns_per_request\": {},\n  \"service_detections\": {}\n}}\n",
+        workload.label(),
+        gpu,
+        cold_ns,
+        cache_hit_ns,
+        cold_ns as f64 / cache_hit_ns.max(1) as f64,
+        service_requests,
+        service_total_ns,
+        service_total_ns / u128::from(service_requests),
+        detections,
+    );
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".into());
+    std::fs::write(&out, &json).expect("writing the benchmark report");
+    println!("wrote {out}:\n{json}");
+}

@@ -18,7 +18,10 @@
 //! * [`negativa`] — the paper's contribution, structured as
 //!   **detect → plan → apply** sessions: detection produces a usage
 //!   map, planning turns it into a cacheable per-library retain plan,
-//!   application compacts and verifies ([`negativa_ml`]).
+//!   application compacts and verifies ([`negativa_ml`]). On top sits
+//!   the long-lived [`negativa::service::DebloatService`] — queued
+//!   requests, an LRU plan cache with single-flight planning, and a
+//!   bounded worker pool shared across in-flight debloats.
 //!
 //! # Quickstart
 //!
@@ -59,6 +62,35 @@
 //! assert!(report.all_verified());
 //! assert_eq!(report.workloads.len(), 2);
 //! assert!(report.totals().file_reduction_pct() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # The debloat service
+//!
+//! For the serve-at-scale deployment — many clients, many frameworks,
+//! one resident debloater — run a
+//! [`DebloatService`](negativa::service::DebloatService): submit
+//! workload sets over its queue from any number of threads and receive
+//! verified reports *plus the compacted libraries* on per-request
+//! channels. Concurrent requests for the same plan share one detection
+//! (single-flight), and per-library work across all requests is bounded
+//! by one worker pool:
+//!
+//! ```
+//! use negativa_repro::ml::{FrameworkKind, ModelKind, Operation, Workload};
+//! use negativa_repro::cuda::GpuModel;
+//! use negativa_repro::negativa::service::DebloatService;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = DebloatService::builder(GpuModel::T4).service_workers(2).build();
+//! let handle = service.handle();
+//! let w = Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2,
+//!                         Operation::Inference);
+//! let ticket = handle.submit(vec![w])?;        // enqueue, don't block
+//! let response = ticket.wait()?;               // report + debloated libraries
+//! assert!(response.report.all_verified());
+//! service.shutdown();
 //! # Ok(())
 //! # }
 //! ```
