@@ -41,9 +41,10 @@ pub enum NegativaError {
         /// What is wrong with the set.
         reason: String,
     },
-    /// The [`crate::service::DebloatService`] shut down before this
-    /// request completed (queue closed or response channel dropped).
-    ServiceStopped,
+    /// A [`crate::service::DebloatService`] could not serve the request:
+    /// the admission queue shed it under load, or the service shut down
+    /// before answering. See [`crate::service::ServiceError`].
+    Service(crate::service::ServiceError),
 }
 
 impl fmt::Display for NegativaError {
@@ -66,9 +67,7 @@ impl fmt::Display for NegativaError {
             NegativaError::InvalidWorkloadSet { reason } => {
                 write!(f, "invalid workload set: {reason}")
             }
-            NegativaError::ServiceStopped => {
-                write!(f, "debloat service stopped before the request completed")
-            }
+            NegativaError::Service(e) => write!(f, "{e}"),
         }
     }
 }
@@ -100,6 +99,12 @@ impl From<simelf::ElfError> for NegativaError {
 impl From<fatbin::FatbinError> for NegativaError {
     fn from(e: fatbin::FatbinError) -> Self {
         NegativaError::Fatbin(e)
+    }
+}
+
+impl From<crate::service::ServiceError> for NegativaError {
+    fn from(e: crate::service::ServiceError) -> Self {
+        NegativaError::Service(e)
     }
 }
 

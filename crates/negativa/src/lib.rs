@@ -26,35 +26,46 @@
 //!    debloat (module [`pool`]), producing a cacheable [`BundlePlan`]:
 //!    per-library [`RetainPlan`]s keyed by framework, GPU architecture,
 //!    and a usage fingerprint, alongside each workload's baseline
-//!    checksum and metrics. Plans live in a capacity-bounded LRU
-//!    [`PlanCache`] with **single-flight** miss handling — concurrent
-//!    requests for one key run one detection between them — so a
-//!    repeated debloat of the same (framework, model, operation, GPU)
-//!    skips detection entirely.
+//!    checksum and metrics. Plans live in a [`PlanCache`] partitioned
+//!    per framework — each partition an independently locked,
+//!    capacity-bounded LRU with **single-flight** miss handling
+//!    (concurrent requests for one key run one detection between them)
+//!    and optional TTL-based staleness (an expired plan is recomputed
+//!    on the next request) — so a repeated debloat of the same
+//!    (framework, model, operation, GPU) skips detection entirely.
 //! 3. **Apply** ([`DebloatSession::apply`] + [`DebloatSession::verify_all`],
 //!    modules [`mod@compact`] / [`mod@verify`]) — zero the planned ranges in
 //!    place (offsets never move; the debloated library is a drop-in
 //!    replacement) and re-run *every* contributing workload, demanding
 //!    bit-identical output against its own baseline checksum.
 //!
-//! [`Debloater`] composes the phases behind two entry points:
-//! [`Debloater::debloat`] for one workload and
+//! [`Debloater`] composes the phases behind three entry points:
+//! [`Debloater::debloat`] for one workload,
 //! [`Debloater::debloat_many`] for several workloads sharing one bundle
 //! (the paper's deployment scenario: one framework installation serving
-//! many jobs — compact once, against the union of everything observed).
+//! many jobs — compact once, against the union of everything observed),
+//! and [`Debloater::debloat_grouped`] for several workload *sets* at
+//! once, deduplicating sets that share a plan identity into one
+//! detection + compaction + verification whose result fans back out to
+//! every set (stamped [`MultiDebloatReport::batched`]).
 //!
 //! ## The service layer
 //!
-//! On top of the sessions sits [`service::DebloatService`]: a
-//! long-lived, multi-framework front end that accepts
-//! [`service::DebloatRequest`]s over an `std::sync::mpsc` queue from
-//! any number of client threads, owns one [`DebloatSession`] per
-//! framework, deduplicates concurrent planning through its own
-//! [`PlanCache`] (single-flight), bounds per-library work with a shared
-//! [`WorkerPool`], and answers each request on its own response channel
-//! with a verified [`MultiDebloatReport`] plus the compacted libraries.
-//! This is the ROADMAP's serve-at-scale direction: debloating as a
-//! resident operational service, not a one-shot tool.
+//! On top of the sessions sits [`service::DebloatService`], a staged
+//! **admission → batch → execute** pipeline: a *bounded* admission
+//! queue with blocking [`service::ServiceHandle::submit`] and
+//! non-blocking [`service::ServiceHandle::try_submit`] (a full queue
+//! sheds with the typed [`service::ServiceError::Overloaded`]); a
+//! batcher that groups admitted requests sharing a plan identity
+//! ([`PlanKey`]) into one union debloat while the executors are busy;
+//! and executor workers that run each batch once — through the
+//! partitioned single-flight [`PlanCache`] and the bounded shared
+//! [`WorkerPool`] — then fan the verified [`MultiDebloatReport`] plus
+//! the compacted libraries out to every grouped requester. A burst of N
+//! same-bundle requests costs one detection and one compaction, not N,
+//! and every response is byte-identical to the unbatched path. This is
+//! the ROADMAP's serve-at-scale direction: debloating as a resident
+//! operational service with backpressure, not a one-shot tool.
 //!
 //! ```
 //! use negativa_ml::Debloater;
@@ -74,6 +85,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use simcuda::cupti::CuptiSubscriber;
@@ -101,7 +113,10 @@ pub use locate::{locate, LocateStats, RetainPlan};
 pub use plan::{BundlePlan, PlanCache, PlanCacheStats, PlanKey, WorkloadBaseline};
 pub use pool::{Parallelism, PoolStats, WorkerPool};
 pub use report::{DebloatReport, LibraryReport, MultiDebloatReport, Totals, WorkloadVerification};
-pub use service::{DebloatRequest, DebloatResponse, DebloatService, ServiceHandle, Ticket};
+pub use service::{
+    DebloatRequest, DebloatResponse, DebloatService, ServiceError, ServiceHandle, ServiceStats,
+    Ticket,
+};
 pub use verify::{verify, verify_indexed};
 
 /// Result alias used throughout this crate.
@@ -272,6 +287,71 @@ impl Debloater {
     ) -> Result<(MultiDebloatReport, Vec<GeneratedLibrary>)> {
         let framework = shared_framework(workloads)?;
         self.session(framework).debloat_many_full(workloads)
+    }
+
+    /// The grouped entry point behind the service's batch stage:
+    /// debloat several workload *sets* at once, deduplicating sets that
+    /// share a plan identity — framework, GPU architecture, workload
+    /// and config fingerprints ([`PlanKey`]) — into **one** detection,
+    /// plan, compaction, and verification serving the whole group.
+    ///
+    /// Results come back in input order, each stamped with its batch
+    /// provenance ([`MultiDebloatReport::batched`] /
+    /// [`MultiDebloatReport::batch_size`]). Because grouping is by full
+    /// plan identity — never by framework alone — every set receives
+    /// libraries byte-identical to what an individual
+    /// [`Debloater::debloat_many_full`] call on that set would produce;
+    /// batching is pure amortization, invisible in the output. Sets of
+    /// different frameworks may be mixed freely (each set must still be
+    /// single-framework internally); each framework's sets run against
+    /// one pinned session. Duplicate sets receive owned *clones* of the
+    /// shared result; a fan-out to many consumers of one identity is
+    /// cheaper through the [`service::DebloatService`], whose responses
+    /// share the libraries behind an `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// The first error any set produces (validation or pipeline), in
+    /// group order; the whole call aborts. The resident
+    /// [`service::DebloatService`] instead answers failures per
+    /// request.
+    pub fn debloat_grouped(
+        &self,
+        sets: &[Vec<Workload>],
+    ) -> Result<Vec<(MultiDebloatReport, Vec<GeneratedLibrary>)>> {
+        let mut sessions: HashMap<FrameworkKind, DebloatSession> = HashMap::new();
+        // Group set indices by plan identity, preserving first-arrival
+        // order so one-detection-per-group is also deterministic.
+        let mut order: Vec<PlanKey> = Vec::new();
+        let mut groups: HashMap<PlanKey, Vec<usize>> = HashMap::new();
+        for (i, set) in sets.iter().enumerate() {
+            let framework = shared_framework(set)?;
+            let session = sessions.entry(framework).or_insert_with(|| self.session(framework));
+            let normalized: Vec<Workload> =
+                set.iter().map(|w| session.normalize(w)).collect::<Result<_>>()?;
+            let key = PlanKey::for_workloads(framework, self.gpu, &self.config, &normalized);
+            let members = groups.entry(key).or_default();
+            if members.is_empty() {
+                order.push(key);
+            }
+            members.push(i);
+        }
+        let mut out: Vec<Option<(MultiDebloatReport, Vec<GeneratedLibrary>)>> =
+            sets.iter().map(|_| None).collect();
+        for key in order {
+            let members = &groups[&key];
+            let set = &sets[members[0]];
+            let session = &sessions[&set[0].framework];
+            let (mut report, libraries) = session.debloat_many_full(set)?;
+            report.batch_size = members.len();
+            report.batched = members.len() > 1;
+            let (&last, rest) = members.split_last().expect("groups are never empty");
+            for &i in rest {
+                out[i] = Some((report.clone(), libraries.clone()));
+            }
+            out[last] = Some((report, libraries));
+        }
+        Ok(out.into_iter().map(|slot| slot.expect("every set belongs to one group")).collect())
     }
 }
 
@@ -479,6 +559,8 @@ impl DebloatSession {
             used_kernels: plan.used_kernels,
             used_host_fns: plan.used_host_fns,
             plan_cache_hit: cache_hit,
+            batched: false,
+            batch_size: 1,
         };
         Ok((report, debloated))
     }

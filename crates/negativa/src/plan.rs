@@ -7,12 +7,19 @@
 //! apply stage verifies against. A plan is pure data — applying it
 //! never re-runs detection — which is what makes it cacheable.
 //!
-//! Plans live in a [`PlanCache`]: an instantiable, capacity-bounded LRU
-//! with **single-flight** miss handling
-//! ([`PlanCache::get_or_compute`]), keyed the way the ROADMAP's
-//! serve-at-scale direction needs — framework, GPU architecture, and a
-//! fingerprint of the workload set and run configuration. The
-//! long-lived [`crate::service::DebloatService`] owns one; standalone
+//! Plans live in a [`PlanCache`]: an instantiable LRU cache
+//! **partitioned per framework**, each partition capacity-bounded and
+//! independently locked, with **single-flight** miss handling
+//! ([`PlanCache::get_or_compute`]) scoped to its partition — a stampede
+//! of PyTorch requests never contends with, or wakes, TensorFlow
+//! waiters. Keys carry what the ROADMAP's serve-at-scale direction
+//! needs: framework, GPU architecture, and a fingerprint of the
+//! workload set and run configuration. A cache built with
+//! [`PlanCache::with_ttl`] additionally treats plans older than the TTL
+//! as stale: the next request **refreshes on expiry**, recomputing the
+//! plan under the same single-flight guarantee instead of serving
+//! outdated baselines forever. The long-lived
+//! [`crate::service::DebloatService`] owns one; standalone
 //! [`crate::Debloater`]s default to the process-wide instance behind
 //! the [`cache_lookup`] / [`cache_insert`] / [`plan_cache_stats`] free
 //! functions, which remain for API compatibility.
@@ -20,6 +27,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use fatbin::SmArch;
 use simcuda::GpuModel;
@@ -183,35 +191,58 @@ pub struct PlanCacheStats {
     /// Calls that blocked on another thread's in-flight computation of
     /// the same key instead of starting their own.
     pub coalesced: u64,
+    /// Lookups that found only a plan older than the cache's TTL. The
+    /// stale plan is dropped and the lookup proceeds as a miss, so every
+    /// expiry is also counted in [`PlanCacheStats::misses`].
+    pub expired: u64,
 }
 
 /// One cache slot: a finished plan, or a marker that some thread is
 /// computing it right now (single-flight).
 #[derive(Debug)]
 enum Slot {
-    Ready { plan: Arc<BundlePlan>, last_used: u64 },
+    Ready { plan: Arc<BundlePlan>, last_used: u64, stored_at: Instant },
     InFlight,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct CacheState {
     entries: HashMap<PlanKey, Slot>,
     /// Monotonic recency counter; every touch stamps the entry.
     tick: u64,
 }
 
-/// A capacity-bounded LRU cache of [`BundlePlan`]s with single-flight
-/// miss handling.
+/// One per-framework shard of a [`PlanCache`]: its own entry map, lock,
+/// and single-flight wakeup channel. Partitioning means a planning
+/// stampede on one framework never contends with — or spuriously wakes —
+/// requests against another.
+#[derive(Debug, Default)]
+struct Partition {
+    state: Mutex<CacheState>,
+    ready: Condvar,
+}
+
+/// An LRU cache of [`BundlePlan`]s, partitioned per framework, with
+/// single-flight miss handling and optional TTL-based staleness.
+///
+/// ## Partitioning contract
+///
+/// Entries live in per-framework partitions (one per
+/// [`PlanKey::framework`] value, created on first use). Each partition
+/// has its own lock, its own LRU order, its own capacity bound, and its
+/// own single-flight wakeup channel, so concurrent traffic against
+/// different frameworks never contends. [`PlanCache::capacity`] is the
+/// *per-partition* bound; [`PlanCache::len`] sums every partition.
 ///
 /// ## Eviction contract
 ///
-/// The cache holds at most [`PlanCache::capacity`] *finished* plans.
+/// A partition holds at most [`PlanCache::capacity`] *finished* plans.
 /// Every hit, insert, or completed computation stamps its entry's
-/// recency; when an insert would exceed capacity, the least recently
-/// used finished plan is evicted (and counted in
-/// [`PlanCacheStats::evictions`]). In-flight computations are tracked
-/// outside the bound — they are transient markers, never evicted, and
-/// do not count toward [`PlanCache::len`].
+/// recency; when an insert would exceed the partition's capacity, the
+/// least recently used finished plan in that partition is evicted (and
+/// counted in [`PlanCacheStats::evictions`]). In-flight computations
+/// are tracked outside the bound — they are transient markers, never
+/// evicted, and do not count toward [`PlanCache::len`].
 ///
 /// ## Single-flight contract
 ///
@@ -221,7 +252,20 @@ struct CacheState {
 /// block until it finishes and then share the resulting plan (counted
 /// as hits + [`PlanCacheStats::coalesced`]). If the computation fails,
 /// the marker is removed, every waiter wakes, and the first to re-check
-/// becomes the new computer — an error never wedges a key.
+/// becomes the new computer — an error never wedges a key. Waiting and
+/// waking are partition-scoped: a computation finishing for one
+/// framework never wakes waiters of another.
+///
+/// ## Staleness contract
+///
+/// A cache built with [`PlanCache::with_ttl`] treats a finished plan
+/// older than the TTL as stale ([`PlanCacheStats::expired`]): the next
+/// [`PlanCache::lookup`] drops it and misses, and the next
+/// [`PlanCache::get_or_compute`] **refreshes on expiry** — it replaces
+/// the stale entry with an in-flight marker and recomputes, with
+/// concurrent requests coalescing into that one refresh exactly as on a
+/// cold miss. A cache built with [`PlanCache::new`] never expires
+/// anything ([`PlanCache::ttl`] is `None`).
 ///
 /// ## Refresh contract
 ///
@@ -233,54 +277,91 @@ struct CacheState {
 #[derive(Debug)]
 pub struct PlanCache {
     capacity: usize,
-    state: Mutex<CacheState>,
-    ready: Condvar,
+    ttl: Option<Duration>,
+    partitions: Mutex<HashMap<FrameworkKind, Arc<Partition>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     detections: AtomicU64,
     coalesced: AtomicU64,
+    expired: AtomicU64,
 }
 
 impl PlanCache {
-    /// Capacity of the process-wide default instance: generous enough
-    /// that a single process never evicts in practice, while still
-    /// bounding a pathological key churn.
+    /// Per-partition capacity of the process-wide default instance:
+    /// generous enough that a single process never evicts in practice,
+    /// while still bounding a pathological key churn.
     pub const DEFAULT_CAPACITY: usize = 128;
 
-    /// An empty cache holding at most `capacity` plans (clamped to at
-    /// least 1).
+    /// An empty cache holding at most `capacity` plans per framework
+    /// partition (clamped to at least 1). Plans never expire; see
+    /// [`PlanCache::with_ttl`] for TTL-based staleness.
     pub fn new(capacity: usize) -> PlanCache {
+        PlanCache::build(capacity, None)
+    }
+
+    /// An empty cache whose plans go stale `ttl` after they are stored:
+    /// the next request for an expired key recomputes the plan
+    /// (refresh-on-expiry) instead of serving baselines measured
+    /// arbitrarily long ago.
+    pub fn with_ttl(capacity: usize, ttl: Duration) -> PlanCache {
+        PlanCache::build(capacity, Some(ttl))
+    }
+
+    fn build(capacity: usize, ttl: Option<Duration>) -> PlanCache {
         PlanCache {
             capacity: capacity.max(1),
-            state: Mutex::new(CacheState { entries: HashMap::new(), tick: 0 }),
-            ready: Condvar::new(),
+            ttl,
+            partitions: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             detections: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
         }
     }
 
-    /// Maximum number of finished plans the cache retains.
+    /// Maximum number of finished plans each framework partition
+    /// retains.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Finished plans currently cached (in-flight markers excluded).
-    /// Never exceeds [`PlanCache::capacity`].
-    pub fn len(&self) -> usize {
-        let state = self.lock();
-        state.entries.values().filter(|slot| matches!(slot, Slot::Ready { .. })).count()
+    /// The staleness bound, if this cache expires plans at all.
+    pub fn ttl(&self) -> Option<Duration> {
+        self.ttl
     }
 
-    /// True if no finished plan is cached.
+    /// Finished plans currently cached across every partition
+    /// (in-flight markers excluded; stale plans still count until a
+    /// lookup drops them). Never exceeds [`PlanCache::capacity`] ×
+    /// [`PlanCache::partition_count`].
+    pub fn len(&self) -> usize {
+        let partitions: Vec<Arc<Partition>> = self.partitions().values().cloned().collect();
+        partitions.iter().map(|p| Self::ready_count(&Self::lock(p))).sum()
+    }
+
+    /// True if no finished plan is cached in any partition.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Counters since this cache was created.
+    /// Number of framework partitions created so far (one per framework
+    /// that has been looked up or planned against).
+    pub fn partition_count(&self) -> usize {
+        self.partitions().len()
+    }
+
+    /// Finished plans currently cached in `framework`'s partition.
+    pub fn partition_len(&self, framework: FrameworkKind) -> usize {
+        match self.partitions().get(&framework).cloned() {
+            Some(partition) => Self::ready_count(&Self::lock(&partition)),
+            None => 0,
+        }
+    }
+
+    /// Counters since this cache was created (summed over partitions).
     pub fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -288,20 +369,30 @@ impl PlanCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             detections: self.detections.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
         }
     }
 
-    /// Non-blocking lookup: a finished plan counts (and stamps) a hit;
-    /// a missing or still-in-flight key counts a miss.
+    /// Non-blocking lookup: a fresh finished plan counts (and stamps) a
+    /// hit; a missing, stale, or still-in-flight key counts a miss (a
+    /// stale plan is additionally dropped and counted in
+    /// [`PlanCacheStats::expired`]).
     pub fn lookup(&self, key: &PlanKey) -> Option<Arc<BundlePlan>> {
-        let mut state = self.lock();
+        let partition = self.partition(key.framework);
+        let mut state = Self::lock(&partition);
         state.tick += 1;
         let tick = state.tick;
         match state.entries.get_mut(key) {
-            Some(Slot::Ready { plan, last_used }) => {
-                *last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(plan.clone())
+            Some(Slot::Ready { plan, last_used, stored_at }) => {
+                if self.is_fresh(*stored_at) {
+                    *last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(plan.clone());
+                }
+                state.entries.remove(key);
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
             }
             _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -310,26 +401,28 @@ impl PlanCache {
         }
     }
 
-    /// Insert a plan as most recently used, evicting the LRU entry if
-    /// the capacity bound would be exceeded. Last writer wins — plans
-    /// for one key are identical by construction, detection being
-    /// deterministic.
+    /// Insert a plan as most recently used (and freshly stored),
+    /// evicting the partition's LRU entry if its capacity bound would
+    /// be exceeded. Last writer wins — plans for one key are identical
+    /// by construction, detection being deterministic.
     pub fn insert(&self, key: PlanKey, plan: Arc<BundlePlan>) {
-        let mut state = self.lock();
+        let partition = self.partition(key.framework);
+        let mut state = Self::lock(&partition);
         state.tick += 1;
         let tick = state.tick;
-        state.entries.insert(key, Slot::Ready { plan, last_used: tick });
+        state.entries.insert(key, Slot::Ready { plan, last_used: tick, stored_at: Instant::now() });
         self.evict_over_capacity(&mut state);
         // The insert may have replaced an in-flight marker some thread
         // is waiting on; wake them so they observe the finished plan.
-        self.ready.notify_all();
+        partition.ready.notify_all();
     }
 
     /// Drop the finished plan for `key`, if any, so the next request
     /// recomputes it. Returns whether a plan was dropped. An in-flight
     /// computation is left untouched (its waiters still get a plan).
     pub fn invalidate(&self, key: &PlanKey) -> bool {
-        let mut state = self.lock();
+        let partition = self.partition(key.framework);
+        let mut state = Self::lock(&partition);
         if matches!(state.entries.get(key), Some(Slot::Ready { .. })) {
             state.entries.remove(key);
             true
@@ -338,16 +431,20 @@ impl PlanCache {
         }
     }
 
-    /// Drop every finished plan (in-flight computations keep running).
+    /// Drop every finished plan in every partition (in-flight
+    /// computations keep running).
     pub fn clear(&self) {
-        let mut state = self.lock();
-        state.entries.retain(|_, slot| matches!(slot, Slot::InFlight));
+        let partitions: Vec<Arc<Partition>> = self.partitions().values().cloned().collect();
+        for partition in partitions {
+            let mut state = Self::lock(&partition);
+            state.entries.retain(|_, slot| matches!(slot, Slot::InFlight));
+        }
     }
 
-    /// Look up `key`, computing (and caching) the plan on a miss with
-    /// at-most-one computation per key in flight. Returns the plan and
-    /// whether this call was served without running `compute` itself —
-    /// a plain hit or a single-flight wait.
+    /// Look up `key`, computing (and caching) the plan on a miss — or a
+    /// TTL expiry — with at-most-one computation per key in flight.
+    /// Returns the plan and whether this call was served without
+    /// running `compute` itself — a plain hit or a single-flight wait.
     ///
     /// # Errors
     ///
@@ -358,24 +455,33 @@ impl PlanCache {
     where
         F: FnOnce() -> Result<BundlePlan>,
     {
+        let partition = self.partition(key.framework);
         let mut waited = false;
         {
-            let mut state = self.lock();
+            let mut state = Self::lock(&partition);
             loop {
                 state.tick += 1;
                 let tick = state.tick;
                 match state.entries.get_mut(&key) {
-                    Some(Slot::Ready { plan, last_used }) => {
-                        *last_used = tick;
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok((plan.clone(), true));
+                    Some(Slot::Ready { plan, last_used, stored_at }) => {
+                        if self.is_fresh(*stored_at) {
+                            *last_used = tick;
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok((plan.clone(), true));
+                        }
+                        // Refresh-on-expiry: this caller becomes the
+                        // single-flight computer for the stale key.
+                        state.entries.insert(key, Slot::InFlight);
+                        self.expired.fetch_add(1, Ordering::Relaxed);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        break;
                     }
                     Some(Slot::InFlight) => {
                         if !waited {
                             waited = true;
                             self.coalesced.fetch_add(1, Ordering::Relaxed);
                         }
-                        state = self.ready.wait(state).expect("plan cache poisoned");
+                        state = partition.ready.wait(state).expect("plan cache poisoned");
                     }
                     None => {
                         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -389,24 +495,27 @@ impl PlanCache {
         match compute() {
             Ok(plan) => {
                 let plan = Arc::new(plan);
-                let mut state = self.lock();
+                let mut state = Self::lock(&partition);
                 state.tick += 1;
                 let tick = state.tick;
-                state.entries.insert(key, Slot::Ready { plan: plan.clone(), last_used: tick });
+                state.entries.insert(
+                    key,
+                    Slot::Ready { plan: plan.clone(), last_used: tick, stored_at: Instant::now() },
+                );
                 self.evict_over_capacity(&mut state);
                 drop(state);
-                self.ready.notify_all();
+                partition.ready.notify_all();
                 Ok((plan, false))
             }
             Err(e) => {
-                let mut state = self.lock();
+                let mut state = Self::lock(&partition);
                 // Remove only our own marker: a concurrent insert() may
                 // have replaced it with a finished plan already.
                 if matches!(state.entries.get(&key), Some(Slot::InFlight)) {
                     state.entries.remove(&key);
                 }
                 drop(state);
-                self.ready.notify_all();
+                partition.ready.notify_all();
                 Err(e)
             }
         }
@@ -428,19 +537,37 @@ impl PlanCache {
         self.get_or_compute(key, compute)
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
-        self.state.lock().expect("plan cache poisoned")
+    /// The partition for `framework`, created on first use. The outer
+    /// map lock is held only for this lookup, never while any entry is
+    /// touched.
+    fn partition(&self, framework: FrameworkKind) -> Arc<Partition> {
+        self.partitions().entry(framework).or_default().clone()
     }
 
-    /// Evict least-recently-used finished plans until the bound holds.
-    /// In-flight markers are never evicted and never count.
+    fn partitions(&self) -> std::sync::MutexGuard<'_, HashMap<FrameworkKind, Arc<Partition>>> {
+        self.partitions.lock().expect("plan cache partition map poisoned")
+    }
+
+    fn lock(partition: &Partition) -> std::sync::MutexGuard<'_, CacheState> {
+        partition.state.lock().expect("plan cache poisoned")
+    }
+
+    fn is_fresh(&self, stored_at: Instant) -> bool {
+        match self.ttl {
+            None => true,
+            Some(ttl) => stored_at.elapsed() <= ttl,
+        }
+    }
+
+    fn ready_count(state: &CacheState) -> usize {
+        state.entries.values().filter(|slot| matches!(slot, Slot::Ready { .. })).count()
+    }
+
+    /// Evict least-recently-used finished plans until the partition's
+    /// bound holds. In-flight markers are never evicted and never
+    /// count.
     fn evict_over_capacity(&self, state: &mut CacheState) {
-        loop {
-            let ready =
-                state.entries.values().filter(|slot| matches!(slot, Slot::Ready { .. })).count();
-            if ready <= self.capacity {
-                return;
-            }
+        while Self::ready_count(state) > self.capacity {
             let victim = state
                 .entries
                 .iter()
@@ -664,6 +791,80 @@ mod tests {
         assert_eq!(refreshed.usage_fingerprint, 3);
         assert_eq!(cache.stats().detections, 3);
         assert_eq!(cache.len(), 1);
+    }
+
+    fn key_for(framework: FrameworkKind, tag: u64) -> PlanKey {
+        PlanKey { framework, arch: SmArch::SM75, workloads: tag, config: 0 }
+    }
+
+    #[test]
+    fn partitions_isolate_frameworks_and_their_capacity() {
+        // Capacity 1 *per partition*: one PyTorch and one TensorFlow
+        // plan coexist because they shard to different partitions.
+        let cache = PlanCache::new(1);
+        cache.insert(key_for(FrameworkKind::PyTorch, 1), plan(1));
+        cache.insert(key_for(FrameworkKind::TensorFlow, 2), plan(2));
+        assert_eq!(cache.len(), 2, "partitions are bounded independently");
+        assert_eq!(cache.partition_count(), 2);
+        assert_eq!(cache.partition_len(FrameworkKind::PyTorch), 1);
+        assert_eq!(cache.partition_len(FrameworkKind::TensorFlow), 1);
+        assert_eq!(cache.partition_len(FrameworkKind::Vllm), 0, "untouched framework is empty");
+        assert_eq!(cache.stats().evictions, 0, "cross-framework inserts never evict each other");
+        // Churn within one partition still evicts within it only.
+        cache.insert(key_for(FrameworkKind::PyTorch, 3), plan(3));
+        assert_eq!(cache.partition_len(FrameworkKind::PyTorch), 1);
+        assert!(cache.lookup(&key_for(FrameworkKind::TensorFlow, 2)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn ttl_expires_plans_and_refreshes_on_next_request() {
+        let ttl = Duration::from_millis(40);
+        let cache = PlanCache::with_ttl(4, ttl);
+        assert_eq!(cache.ttl(), Some(ttl));
+        let (_, cached) = cache.get_or_compute(key(11), || Ok(plan(1).as_ref().clone())).unwrap();
+        assert!(!cached);
+        assert!(cache.lookup(&key(11)).is_some(), "fresh plan is served");
+
+        std::thread::sleep(ttl + Duration::from_millis(25));
+        // A stale plan is dropped by lookup and counted as expired.
+        assert!(cache.lookup(&key(11)).is_none(), "expired plan must not be served");
+        let stats = cache.stats();
+        assert_eq!(stats.expired, 1);
+        // Refresh-on-expiry through get_or_compute: recomputes, and the
+        // refreshed plan is fresh again.
+        let (refreshed, cached) =
+            cache.get_or_compute(key(11), || Ok(plan(2).as_ref().clone())).unwrap();
+        assert!(!cached, "an expired key recomputes");
+        assert_eq!(refreshed.usage_fingerprint, 2);
+        assert_eq!(cache.stats().detections, 2);
+        assert!(cache.lookup(&key(11)).is_some());
+    }
+
+    #[test]
+    fn get_or_compute_refreshes_a_stale_entry_in_place() {
+        // Expiry observed by get_or_compute directly (no lookup first):
+        // the stale Ready slot becomes this caller's in-flight marker.
+        let cache = PlanCache::with_ttl(4, Duration::from_millis(30));
+        cache.insert(key(5), plan(1));
+        std::thread::sleep(Duration::from_millis(55));
+        let (p, cached) = cache.get_or_compute(key(5), || Ok(plan(9).as_ref().clone())).unwrap();
+        assert!(!cached);
+        assert_eq!(p.usage_fingerprint, 9, "the refresh replaced the stale plan");
+        let stats = cache.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.detections, 1);
+    }
+
+    #[test]
+    fn untimed_caches_never_expire() {
+        let cache = PlanCache::new(4);
+        assert_eq!(cache.ttl(), None);
+        cache.insert(key(3), plan(3));
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(cache.lookup(&key(3)).is_some());
+        assert_eq!(cache.stats().expired, 0);
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub struct PoolStats {
     pub peak_active: usize,
     /// Total jobs the pool has finished executing.
     pub completed: u64,
+    /// Fan-out calls ([`WorkerPool::run`]) the pool has served. Each
+    /// debloat costs exactly two — one locate pass, one compact pass —
+    /// so this is the batch-scoped accounting unit: a service batch of
+    /// any size that shares one union debloat advances it by 2, where
+    /// N unbatched requests would advance it by 2·N.
+    pub fan_outs: u64,
 }
 
 /// A bounded admission gate for per-library work, shared across every
@@ -52,6 +58,7 @@ pub struct WorkerPool {
     freed: Condvar,
     peak_active: AtomicUsize,
     completed: AtomicU64,
+    fan_outs: AtomicU64,
 }
 
 impl WorkerPool {
@@ -70,6 +77,7 @@ impl WorkerPool {
             freed: Condvar::new(),
             peak_active: AtomicUsize::new(0),
             completed: AtomicU64::new(0),
+            fan_outs: AtomicU64::new(0),
         })
     }
 
@@ -87,13 +95,21 @@ impl WorkerPool {
         self.workers
     }
 
-    /// Current counters (peak concurrency and completed jobs).
+    /// Current counters (peak concurrency, completed jobs, fan-outs
+    /// served).
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             workers: self.workers,
             peak_active: self.peak_active.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            fan_outs: self.fan_outs.load(Ordering::Relaxed),
         }
+    }
+
+    /// Jobs executing through this pool right now (a point-in-time
+    /// gauge; see [`PoolStats::peak_active`] for the high-water mark).
+    pub fn active(&self) -> usize {
+        *self.active.lock().expect("worker pool poisoned")
     }
 
     /// Run `f` over every item, at most [`WorkerPool::workers`] at a
@@ -113,6 +129,7 @@ impl WorkerPool {
         R: Send,
         F: Fn(usize, &T) -> Result<R> + Sync,
     {
+        self.fan_outs.fetch_add(1, Ordering::Relaxed);
         if items.len() < 2 {
             // No task threads, but still through the admission gate:
             // the global bound and the stats must count every job.
@@ -271,6 +288,8 @@ mod tests {
         assert!(stats.peak_active <= 3);
         assert_eq!(stats.completed, 64);
         assert_eq!(stats.workers, 3);
+        assert_eq!(stats.fan_outs, 1, "one run() call is one fan-out");
+        assert_eq!(pool.active(), 0, "all permits released");
     }
 
     #[test]
@@ -297,6 +316,7 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.completed, 1, "inline jobs still count");
         assert_eq!(stats.peak_active, 1, "inline jobs still claim a slot");
+        assert_eq!(stats.fan_outs, 1, "inline runs still count as a fan-out");
     }
 
     #[test]

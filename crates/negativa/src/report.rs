@@ -302,6 +302,16 @@ pub struct MultiDebloatReport {
     pub used_host_fns: usize,
     /// True if the union retain plan came from the plan cache.
     pub plan_cache_hit: bool,
+    /// True if this per-request report was sliced from a batched union
+    /// debloat — the service's batcher grouped this request with others
+    /// sharing its plan identity, and one detection/plan/compact served
+    /// the whole group. False for unbatched entry points
+    /// ([`crate::Debloater::debloat_many`]) and for batches of one.
+    pub batched: bool,
+    /// Number of requests the underlying execution served — the batch
+    /// provenance behind [`MultiDebloatReport::batched`]. Always ≥ 1;
+    /// exactly 1 on the unbatched path.
+    pub batch_size: usize,
 }
 
 impl MultiDebloatReport {
@@ -332,10 +342,11 @@ impl MultiDebloatReport {
             mb_line(t.device_before, t.device_after),
         ));
         out.push_str(&format!(
-            "  union usage: {} kernels, {} host fns{}\n",
+            "  union usage: {} kernels, {} host fns{}{}\n",
             self.used_kernels,
             self.used_host_fns,
             if self.plan_cache_hit { " (plan cache hit)" } else { "" },
+            if self.batched { format!(" (batched x{})", self.batch_size) } else { String::new() },
         ));
         for w in &self.workloads {
             out.push_str(&format!(
@@ -498,6 +509,8 @@ mod tests {
             used_kernels: 20,
             used_host_fns: 40,
             plan_cache_hit: true,
+            batched: false,
+            batch_size: 1,
         }
     }
 
@@ -516,5 +529,15 @@ mod tests {
         broken.workloads[1].verified_checksum = 0xcc;
         assert!(!broken.all_verified());
         assert!(broken.summary().contains("!="));
+    }
+
+    #[test]
+    fn batched_reports_carry_their_provenance() {
+        let mut r = multi_report();
+        assert!(!r.summary().contains("batched"), "unbatched reports say nothing about batching");
+        r.batched = true;
+        r.batch_size = 8;
+        let s = r.summary();
+        assert!(s.contains("(batched x8)"), "{s}");
     }
 }

@@ -68,6 +68,53 @@ fn debloat_many_unions_usage_and_verifies_every_workload() {
 }
 
 #[test]
+fn debloat_grouped_deduplicates_plan_identities() {
+    use std::sync::Arc;
+
+    let train = pytorch(Operation::Train);
+    let infer = pytorch(Operation::Inference);
+    // A private cache so the detection count below is exact.
+    let cache = Arc::new(negativa_ml::PlanCache::new(8));
+    let debloater = Debloater::new(GpuModel::T4).with_plan_cache(cache.clone());
+    let sets = vec![
+        vec![train.clone()],
+        vec![infer.clone()],
+        vec![train.clone()],                // same plan identity as set 0
+        vec![train.clone(), infer.clone()], // a distinct union identity
+    ];
+    let grouped = debloater.debloat_grouped(&sets).expect("grouped debloat verifies");
+    assert_eq!(grouped.len(), 4, "one result per input set, in order");
+    assert_eq!(cache.stats().detections, 3, "one detection per unique plan identity");
+
+    // Duplicates share one execution, stamped with their provenance...
+    let (r0, l0) = &grouped[0];
+    let (r2, l2) = &grouped[2];
+    assert!(r0.batched && r2.batched, "grouped duplicates are marked batched");
+    assert_eq!(r0.batch_size, 2);
+    assert_eq!(r0.workloads, r2.workloads);
+    for (a, b) in l0.iter().zip(l2) {
+        assert_eq!(a.image.bytes(), b.image.bytes());
+    }
+    // ...and are byte-identical to an individual debloat_many call:
+    // grouping by full plan identity is pure amortization.
+    let (direct, direct_libs) =
+        Debloater::new(GpuModel::T4).debloat_many_full(std::slice::from_ref(&train)).unwrap();
+    assert_eq!(r0.libraries, direct.libraries);
+    assert_eq!(r0.workloads, direct.workloads);
+    for (a, b) in l0.iter().zip(&direct_libs) {
+        assert_eq!(a.image.bytes(), b.image.bytes(), "{} diverged", a.manifest.soname);
+    }
+
+    // Singleton groups are unbatched; the union set stays its own group.
+    let (r1, _) = &grouped[1];
+    assert!(!r1.batched);
+    assert_eq!(r1.batch_size, 1);
+    let (r3, _) = &grouped[3];
+    assert_eq!(r3.workloads.len(), 2);
+    assert!(r3.all_verified());
+}
+
+#[test]
 fn debloat_many_rejects_empty_and_mixed_sets() {
     let debloater = Debloater::new(GpuModel::T4);
     assert!(matches!(

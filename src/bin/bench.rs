@@ -1,23 +1,31 @@
 //! `bench` — the debloat-path latency benchmark behind
 //! `BENCH_service.json`.
 //!
-//! Times the three ways a debloat can be served, on one representative
+//! Times the ways a debloat can be served, on one representative
 //! workload:
 //!
 //! * **cold** — a fresh plan cache: baseline + detection runs, location,
 //!   compaction, verification, everything.
 //! * **cache hit** — the same key again: the plan cache skips baseline
 //!   and detection entirely (the paper's repeated-deployment case).
-//! * **service-queued** — a batch of requests through the long-lived
-//!   [`DebloatService`] queue: amortized planning (single-flight makes
-//!   it one detection total) plus the queue/worker overhead.
+//! * **unbatched** — a sequence of requests on a warm cache: planning is
+//!   amortized, but every request still pays its own compaction and
+//!   verification.
+//! * **batched** — the same burst through the staged
+//!   [`DebloatService`]: the admission pipeline groups requests sharing
+//!   a plan identity into union debloats, so the burst approaches one
+//!   compaction total. Per-request p50/p95 latency is measured from
+//!   concurrent client threads.
 //!
 //! Writes the measurements as JSON to `BENCH_service.json` (override
-//! with `BENCH_OUT=path`), so CI can track the perf trajectory.
+//! with `BENCH_OUT=path`), validated against the schema shared with the
+//! `bench_check` CI guard ([`negativa_repro::bench`]), so CI can track
+//! the perf trajectory and fail on a malformed report.
 
 use std::sync::Arc;
 use std::time::Instant;
 
+use negativa_repro::bench::{percentile, render, validate, BenchValue};
 use negativa_repro::cuda::GpuModel;
 use negativa_repro::ml::{FrameworkKind, ModelKind, Operation, Workload};
 use negativa_repro::negativa::service::DebloatService;
@@ -27,6 +35,7 @@ fn main() {
     let gpu = GpuModel::T4;
     let workload =
         Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Inference);
+    let requests: usize = 16;
 
     // Warm the process-wide bundle/index caches so "cold" measures the
     // debloat pipeline, not one-time library generation.
@@ -46,38 +55,70 @@ fn main() {
     let cache_hit_ns = started.elapsed().as_nanos();
     assert!(hit.plan_cache_hit, "second debloat of one key must hit the cache");
 
-    // Service-queued: a batch of identical requests through the queue.
-    let service_requests: u32 = 16;
-    let service = DebloatService::builder(gpu).service_workers(4).cache_capacity(8).build();
-    let handle = service.handle();
+    // Unbatched: sequential requests on the warm cache — no detection,
+    // but one compaction + verification each.
     let started = Instant::now();
-    let tickets: Vec<_> = (0..service_requests)
-        .map(|_| handle.submit(vec![workload.clone()]).expect("queue open"))
-        .collect();
-    for ticket in tickets {
-        let response = ticket.wait().expect("service answers");
-        assert!(response.report.all_verified());
+    for _ in 0..requests {
+        let report = debloater.debloat(&workload).expect("unbatched debloat verifies");
+        assert!(report.plan_cache_hit);
     }
-    let service_total_ns = started.elapsed().as_nanos();
+    let unbatched_total_ns = started.elapsed().as_nanos();
+
+    // Batched: the same burst, concurrently, through the staged
+    // admission pipeline; requests sharing the plan identity group into
+    // union debloats while the executors are busy.
+    let service = DebloatService::builder(gpu)
+        .service_workers(2)
+        .queue_capacity(64)
+        .cache_capacity(8)
+        .build();
+    let started = Instant::now();
+    let mut latencies_ns: Vec<u128> = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..requests)
+            .map(|_| {
+                let handle = service.handle();
+                let workload = workload.clone();
+                scope.spawn(move || {
+                    let begun = Instant::now();
+                    let response = handle.request(vec![workload]).expect("service answers");
+                    assert!(response.report.all_verified());
+                    begun.elapsed().as_nanos()
+                })
+            })
+            .collect();
+        clients.into_iter().map(|c| c.join().expect("bench client panicked")).collect()
+    });
+    let batched_total_ns = started.elapsed().as_nanos();
+    let stats = service.stats();
     let detections = service.plan_cache().stats().detections;
     service.shutdown();
-    assert_eq!(detections, 1, "single-flight: the whole batch shares one detection");
+    assert_eq!(detections, 1, "single-flight + batching: the whole burst shares one detection");
+    latencies_ns.sort_unstable();
 
-    let json = format!(
-        "{{\n  \"workload\": \"{}\",\n  \"gpu\": \"{}\",\n  \"cold_ns\": {},\n  \
-         \"cache_hit_ns\": {},\n  \"cold_over_hit_speedup\": {:.2},\n  \
-         \"service_requests\": {},\n  \"service_total_ns\": {},\n  \
-         \"service_mean_ns_per_request\": {},\n  \"service_detections\": {}\n}}\n",
-        workload.label(),
-        gpu,
-        cold_ns,
-        cache_hit_ns,
-        cold_ns as f64 / cache_hit_ns.max(1) as f64,
-        service_requests,
-        service_total_ns,
-        service_total_ns / u128::from(service_requests),
-        detections,
-    );
+    let rps = |total_ns: u128| requests as f64 / (total_ns.max(1) as f64 / 1e9);
+    let entries: Vec<(&str, BenchValue)> = vec![
+        ("schema_version", BenchValue::int(1)),
+        ("workload", BenchValue::Text(workload.label())),
+        ("gpu", BenchValue::Text(gpu.to_string())),
+        ("cold_ns", BenchValue::int(cold_ns)),
+        ("cache_hit_ns", BenchValue::int(cache_hit_ns)),
+        ("cold_over_hit_speedup", BenchValue::Number(cold_ns as f64 / cache_hit_ns.max(1) as f64)),
+        ("service_requests", BenchValue::int(requests as u128)),
+        ("service_detections", BenchValue::int(u128::from(detections))),
+        ("latency_p50_ns", BenchValue::int(percentile(&latencies_ns, 50))),
+        ("latency_p95_ns", BenchValue::int(percentile(&latencies_ns, 95))),
+        ("unbatched_total_ns", BenchValue::int(unbatched_total_ns)),
+        ("unbatched_throughput_rps", BenchValue::Number(rps(unbatched_total_ns))),
+        ("batched_total_ns", BenchValue::int(batched_total_ns)),
+        ("batched_throughput_rps", BenchValue::Number(rps(batched_total_ns))),
+        (
+            "batched_over_unbatched_speedup",
+            BenchValue::Number(unbatched_total_ns as f64 / batched_total_ns.max(1) as f64),
+        ),
+        ("mean_batch_size", BenchValue::Number(stats.mean_batch_size())),
+    ];
+    let json = render(&entries);
+    validate(&json).expect("the bench report must satisfy its own schema");
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".into());
     std::fs::write(&out, &json).expect("writing the benchmark report");
     println!("wrote {out}:\n{json}");

@@ -1,0 +1,26 @@
+//! `bench_check` — the CI schema guard for `BENCH_service.json`.
+//!
+//! Reads the report the `bench` binary wrote (default
+//! `BENCH_service.json`, override with `BENCH_OUT=path`) and validates
+//! it against the shared schema in [`negativa_repro::bench`]: the file
+//! must parse as a flat JSON object and contain every required key with
+//! the right type. Exits non-zero with a readable message otherwise, so
+//! a perf-trajectory artifact can never silently go malformed.
+
+use negativa_repro::bench::{validate, REQUIRED_KEYS};
+
+fn main() {
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".into());
+    let json = match std::fs::read_to_string(&path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = validate(&json) {
+        eprintln!("bench_check: {path} failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    println!("bench_check: {path} OK ({} required keys present and typed)", REQUIRED_KEYS.len());
+}

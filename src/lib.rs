@@ -19,9 +19,12 @@
 //!   **detect → plan → apply** sessions: detection produces a usage
 //!   map, planning turns it into a cacheable per-library retain plan,
 //!   application compacts and verifies ([`negativa_ml`]). On top sits
-//!   the long-lived [`negativa::service::DebloatService`] — queued
-//!   requests, an LRU plan cache with single-flight planning, and a
-//!   bounded worker pool shared across in-flight debloats.
+//!   the long-lived [`negativa::service::DebloatService`] — a staged
+//!   admission → batch → execute pipeline with a bounded queue that
+//!   sheds under load, plan-identity batching (a burst of same-bundle
+//!   requests costs one detection and one compaction), a per-framework
+//!   partitioned plan cache with single-flight planning and optional
+//!   TTL refresh, and a bounded worker pool shared across batches.
 //!
 //! # Quickstart
 //!
@@ -70,30 +73,46 @@
 //!
 //! For the serve-at-scale deployment — many clients, many frameworks,
 //! one resident debloater — run a
-//! [`DebloatService`](negativa::service::DebloatService): submit
-//! workload sets over its queue from any number of threads and receive
-//! verified reports *plus the compacted libraries* on per-request
-//! channels. Concurrent requests for the same plan share one detection
-//! (single-flight), and per-library work across all requests is bounded
-//! by one worker pool:
+//! [`DebloatService`](negativa::service::DebloatService): a staged
+//! admission → batch → execute pipeline. Submissions enter a *bounded*
+//! queue (backpressure); while the executors are busy, queued requests
+//! sharing a plan identity are grouped into one union debloat whose
+//! verified result — byte-identical to the unbatched path — fans out to
+//! every requester. Use `try_submit` to shed load with a typed
+//! `Overloaded` error instead of blocking when the queue is full:
 //!
 //! ```
 //! use negativa_repro::ml::{FrameworkKind, ModelKind, Operation, Workload};
 //! use negativa_repro::cuda::GpuModel;
-//! use negativa_repro::negativa::service::DebloatService;
+//! use negativa_repro::negativa::service::{DebloatService, ServiceError};
+//! use negativa_repro::negativa::NegativaError;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let service = DebloatService::builder(GpuModel::T4).service_workers(2).build();
+//! let service = DebloatService::builder(GpuModel::T4)
+//!     .service_workers(2)
+//!     .queue_capacity(32)   // bounded admission: beyond this, shed or block
+//!     .build();
 //! let handle = service.handle();
 //! let w = Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2,
 //!                         Operation::Inference);
-//! let ticket = handle.submit(vec![w])?;        // enqueue, don't block
-//! let response = ticket.wait()?;               // report + debloated libraries
-//! assert!(response.report.all_verified());
+//! // Non-blocking admission with typed load shedding:
+//! match handle.try_submit(vec![w]) {
+//!     Ok(ticket) => {
+//!         let response = ticket.wait()?;       // report + debloated libraries
+//!         assert!(response.report.all_verified());
+//!         assert!(response.report.batch_size >= 1); // batch provenance
+//!     }
+//!     Err(NegativaError::Service(ServiceError::Overloaded { capacity })) => {
+//!         eprintln!("saturated at {capacity}; back off and retry");
+//!     }
+//!     Err(e) => return Err(e.into()),
+//! }
 //! service.shutdown();
 //! # Ok(())
 //! # }
 //! ```
+
+pub mod bench;
 
 pub use fatbin;
 pub use negativa_ml as negativa;
