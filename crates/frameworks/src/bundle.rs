@@ -77,6 +77,53 @@ impl FrameworkBundle {
         Ok(FrameworkBundle { framework, libraries })
     }
 
+    /// Rebuild a bundle from library *images* loaded elsewhere — the
+    /// load-from-store path: an artifact store persists the compacted
+    /// bytes only, and this pairs them back with the framework's
+    /// deterministic [`LibManifest`]s (generation is pure, so the
+    /// manifests of a debloated bundle are identical to the original's;
+    /// compaction zeroes bytes, it never touches structure).
+    ///
+    /// `images` must cover the roster exactly: same count, same sonames,
+    /// in provider-resolution order.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SimmlError::BundleMismatch`] naming the first count or
+    /// soname violation — a stored bundle is never silently paired with
+    /// the wrong manifest.
+    pub fn from_images(framework: FrameworkKind, images: Vec<ElfImage>) -> Result<FrameworkBundle> {
+        let original = cached_bundle(framework);
+        let roster = original.libraries();
+        if images.len() != roster.len() {
+            return Err(crate::SimmlError::BundleMismatch {
+                reason: format!(
+                    "{} ships {} libraries, got {} images",
+                    framework.name(),
+                    roster.len(),
+                    images.len()
+                ),
+            });
+        }
+        let libraries = images
+            .into_iter()
+            .zip(roster)
+            .map(|(image, lib)| {
+                if image.soname() != lib.manifest.soname {
+                    return Err(crate::SimmlError::BundleMismatch {
+                        reason: format!(
+                            "expected {} at this roster position, got {}",
+                            lib.manifest.soname,
+                            image.soname()
+                        ),
+                    });
+                }
+                Ok(GeneratedLibrary { image, manifest: lib.manifest.clone() })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(FrameworkBundle { framework, libraries })
+    }
+
     /// Which framework this bundle belongs to.
     pub fn framework(&self) -> FrameworkKind {
         self.framework
@@ -85,6 +132,12 @@ impl FrameworkBundle {
     /// The libraries, in provider-resolution order.
     pub fn libraries(&self) -> &[GeneratedLibrary] {
         &self.libraries
+    }
+
+    /// Consume the bundle and take the libraries (provider-resolution
+    /// order preserved).
+    pub fn into_libraries(self) -> Vec<GeneratedLibrary> {
+        self.libraries
     }
 
     /// Find a library by soname.
@@ -185,6 +238,32 @@ mod tests {
         let bundle = cached_bundle(FrameworkKind::PyTorch);
         assert!(bundle.find("libtorch_cuda.so").is_some());
         assert!(bundle.find("libmissing.so").is_none());
+    }
+
+    #[test]
+    fn from_images_pairs_stored_bytes_with_roster_manifests() {
+        let original = cached_bundle(FrameworkKind::PyTorch);
+        let images: Vec<ElfImage> =
+            original.libraries().iter().map(|lib| lib.image.clone()).collect();
+        let rebuilt = FrameworkBundle::from_images(FrameworkKind::PyTorch, images).unwrap();
+        assert_eq!(rebuilt.libraries(), original.libraries());
+        assert_eq!(rebuilt.into_libraries().len(), original.libraries().len());
+
+        // Wrong count is refused.
+        let err = FrameworkBundle::from_images(FrameworkKind::PyTorch, Vec::new()).unwrap_err();
+        assert!(matches!(err, crate::SimmlError::BundleMismatch { .. }), "{err}");
+
+        // A swapped soname is refused, naming the offender.
+        let mut swapped: Vec<ElfImage> =
+            original.libraries().iter().map(|lib| lib.image.clone()).collect();
+        swapped.swap(0, 1);
+        let err = FrameworkBundle::from_images(FrameworkKind::PyTorch, swapped).unwrap_err();
+        match err {
+            crate::SimmlError::BundleMismatch { reason } => {
+                assert!(reason.contains(&original.libraries()[0].manifest.soname), "{reason}");
+            }
+            other => panic!("expected BundleMismatch, got {other}"),
+        }
     }
 
     #[test]

@@ -37,6 +37,14 @@ pub enum SimmlError {
         /// The diverging rank's checksum.
         actual: u64,
     },
+    /// A library set loaded from outside (e.g. an on-disk artifact
+    /// store) does not match the framework's generated roster — wrong
+    /// library count or an unexpected soname — so it cannot be paired
+    /// with the roster's manifests.
+    BundleMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
     /// The simulated runtime failed (kernel/function missing, OOM, ...).
     Cuda(simcuda::CudaError),
 }
@@ -57,6 +65,9 @@ impl fmt::Display for SimmlError {
                 "distributed ranks diverged: rank {rank} produced checksum {actual:#018x}, \
                  rank 0 produced {expected:#018x}"
             ),
+            SimmlError::BundleMismatch { reason } => {
+                write!(f, "stored bundle does not match the framework roster: {reason}")
+            }
             SimmlError::Cuda(e) => write!(f, "runtime error: {e}"),
         }
     }

@@ -1,0 +1,507 @@
+//! A minimal, dependency-free JSON codec shared by the artifact
+//! store's on-disk formats ([`crate::manifest`]) and the façade's
+//! bench-report schema (`negativa_repro::bench`).
+//!
+//! The workspace is offline by design, so this is a strict
+//! recursive-descent reader and a deterministic writer for the JSON
+//! subset the repository's artifacts actually use: objects (with
+//! insertion-ordered keys), arrays, strings, numbers, booleans, and
+//! `null`. Parsing rejects duplicate keys, unknown escapes, and
+//! trailing garbage — an artifact either round-trips exactly or fails
+//! loudly.
+//!
+//! 64-bit identity values (content hashes, checksums, fingerprints,
+//! nanosecond counters) do **not** fit a JSON `f64` losslessly, so they
+//! are carried as fixed-width hex strings via [`JsonValue::u64`] /
+//! [`JsonValue::as_u64`].
+
+use std::fmt::Write as _;
+
+/// One JSON value: the document tree of a manifest or report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A JSON number. Only used for values that fit an `f64` exactly
+    /// (counts, small sizes, ratios); 64-bit identities go through
+    /// [`JsonValue::u64`] instead.
+    Number(f64),
+    /// A string.
+    Text(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order is preserved by render and parse, so
+    /// encode → decode → encode is byte-stable.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Encode a `u64` losslessly as a fixed-width hex string
+    /// (`"0x00000000000000ab"`), the workspace's display convention for
+    /// checksums and hashes.
+    pub fn u64(value: u64) -> JsonValue {
+        JsonValue::Text(format!("{value:#018x}"))
+    }
+
+    /// Shorthand for an exact small integer (counts, indices).
+    pub fn int(value: u64) -> JsonValue {
+        JsonValue::Number(value as f64)
+    }
+
+    /// Decode a value written by [`JsonValue::u64`] — or a plain
+    /// non-negative integral number — back to a `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Text(s) => {
+                let hex = s.strip_prefix("0x")?;
+                u64::from_str_radix(hex, 16).ok()
+            }
+            JsonValue::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n < 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a [`JsonValue::Number`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, if it is an exact non-negative integer.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_f64().filter(|n| n.fract() == 0.0 && *n >= 0.0).map(|n| n as usize)
+    }
+
+    /// The string, if this is a [`JsonValue::Text`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a [`JsonValue::Array`].
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is a [`JsonValue::Object`].
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on an object (`None` for other variants or missing
+    /// keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Render the value as pretty-printed JSON (two-space indent,
+    /// key order preserved, no trailing newline). Integral numbers
+    /// print without a decimal point; other numbers print in Rust's
+    /// shortest round-trip form.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) if n.fract() == 0.0 && n.abs() < 1e15 => {
+                let _ = write!(out, "{}", *n as i64);
+            }
+            JsonValue::Number(n) if !n.is_finite() => {
+                // JSON has no NaN/Infinity. Rendering the Rust debug
+                // form would produce a file *no* parser — including this
+                // module's — accepts; `null` keeps the document valid
+                // and surfaces as a typed mistyped-field error at decode
+                // time instead of unreadable garbage.
+                out.push_str("null");
+            }
+            JsonValue::Number(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Text(s) => render_string(out, s),
+            JsonValue::Array(items) if items.is_empty() => out.push_str("[]"),
+            JsonValue::Array(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    indent(out, depth + 1);
+                    item.render_into(out, depth + 1);
+                    out.push_str(if i + 1 == items.len() { "\n" } else { ",\n" });
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            JsonValue::Object(pairs) if pairs.is_empty() => out.push_str("{}"),
+            JsonValue::Object(pairs) => {
+                out.push_str("{\n");
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    indent(out, depth + 1);
+                    render_string(out, key);
+                    out.push_str(": ");
+                    value.render_into(out, depth + 1);
+                    out.push_str(if i + 1 == pairs.len() { "\n" } else { ",\n" });
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse one JSON document. Rejects duplicate object keys,
+    /// unsupported escapes, and trailing garbage.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first syntax violation.
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let mut cursor = Cursor { bytes: input.as_bytes(), at: 0 };
+        cursor.skip_ws();
+        let value = cursor.parse_value()?;
+        cursor.skip_ws();
+        if cursor.at != cursor.bytes.len() {
+            return Err(format!("trailing garbage after the document at byte {}", cursor.at));
+        }
+        Ok(value)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            // RFC 8259 forbids raw control characters in strings.
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, wanted: u8) -> Result<(), String> {
+        if self.peek() == Some(wanted) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                wanted as char,
+                self.at,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Text(self.parse_string()?)),
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'n') if self.eat_keyword("null") => Ok(JsonValue::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(JsonValue::Bool(false)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                Ok(JsonValue::Number(self.parse_number()?))
+            }
+            other => Err(format!("expected a JSON value at byte {}, found {other:?}", self.at)),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut pairs: Vec<(String, JsonValue)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                other => return Err(format!("expected ',' or '}}' after a pair, found {other:?}")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => {
+                    return Err(format!("expected ',' or ']' after an element, found {other:?}"))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.at;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => {
+                            out.push('"');
+                            self.at += 1;
+                        }
+                        Some(b'\\') => {
+                            out.push('\\');
+                            self.at += 1;
+                        }
+                        Some(b'u') => {
+                            self.at += 1;
+                            out.push(self.parse_unicode_escape()?);
+                        }
+                        other => return Err(format!("unsupported escape {other:?} in string")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, not one byte: the input
+                    // is a &str, so char boundaries are well defined.
+                    let rest = std::str::from_utf8(&self.bytes[self.at..])
+                        .map_err(|_| format!("invalid UTF-8 in string at byte {}", self.at))?;
+                    let c = rest.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+                None => return Err(format!("unterminated string starting at byte {start}")),
+            }
+        }
+    }
+
+    /// The four hex digits after `\u` (only emitted by the renderer for
+    /// control characters, but any non-surrogate BMP scalar is
+    /// accepted).
+    fn parse_unicode_escape(&mut self) -> Result<char, String> {
+        let start = self.at;
+        let Some(hex) = self.bytes.get(self.at..self.at + 4) else {
+            return Err(format!("truncated \\u escape at byte {start}"));
+        };
+        self.at += 4;
+        let hex =
+            std::str::from_utf8(hex).map_err(|_| format!("bad \\u escape at byte {start}"))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| format!("bad \\u escape {hex:?} at byte {start}"))?;
+        char::from_u32(code)
+            .ok_or_else(|| format!("\\u{hex} is not a Unicode scalar (byte {start})"))
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        let start = self.at;
+        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii digits");
+        text.parse::<f64>().map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+    }
+}
+
+/// FNV-1a over raw bytes — the content hash behind the artifact store's
+/// addressing. Independent of [`simml::namegen::stable_hash`] (which
+/// folds *strings* with separators); this one hashes exact byte
+/// streams, so any single-bit change in a stored file changes the
+/// digest.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JsonValue {
+        JsonValue::Object(vec![
+            ("name".into(), JsonValue::Text("lib \"x\".so".into())),
+            ("count".into(), JsonValue::int(42)),
+            ("ratio".into(), JsonValue::Number(2.5)),
+            ("hash".into(), JsonValue::u64(u64::MAX - 1)),
+            ("flag".into(), JsonValue::Bool(true)),
+            ("hole".into(), JsonValue::Null),
+            ("empty".into(), JsonValue::Array(Vec::new())),
+            (
+                "ranges".into(),
+                JsonValue::Array(vec![JsonValue::Object(vec![
+                    ("start".into(), JsonValue::u64(0)),
+                    ("end".into(), JsonValue::u64(4096)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn render_parse_round_trips_byte_stable() {
+        let doc = sample();
+        let text = doc.render();
+        let parsed = JsonValue::parse(&text).expect("rendered output parses");
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.render(), text, "encode -> decode -> encode is byte-stable");
+    }
+
+    #[test]
+    fn u64_values_survive_beyond_f64_precision() {
+        for v in [0u64, 1, (1 << 53) + 1, u64::MAX] {
+            let text = JsonValue::u64(v).render();
+            let back = JsonValue::parse(&text).unwrap().as_u64().expect("hex u64 decodes");
+            assert_eq!(back, v, "u64 {v:#x} must round-trip exactly");
+        }
+        // Plain small integers decode too.
+        assert_eq!(JsonValue::int(7).as_u64(), Some(7));
+        assert_eq!(JsonValue::Number(1.5).as_u64(), None);
+        assert_eq!(JsonValue::Text("not hex".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn object_accessors_navigate_the_tree() {
+        let doc = sample();
+        assert_eq!(doc.get("count").and_then(JsonValue::as_usize), Some(42));
+        assert_eq!(doc.get("ratio").and_then(JsonValue::as_f64), Some(2.5));
+        assert_eq!(doc.get("name").and_then(JsonValue::as_str), Some("lib \"x\".so"));
+        assert!(doc.get("missing").is_none());
+        let ranges = doc.get("ranges").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(ranges[0].get("end").and_then(JsonValue::as_u64), Some(4096));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_not_misread() {
+        assert!(JsonValue::parse("").is_err());
+        assert!(JsonValue::parse("{\"a\": 1").is_err(), "unterminated object");
+        assert!(JsonValue::parse("{\"a\": 1} tail").is_err(), "trailing garbage");
+        assert!(JsonValue::parse("{\"a\": 1, \"a\": 2}").is_err(), "duplicate keys");
+        assert!(JsonValue::parse("{\"a\": 12notanumber}").is_err());
+        assert!(JsonValue::parse("[1, 2,]").is_err(), "trailing comma");
+        assert!(JsonValue::parse("{\"a\": \"\\n\"}").is_err(), "unsupported escape");
+        assert!(JsonValue::parse("nul").is_err(), "truncated keyword");
+    }
+
+    #[test]
+    fn nested_and_unicode_content_round_trips() {
+        let text = "{\"label\": \"PyTorch/Träin/MobileNetV2\", \"nest\": [[1, 2], {\"x\": null}]}";
+        let doc = JsonValue::parse(text).unwrap();
+        assert_eq!(doc.get("label").and_then(JsonValue::as_str), Some("PyTorch/Träin/MobileNetV2"));
+        let rendered = doc.render();
+        assert_eq!(JsonValue::parse(&rendered).unwrap(), doc);
+    }
+
+    #[test]
+    fn control_characters_escape_and_round_trip() {
+        let doc = JsonValue::Text("line1\nline2\ttab\u{1}".into());
+        let text = doc.render();
+        assert!(!text.bytes().any(|b| b < 0x20), "no raw control bytes in rendered JSON: {text:?}");
+        assert!(text.contains("\\u000a") && text.contains("\\u0009"), "{text}");
+        assert_eq!(JsonValue::parse(&text).unwrap(), doc);
+        // Arbitrary \u escapes decode too; invalid ones are rejected.
+        assert_eq!(JsonValue::parse("\"\\u0041\"").unwrap(), JsonValue::Text("A".into()));
+        assert!(JsonValue::parse("\"\\u12\"").is_err(), "truncated escape");
+        assert!(JsonValue::parse("\"\\ud800\"").is_err(), "lone surrogate");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null_never_invalid_json() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let text = JsonValue::Number(bad).render();
+            assert_eq!(text, "null", "JSON cannot carry {bad}");
+            JsonValue::parse(&text).expect("the fallback stays parseable");
+        }
+    }
+
+    #[test]
+    fn content_hash_is_bit_sensitive() {
+        let a = content_hash(b"negativa");
+        assert_eq!(a, content_hash(b"negativa"), "deterministic");
+        assert_ne!(a, content_hash(b"negativb"));
+        assert_ne!(content_hash(&[0x00]), content_hash(&[0x01]));
+        assert_ne!(content_hash(b""), content_hash(&[0x00]), "length is part of the digest");
+    }
+}

@@ -45,6 +45,11 @@ pub enum NegativaError {
     /// the admission queue shed it under load, or the service shut down
     /// before answering. See [`crate::service::ServiceError`].
     Service(crate::service::ServiceError),
+    /// The on-disk artifact store refused or failed an operation:
+    /// missing or corrupt entries, content-hash mismatches, or a
+    /// publish into a root holding a different artifact. See
+    /// [`crate::store::StoreError`].
+    Store(crate::store::StoreError),
 }
 
 impl fmt::Display for NegativaError {
@@ -68,6 +73,7 @@ impl fmt::Display for NegativaError {
                 write!(f, "invalid workload set: {reason}")
             }
             NegativaError::Service(e) => write!(f, "{e}"),
+            NegativaError::Store(e) => write!(f, "{e}"),
         }
     }
 }
@@ -105,6 +111,12 @@ impl From<fatbin::FatbinError> for NegativaError {
 impl From<crate::service::ServiceError> for NegativaError {
     fn from(e: crate::service::ServiceError) -> Self {
         NegativaError::Service(e)
+    }
+}
+
+impl From<crate::store::StoreError> for NegativaError {
+    fn from(e: crate::store::StoreError) -> Self {
+        NegativaError::Store(e)
     }
 }
 

@@ -67,6 +67,22 @@
 //! the ROADMAP's serve-at-scale direction: debloating as a resident
 //! operational service with backpressure, not a one-shot tool.
 //!
+//! ## The packaging layer
+//!
+//! A debloat's end product is a *shippable, smaller bundle*. The
+//! [`store`] module persists one — compacted bytes as content-addressed
+//! objects, the [`BundlePlan`] as `plan.json`, and a self-hashed
+//! `MANIFEST.json` with per-workload baseline checksums — and verifies
+//! it again from a cold process: [`store::Store::verify`] checks every
+//! content hash and re-runs every contributing workload against its
+//! recorded baseline. Produce artifacts with
+//! [`DebloatSession::debloat_many_artifact`] /
+//! [`Debloater::debloat_and_publish`], or let a long-lived service
+//! auto-publish every executed batch
+//! ([`service::DebloatServiceBuilder::publish_root`]). The on-disk
+//! formats live in [`manifest`], encoded through the shared
+//! dependency-free JSON codec in [`codec`].
+//!
 //! ```
 //! use negativa_ml::Debloater;
 //! use simcuda::GpuModel;
@@ -96,20 +112,24 @@ use simml::{
     RunOutcome, Workload,
 };
 
+pub mod codec;
 pub mod compact;
 pub mod detect;
 mod error;
 pub mod locate;
+pub mod manifest;
 pub mod plan;
 pub mod pool;
 pub mod report;
 pub mod service;
+pub mod store;
 pub mod verify;
 
 pub use compact::{compact, CompactionOutcome};
 pub use detect::{KernelDetector, UsageMap};
 pub use error::NegativaError;
 pub use locate::{locate, LocateStats, RetainPlan};
+pub use manifest::{ManifestEntry, StoreManifest, WorkloadRecord};
 pub use plan::{BundlePlan, PlanCache, PlanCacheStats, PlanKey, WorkloadBaseline};
 pub use pool::{Parallelism, PoolStats, WorkerPool};
 pub use report::{DebloatReport, LibraryReport, MultiDebloatReport, Totals, WorkloadVerification};
@@ -117,6 +137,7 @@ pub use service::{
     DebloatRequest, DebloatResponse, DebloatService, ServiceError, ServiceHandle, ServiceStats,
     Ticket,
 };
+pub use store::{Store, StoreError, StoreVerification, StoredArtifact, VerifiedWorkload};
 pub use verify::{verify, verify_indexed};
 
 /// Result alias used throughout this crate.
@@ -289,6 +310,30 @@ impl Debloater {
         self.session(framework).debloat_many_full(workloads)
     }
 
+    /// Debloat a shared bundle against `workloads` and **publish** the
+    /// verified result — compacted bytes, plan, baselines, reduction
+    /// stats — to the on-disk artifact `store` in one step, returning
+    /// the report alongside the written manifest. This is the packaging
+    /// hook behind the `ship` binary; a separate process can later
+    /// [`store::Store::verify`] the artifact cold.
+    ///
+    /// # Errors
+    ///
+    /// As [`Debloater::debloat_many`] for the pipeline, plus
+    /// [`store::StoreError`] (inside [`NegativaError::Store`]) if the
+    /// store refuses the publish (e.g. the root already holds a
+    /// different artifact).
+    pub fn debloat_and_publish(
+        &self,
+        workloads: &[Workload],
+        store: &store::Store,
+    ) -> Result<(MultiDebloatReport, StoreManifest)> {
+        let framework = shared_framework(workloads)?;
+        let artifact = self.session(framework).debloat_many_artifact(workloads)?;
+        let manifest = store.publish(&artifact)?;
+        Ok((artifact.report, manifest))
+    }
+
     /// The grouped entry point behind the service's batch stage:
     /// debloat several workload *sets* at once, deduplicating sets that
     /// share a plan identity — framework, GPU architecture, workload
@@ -353,6 +398,28 @@ impl Debloater {
         }
         Ok(out.into_iter().map(|slot| slot.expect("every set belongs to one group")).collect())
     }
+}
+
+/// Everything one finished debloat produced, bundled for persistence:
+/// the full plan identity, the normalized workloads, the (shared) plan,
+/// the verified report, and the compacted libraries. Produced by
+/// [`DebloatSession::debloat_many_artifact`]; consumed by
+/// [`store::Store::publish`].
+#[derive(Debug, Clone)]
+pub struct DebloatArtifact {
+    /// Full plan identity of this debloat.
+    pub key: PlanKey,
+    /// GPU the debloat targeted.
+    pub gpu: GpuModel,
+    /// The contributing workloads, normalized to `gpu` — exactly what
+    /// out-of-process verification must re-run.
+    pub workloads: Vec<Workload>,
+    /// The plan the compaction applied (shared with the plan cache).
+    pub plan: Arc<BundlePlan>,
+    /// The verified multi-workload report.
+    pub report: MultiDebloatReport,
+    /// The compacted, verified libraries, in bundle order.
+    pub libraries: Vec<GeneratedLibrary>,
 }
 
 /// Everything the detection phase measured: the union [`UsageMap`] plus
@@ -515,11 +582,26 @@ impl DebloatSession {
     pub fn plan_cached(&self, workloads: &[Workload]) -> Result<(Arc<BundlePlan>, bool)> {
         let normalized: Vec<Workload> =
             workloads.iter().map(|w| self.normalize(w)).collect::<Result<_>>()?;
-        let key = PlanKey::for_workloads(self.framework, self.gpu, &self.config, &normalized);
-        self.cache.get_or_compute(key, || {
-            let detection = self.detect_normalized(&normalized)?;
+        let (_, plan, cache_hit) = self.plan_cached_normalized(&normalized)?;
+        Ok((plan, cache_hit))
+    }
+
+    /// The single home of the cache-keying logic: derive the plan
+    /// identity of an already-normalized workload set and resolve its
+    /// plan through the session's single-flight cache. Both
+    /// [`DebloatSession::plan_cached`] and
+    /// [`DebloatSession::debloat_many_artifact`] go through here, so
+    /// the key derivation can never drift between entry points.
+    fn plan_cached_normalized(
+        &self,
+        normalized: &[Workload],
+    ) -> Result<(PlanKey, Arc<BundlePlan>, bool)> {
+        let key = PlanKey::for_workloads(self.framework, self.gpu, &self.config, normalized);
+        let (plan, cache_hit) = self.cache.get_or_compute(key, || {
+            let detection = self.detect_normalized(normalized)?;
             self.plan(&detection)
-        })
+        })?;
+        Ok((key, plan, cache_hit))
     }
 
     /// Debloat this session's bundle against the union usage of
@@ -536,9 +618,26 @@ impl DebloatSession {
         &self,
         workloads: &[Workload],
     ) -> Result<(MultiDebloatReport, Vec<GeneratedLibrary>)> {
-        let (plan, cache_hit) = self.plan_cached(workloads)?;
+        let artifact = self.debloat_many_artifact(workloads)?;
+        Ok((artifact.report, artifact.libraries))
+    }
+
+    /// Like [`DebloatSession::debloat_many_full`], additionally keeping
+    /// everything the on-disk artifact store persists: the plan
+    /// identity, the normalized workloads, and the (shared) plan next
+    /// to the report and the compacted libraries. The packaging entry
+    /// point behind [`Debloater::debloat_and_publish`] and the
+    /// service's auto-publish hook.
+    ///
+    /// # Errors
+    ///
+    /// As [`Debloater::debloat_many`].
+    pub fn debloat_many_artifact(&self, workloads: &[Workload]) -> Result<DebloatArtifact> {
+        let normalized: Vec<Workload> =
+            workloads.iter().map(|w| self.normalize(w)).collect::<Result<_>>()?;
+        let (key, plan, cache_hit) = self.plan_cached_normalized(&normalized)?;
         let (libraries, debloated) = self.apply(&plan)?;
-        let outcomes = self.verify_all(workloads, &plan, &debloated)?;
+        let outcomes = self.verify_all(&normalized, &plan, &debloated)?;
         let per_workload = plan
             .baselines
             .iter()
@@ -562,7 +661,14 @@ impl DebloatSession {
             batched: false,
             batch_size: 1,
         };
-        Ok((report, debloated))
+        Ok(DebloatArtifact {
+            key,
+            gpu: self.gpu,
+            workloads: normalized,
+            plan,
+            report,
+            libraries: debloated,
+        })
     }
 
     /// Phase 3a — compact every library according to `plan`, fanned out

@@ -76,6 +76,20 @@ impl PlanKey {
             config: config_fingerprint(config),
         }
     }
+
+    /// A filesystem- and log-friendly rendering of this identity, used
+    /// by the artifact store to name per-identity directories and by
+    /// [`crate::store::StoreError::PlanKeyMismatch`] to say *which* two
+    /// artifacts collided: `torch-sm75-<workloads hex>-<config hex>`.
+    pub fn artifact_id(&self) -> String {
+        format!(
+            "{}-sm{}-{:016x}-{:016x}",
+            self.framework.tag(),
+            self.arch.0,
+            self.workloads,
+            self.config
+        )
+    }
 }
 
 /// A stable fingerprint of everything about a [`RunConfig`] that can
@@ -662,6 +676,20 @@ mod tests {
             key(&w),
             PlanKey::for_workloads(FrameworkKind::PyTorch, GpuModel::H100, &config, &[workload()]),
         );
+    }
+
+    #[test]
+    fn artifact_ids_are_unique_per_identity_and_path_safe() {
+        let a = key(0x0abc);
+        let id = a.artifact_id();
+        assert_eq!(id, "torch-sm75-0000000000000abc-0000000000000000");
+        assert!(id.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'), "{id}");
+        let mut b = a;
+        b.config = 1;
+        assert_ne!(a.artifact_id(), b.artifact_id(), "config is part of the identity");
+        let mut c = a;
+        c.framework = FrameworkKind::TensorFlow;
+        assert_ne!(a.artifact_id(), c.artifact_id());
     }
 
     #[test]

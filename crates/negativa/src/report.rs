@@ -44,19 +44,6 @@ fn mb_line(before: u64, after: u64) -> String {
     )
 }
 
-fn sum_library_totals(libraries: &[LibraryReport]) -> Totals {
-    let mut t = Totals::default();
-    for lib in libraries {
-        t.file_before += lib.file_before;
-        t.file_after += lib.file_after;
-        t.host_before += lib.host_before;
-        t.host_after += lib.host_after;
-        t.device_before += lib.device_before;
-        t.device_after += lib.device_after;
-    }
-    t
-}
-
 /// Before/after sizes of one debloated library.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LibraryReport {
@@ -136,6 +123,22 @@ pub struct Totals {
 }
 
 impl Totals {
+    /// Sum per-library reports into bundle-wide totals — shared by the
+    /// report types here and by tooling that reassembles stats from a
+    /// stored artifact's manifest entries.
+    pub fn sum(libraries: &[LibraryReport]) -> Totals {
+        let mut t = Totals::default();
+        for lib in libraries {
+            t.file_before += lib.file_before;
+            t.file_after += lib.file_after;
+            t.host_before += lib.host_before;
+            t.host_after += lib.host_after;
+            t.device_before += lib.device_before;
+            t.device_after += lib.device_after;
+        }
+        t
+    }
+
     /// Whole-bundle file size reduction in percent.
     pub fn file_reduction_pct(&self) -> f64 {
         reduction_pct(self.file_before, self.file_after)
@@ -183,7 +186,7 @@ pub struct DebloatReport {
 impl DebloatReport {
     /// Sum the per-library sizes.
     pub fn totals(&self) -> Totals {
-        sum_library_totals(&self.libraries)
+        Totals::sum(&self.libraries)
     }
 
     /// Execution-time reduction of the debloated bundle vs baseline, in
@@ -317,7 +320,7 @@ pub struct MultiDebloatReport {
 impl MultiDebloatReport {
     /// Sum the per-library sizes.
     pub fn totals(&self) -> Totals {
-        sum_library_totals(&self.libraries)
+        Totals::sum(&self.libraries)
     }
 
     /// True if every workload's verification checksum matches its

@@ -72,6 +72,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -83,6 +84,7 @@ use simml::{FrameworkKind, GeneratedLibrary, RunConfig, Workload};
 use crate::plan::{PlanCache, PlanKey};
 use crate::pool::WorkerPool;
 use crate::report::MultiDebloatReport;
+use crate::store::Store;
 use crate::{shared_framework, DebloatSession, Debloater, NegativaError, Result};
 
 /// How often the batcher re-attempts dispatch while batches are waiting
@@ -163,10 +165,11 @@ pub struct DebloatResponse {
 /// Counters and live gauges of one [`DebloatService`]; see
 /// [`DebloatService::stats`].
 ///
-/// `accepted`, `completed`, `failed`, `shed`, `batches`, and
-/// `batched_requests` are lifetime counters; `queue_depth` and
-/// `executing` are point-in-time gauges that move with the pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// `accepted`, `completed`, `failed`, `shed`, `batches`,
+/// `batched_requests`, `published`, and `publish_failed` are lifetime
+/// counters; `queue_depth` and `executing` are point-in-time gauges
+/// that move with the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServiceStats {
     /// Requests taken off the admission queue by the batcher.
     pub accepted: u64,
@@ -191,6 +194,19 @@ pub struct ServiceStats {
     /// ([`ServiceStats::mean_batch_size`]) — the amortization factor
     /// the batcher achieved.
     pub batched_requests: u64,
+    /// Batches whose verified result was also published to the on-disk
+    /// artifact store ([`DebloatServiceBuilder::publish_root`]); always
+    /// 0 without a publish root.
+    pub published: u64,
+    /// Publish attempts that failed (the batch's requesters still got
+    /// their responses — persistence is a side channel, never a reason
+    /// to fail a served request).
+    pub publish_failed: u64,
+    /// Root directory executed batches are published under, if the
+    /// service was built with [`DebloatServiceBuilder::publish_root`]
+    /// (each plan identity gets its own store at
+    /// `<root>/<`[`PlanKey::artifact_id`]`>`).
+    pub store_root: Option<PathBuf>,
 }
 
 impl ServiceStats {
@@ -219,6 +235,7 @@ pub struct DebloatServiceBuilder {
     cache: Option<Arc<PlanCache>>,
     cache_capacity: usize,
     plan_ttl: Option<Duration>,
+    publish_root: Option<PathBuf>,
 }
 
 impl DebloatServiceBuilder {
@@ -295,6 +312,19 @@ impl DebloatServiceBuilder {
         self
     }
 
+    /// Auto-publish every successfully executed batch to an on-disk
+    /// artifact store under `root`: each plan identity gets its own
+    /// store directory at `<root>/<`[`PlanKey::artifact_id`]`>`, so a
+    /// long-lived service continuously materializes shippable,
+    /// re-verifiable bundles as a side effect of serving traffic.
+    /// Publishing is best-effort bookkeeping ([`ServiceStats::published`]
+    /// / [`ServiceStats::publish_failed`]): a publish failure never
+    /// fails the request it rode on.
+    pub fn publish_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.publish_root = Some(root.into());
+        self
+    }
+
     /// Start the service: spawn the batcher and the executors and
     /// return the running front end.
     pub fn build(self) -> DebloatService {
@@ -315,6 +345,7 @@ impl DebloatServiceBuilder {
             gpu: self.gpu,
             config: self.config,
             queue_capacity: self.queue_capacity,
+            publish_root: self.publish_root,
             sessions: Mutex::new(HashMap::new()),
             stopping: AtomicBool::new(false),
             accepted: AtomicU64::new(0),
@@ -325,6 +356,8 @@ impl DebloatServiceBuilder {
             executing: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+            publish_failed: AtomicU64::new(0),
         });
         let (admission_tx, admission_rx) = mpsc::sync_channel::<QueueItem>(self.queue_capacity);
         // One rendezvous channel per executor: a batch leaves the
@@ -403,6 +436,9 @@ struct ServiceShared {
     gpu: GpuModel,
     config: RunConfig,
     queue_capacity: usize,
+    /// Root for per-identity artifact stores; `None` disables
+    /// auto-publishing.
+    publish_root: Option<PathBuf>,
     /// One pinned session per framework, created on first request.
     sessions: Mutex<HashMap<FrameworkKind, DebloatSession>>,
     /// Set by shutdown so handles reject new submissions immediately.
@@ -415,6 +451,8 @@ struct ServiceShared {
     executing: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
+    published: AtomicU64,
+    publish_failed: AtomicU64,
 }
 
 impl ServiceShared {
@@ -624,10 +662,20 @@ fn execute(shared: &ServiceShared, batch: Batch) {
     let session = shared.session(batch.framework);
     // One detection / plan / compaction / verification for the whole
     // group; each per-request report carries the batch provenance.
-    let result = session.debloat_many_full(&batch.workloads).map(|(mut report, libraries)| {
-        report.batch_size = size;
-        report.batched = size > 1;
-        DebloatResponse { report, libraries: Arc::new(libraries) }
+    let result = session.debloat_many_artifact(&batch.workloads).map(|mut artifact| {
+        // Auto-publish the verified artifact before fanning out. A
+        // persistence failure is counted, never propagated: the
+        // requesters' debloat succeeded.
+        if let Some(root) = &shared.publish_root {
+            let store = Store::at(root.join(artifact.key.artifact_id()));
+            match store.publish(&artifact) {
+                Ok(_) => shared.published.fetch_add(1, Ordering::Relaxed),
+                Err(_) => shared.publish_failed.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+        artifact.report.batch_size = size;
+        artifact.report.batched = size > 1;
+        DebloatResponse { report: artifact.report, libraries: Arc::new(artifact.libraries) }
     });
     let counter = if result.is_ok() { &shared.completed } else { &shared.failed };
     counter.fetch_add(size as u64, Ordering::Relaxed);
@@ -770,6 +818,7 @@ impl DebloatService {
             cache: None,
             cache_capacity: PlanCache::DEFAULT_CAPACITY,
             plan_ttl: None,
+            publish_root: None,
         }
     }
 
@@ -803,6 +852,9 @@ impl DebloatService {
             executing: self.shared.executing.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
             batched_requests: self.shared.batched_requests.load(Ordering::Relaxed),
+            published: self.shared.published.load(Ordering::Relaxed),
+            publish_failed: self.shared.publish_failed.load(Ordering::Relaxed),
+            store_root: self.shared.publish_root.clone(),
         }
     }
 

@@ -1,0 +1,605 @@
+//! The on-disk **artifact store** — the packaging layer of the
+//! ROADMAP: persist a verified debloat (compacted library bytes, the
+//! [`BundlePlan`], per-workload baseline checksums, and reduction
+//! stats) under one directory, so the bundle can be *shipped* and
+//! *re-verified out of process*.
+//!
+//! One store root holds one artifact, identified by its full plan
+//! identity ([`PlanKey`]). The layout is content-addressed (see
+//! [`crate::manifest`]): every compacted library lives in
+//! `objects/<content-hash>.bin`, `plan.json` carries the serialized
+//! plan, and the self-hashed `MANIFEST.json` indexes both — written
+//! last and atomically (temp file + rename), so a torn publish leaves a
+//! directory without a manifest, never a manifest pointing at missing
+//! or half-written bytes. Single-byte corruption anywhere is detected
+//! with a typed [`StoreError`]: a flipped library byte fails the entry's
+//! content hash, a flipped plan byte fails [`StoreManifest::plan_hash`],
+//! and a flipped manifest byte fails its embedded self-hash.
+//!
+//! [`Store::publish`] is idempotent for one identity and **refuses** to
+//! replace a different one ([`StoreError::PlanKeyMismatch`]) — a store
+//! root is never silently repurposed. [`Store::verify`] is the cold
+//! half of the contract: it reopens everything from disk, checks every
+//! hash, reconstructs the bundle, and re-runs *every* contributing
+//! workload, demanding each reproduce its recorded baseline checksum.
+//! The `ship` / `verify_artifact` façade binaries run exactly this
+//! split across two processes in CI.
+//!
+//! ```
+//! use negativa_ml::store::Store;
+//! use negativa_ml::Debloater;
+//! use simcuda::GpuModel;
+//! use simml::{FrameworkKind, ModelKind, Operation, Workload};
+//!
+//! # fn main() -> Result<(), negativa_ml::NegativaError> {
+//! let root = std::env::temp_dir().join(format!("negativa-doc-store-{}", std::process::id()));
+//! let store = Store::at(&root);
+//!
+//! // Publish: one union debloat, persisted with plan + manifest.
+//! let workload = Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2,
+//!                                Operation::Inference);
+//! let (report, manifest) = Debloater::new(GpuModel::T4)
+//!     .debloat_and_publish(std::slice::from_ref(&workload), &store)?;
+//! assert!(report.all_verified());
+//! assert_eq!(manifest.entries.len(), report.libraries.len());
+//!
+//! // Reopen cold and re-verify: every stored hash checks out and every
+//! // workload reproduces its recorded baseline checksum.
+//! let artifact = store.open()?;
+//! assert_eq!(artifact.manifest().key, manifest.key);
+//! let verification = store.verify()?;
+//! assert!(verification.all_verified());
+//! # std::fs::remove_dir_all(&root).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use simelf::ElfImage;
+use simml::{cached_bundle, cached_indexes, FrameworkBundle, GeneratedLibrary, RunConfig};
+
+use crate::codec::content_hash;
+use crate::manifest::{
+    encode_plan, ManifestEntry, StoreManifest, WorkloadRecord, FORMAT_VERSION, MANIFEST_FILE,
+    OBJECTS_DIR, PLAN_FILE,
+};
+use crate::plan::{config_fingerprint, BundlePlan, PlanCache, PlanKey};
+use crate::verify::verify_indexed;
+use crate::{DebloatArtifact, NegativaError, Result};
+
+/// Why the artifact store could not publish or load an artifact.
+/// Carried inside [`NegativaError::Store`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// A filesystem operation failed (permissions, disk full, ...).
+    Io {
+        /// The path the operation touched.
+        path: String,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// The store root has no `MANIFEST.json` — nothing was published
+    /// here, or a publish was torn before the manifest (written last)
+    /// landed.
+    MissingManifest {
+        /// The manifest path that does not exist.
+        path: String,
+    },
+    /// The manifest references an entry whose backing file is gone —
+    /// the telltale of a partially deleted or torn store.
+    MissingEntry {
+        /// The entry's name (library soname or `plan.json`).
+        entry: String,
+        /// The file path that should have held its bytes.
+        path: String,
+    },
+    /// `MANIFEST.json` exists but fails parsing, schema validation, or
+    /// its embedded self-hash — it was corrupted after publishing.
+    CorruptManifest {
+        /// The manifest path.
+        path: String,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// `plan.json` passed its content-hash check but does not decode —
+    /// a schema mismatch rather than bit rot.
+    CorruptPlan {
+        /// The plan path.
+        path: String,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// A stored file's bytes do not hash to what the manifest recorded:
+    /// the entry was modified (or truncated) after publishing.
+    HashMismatch {
+        /// The entry's name (library soname or `plan.json`).
+        entry: String,
+        /// The hash the manifest recorded at publish time.
+        expected: u64,
+        /// What the bytes on disk actually hash to.
+        actual: u64,
+    },
+    /// [`Store::publish`] found the root already holding an artifact
+    /// with a *different* plan identity and refused to overwrite it.
+    PlanKeyMismatch {
+        /// Identity of the artifact already in the store.
+        existing: String,
+        /// Identity of the artifact that was being published.
+        publishing: String,
+    },
+    /// [`Store::verify`] was asked to replay workloads under a
+    /// [`RunConfig`] whose fingerprint differs from the one the
+    /// baselines were recorded with — the checksums would be
+    /// incomparable, so verification refuses to start.
+    ConfigMismatch {
+        /// The config fingerprint recorded in the manifest.
+        stored: u64,
+        /// The fingerprint of the config passed to verify.
+        provided: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, detail } => write!(f, "store I/O error at {path}: {detail}"),
+            StoreError::MissingManifest { path } => {
+                write!(f, "no artifact manifest at {path} (nothing published, or a torn publish)")
+            }
+            StoreError::MissingEntry { entry, path } => {
+                write!(f, "store entry {entry} is missing its backing file {path}")
+            }
+            StoreError::CorruptManifest { path, detail } => {
+                write!(f, "corrupt manifest at {path}: {detail}")
+            }
+            StoreError::CorruptPlan { path, detail } => {
+                write!(f, "corrupt plan at {path}: {detail}")
+            }
+            StoreError::HashMismatch { entry, expected, actual } => write!(
+                f,
+                "content hash mismatch for stored entry {entry}: manifest records \
+                 {expected:#018x}, bytes on disk hash to {actual:#018x}"
+            ),
+            StoreError::PlanKeyMismatch { existing, publishing } => write!(
+                f,
+                "store already holds artifact {existing}; refusing to overwrite it with \
+                 {publishing} (use a fresh directory per plan identity)"
+            ),
+            StoreError::ConfigMismatch { stored, provided } => write!(
+                f,
+                "run-config fingerprint {provided:#018x} does not match the manifest's \
+                 {stored:#018x}; baselines were recorded under a different configuration"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A directory that holds (or will hold) one published debloat
+/// artifact; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// A store rooted at `root`. Nothing is touched until
+    /// [`Store::publish`] or [`Store::open`].
+    pub fn at(root: impl Into<PathBuf>) -> Store {
+        Store { root: root.into() }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// True if the root holds a published manifest (it may still be
+    /// corrupt; [`Store::open`] decides that).
+    pub fn exists(&self) -> bool {
+        self.root.join(MANIFEST_FILE).is_file()
+    }
+
+    /// Persist `artifact` under the root: every compacted library as a
+    /// content-addressed object, the plan as `plan.json`, and the
+    /// self-hashed `MANIFEST.json` — written last and atomically, so a
+    /// crash mid-publish never leaves a manifest pointing at missing
+    /// bytes. Re-publishing the *same* plan identity is idempotent
+    /// (bytes are deterministic) — and cheap: a root whose manifest
+    /// already matches and whose entries are all present at their
+    /// recorded lengths returns the existing manifest without rewriting
+    /// a byte, so a service republishing its hot identity per batch
+    /// pays a few `stat` calls, not a multi-MB rewrite. A root already
+    /// holding a *different* identity is refused.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::PlanKeyMismatch`] if the root holds another
+    /// artifact, [`StoreError::CorruptManifest`] if it holds an
+    /// unreadable one (never silently overwritten), and
+    /// [`StoreError::Io`] for filesystem failures.
+    pub fn publish(&self, artifact: &DebloatArtifact) -> Result<StoreManifest> {
+        if self.exists() {
+            let existing = self.read_manifest()?;
+            if existing.key != artifact.key {
+                return Err(StoreError::PlanKeyMismatch {
+                    existing: existing.key.artifact_id(),
+                    publishing: artifact.key.artifact_id(),
+                }
+                .into());
+            }
+            // Same identity, intact layout: nothing to do. A store with
+            // a missing or truncated file falls through to a full
+            // rewrite, which repairs it.
+            if self.entries_look_intact(&existing) {
+                return Ok(existing);
+            }
+        }
+        let objects = self.root.join(OBJECTS_DIR);
+        fs::create_dir_all(&objects).map_err(|e| io_error(&objects, &e))?;
+
+        let mut entries = Vec::with_capacity(artifact.libraries.len());
+        for (library, report) in artifact.libraries.iter().zip(&artifact.report.libraries) {
+            let bytes = library.image.bytes();
+            let entry = ManifestEntry {
+                soname: library.manifest.soname.clone(),
+                content_hash: content_hash(bytes),
+                byte_len: bytes.len() as u64,
+                report: report.clone(),
+            };
+            self.write_atomic(&entry.object_path(), bytes)?;
+            entries.push(entry);
+        }
+
+        let plan_text = encode_plan(&artifact.plan);
+        self.write_atomic(PLAN_FILE, plan_text.as_bytes())?;
+
+        let manifest = StoreManifest {
+            version: FORMAT_VERSION,
+            key: artifact.key,
+            gpu: artifact.gpu,
+            plan_hash: content_hash(plan_text.as_bytes()),
+            used_kernels: artifact.plan.used_kernels,
+            used_host_fns: artifact.plan.used_host_fns,
+            entries,
+            workloads: artifact
+                .workloads
+                .iter()
+                .zip(&artifact.plan.baselines)
+                .map(|(workload, base)| WorkloadRecord {
+                    workload: workload.clone(),
+                    label: base.label.clone(),
+                    baseline_checksum: base.checksum,
+                })
+                .collect(),
+        };
+        self.write_atomic(MANIFEST_FILE, manifest.encode().as_bytes())?;
+        Ok(manifest)
+    }
+
+    /// Open the artifact published at the root: read `MANIFEST.json`,
+    /// check its embedded self-hash and format version, and return a
+    /// handle for loading and verifying the stored content.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingManifest`] if nothing was published here,
+    /// [`StoreError::CorruptManifest`] if the manifest fails parsing or
+    /// its self-hash, [`StoreError::Io`] for filesystem failures.
+    pub fn open(&self) -> Result<StoredArtifact> {
+        let manifest = self.read_manifest()?;
+        Ok(StoredArtifact { root: self.root.clone(), manifest })
+    }
+
+    /// [`Store::open`] + [`StoredArtifact::load_bundle`]: the stored
+    /// compacted libraries, every content hash checked.
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::open`] and [`StoredArtifact::load_bundle`].
+    pub fn load_bundle(&self) -> Result<Vec<GeneratedLibrary>> {
+        self.open()?.load_bundle()
+    }
+
+    /// [`Store::open`] + [`StoredArtifact::verify`]: the full cold
+    /// re-verification under the default [`RunConfig`].
+    ///
+    /// # Errors
+    ///
+    /// As [`StoredArtifact::verify`].
+    pub fn verify(&self) -> Result<StoreVerification> {
+        self.open()?.verify()
+    }
+
+    fn read_manifest(&self) -> Result<StoreManifest> {
+        let path = self.root.join(MANIFEST_FILE);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(StoreError::MissingManifest { path: display(&path) }.into())
+            }
+            Err(e) => return Err(io_error(&path, &e)),
+        };
+        let text = String::from_utf8(bytes).map_err(|_| StoreError::CorruptManifest {
+            path: display(&path),
+            detail: "not valid UTF-8".into(),
+        })?;
+        StoreManifest::decode(&text)
+            .map_err(|detail| StoreError::CorruptManifest { path: display(&path), detail }.into())
+    }
+
+    /// Cheap layout check behind idempotent republish: the manifest's
+    /// files all exist at their recorded lengths (metadata only — full
+    /// content hashing is [`Store::verify`]'s job).
+    fn entries_look_intact(&self, manifest: &StoreManifest) -> bool {
+        let file_len = |relative: &str| fs::metadata(self.root.join(relative)).map(|m| m.len());
+        manifest
+            .entries
+            .iter()
+            .all(|entry| file_len(&entry.object_path()).is_ok_and(|len| len == entry.byte_len))
+            && file_len(PLAN_FILE).is_ok()
+    }
+
+    /// Write `bytes` to `relative` through a uniquely named temp file +
+    /// rename, so a torn write never leaves a half-written file under
+    /// its final name — and two racing publishers (e.g. two service
+    /// executors running same-identity batches back to back) never
+    /// share a temp file: each renames its own complete bytes into
+    /// place, and rename replaces atomically.
+    fn write_atomic(&self, relative: &str, bytes: &[u8]) -> Result<()> {
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = self.root.join(relative);
+        let tmp = self.root.join(format!("{relative}.{}.{seq}.tmp", std::process::id()));
+        fs::write(&tmp, bytes).map_err(|e| io_error(&tmp, &e))?;
+        fs::rename(&tmp, &path).map_err(|e| io_error(&path, &e))?;
+        Ok(())
+    }
+}
+
+fn io_error(path: &Path, e: &io::Error) -> NegativaError {
+    StoreError::Io { path: display(path), detail: e.to_string() }.into()
+}
+
+fn display(path: &Path) -> String {
+    path.display().to_string()
+}
+
+/// One opened artifact: the decoded, integrity-checked manifest plus
+/// the root it loads content from. Created by [`Store::open`].
+#[derive(Debug, Clone)]
+pub struct StoredArtifact {
+    root: PathBuf,
+    manifest: StoreManifest,
+}
+
+impl StoredArtifact {
+    /// The decoded manifest.
+    pub fn manifest(&self) -> &StoreManifest {
+        &self.manifest
+    }
+
+    /// The artifact's full plan identity.
+    pub fn plan_key(&self) -> PlanKey {
+        self.manifest.key
+    }
+
+    /// Load the stored [`BundlePlan`], checking `plan.json` against the
+    /// manifest's content hash first. The result is field-for-field
+    /// identical to the plan that was published.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingEntry`] / [`StoreError::HashMismatch`]
+    /// naming `plan.json`, or [`StoreError::CorruptPlan`] if the bytes
+    /// hash correctly but fail decoding (a schema bug, not bit rot).
+    pub fn load_plan(&self) -> Result<BundlePlan> {
+        let path = self.root.join(PLAN_FILE);
+        let bytes = self.read_entry(PLAN_FILE, &path, self.manifest.plan_hash)?;
+        let text = String::from_utf8(bytes).map_err(|_| StoreError::CorruptPlan {
+            path: display(&path),
+            detail: "not valid UTF-8".into(),
+        })?;
+        crate::manifest::decode_plan(&text)
+            .map_err(|detail| StoreError::CorruptPlan { path: display(&path), detail }.into())
+    }
+
+    /// Seed `cache` with the stored plan under the artifact's own key,
+    /// so the next debloat of the same workload set is a cache hit —
+    /// zero baseline or detection runs — even in a process that never
+    /// planned anything.
+    ///
+    /// # Errors
+    ///
+    /// As [`StoredArtifact::load_plan`].
+    pub fn install_plan(&self, cache: &PlanCache) -> Result<Arc<BundlePlan>> {
+        let plan = Arc::new(self.load_plan()?);
+        cache.insert(self.manifest.key, plan.clone());
+        Ok(plan)
+    }
+
+    /// Load the compacted libraries from the content-addressed objects,
+    /// checking every entry's stored bytes against its manifest hash
+    /// and pairing them with the framework's deterministic library
+    /// manifests ([`FrameworkBundle::from_images`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingEntry`] for a deleted object,
+    /// [`StoreError::HashMismatch`] naming the corrupted library, and
+    /// [`NegativaError::Workload`] if the stored set no longer matches
+    /// the framework's roster.
+    pub fn load_bundle(&self) -> Result<Vec<GeneratedLibrary>> {
+        let mut images = Vec::with_capacity(self.manifest.entries.len());
+        for entry in &self.manifest.entries {
+            let path = self.root.join(entry.object_path());
+            let bytes = self.read_entry(&entry.soname, &path, entry.content_hash)?;
+            images.push(ElfImage::from_bytes(entry.soname.clone(), bytes));
+        }
+        let bundle = FrameworkBundle::from_images(self.manifest.key.framework, images)
+            .map_err(NegativaError::Workload)?;
+        Ok(bundle.into_libraries())
+    }
+
+    /// Cold re-verification under the default [`RunConfig`]; see
+    /// [`StoredArtifact::verify_with_config`].
+    ///
+    /// # Errors
+    ///
+    /// As [`StoredArtifact::verify_with_config`].
+    pub fn verify(&self) -> Result<StoreVerification> {
+        self.verify_with_config(&RunConfig::default())
+    }
+
+    /// The store's correctness contract, reproduced from disk: check
+    /// the plan's content hash, load the bundle (every library hash
+    /// checked), and re-run **every** contributing workload on the
+    /// stored bytes, demanding each reproduce the baseline checksum the
+    /// manifest recorded at publish time. `config` must fingerprint to
+    /// the manifest's recorded configuration — checksums measured under
+    /// a different config would be incomparable.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ConfigMismatch`] before anything runs; integrity
+    /// failures as [`StoredArtifact::load_bundle`] /
+    /// [`StoredArtifact::load_plan`]; behavioral failures as
+    /// [`NegativaError::ChecksumMismatch`] /
+    /// [`NegativaError::OverCompaction`] naming the first workload the
+    /// stored bundle breaks.
+    pub fn verify_with_config(&self, config: &RunConfig) -> Result<StoreVerification> {
+        let provided = config_fingerprint(config);
+        if provided != self.manifest.key.config {
+            return Err(
+                StoreError::ConfigMismatch { stored: self.manifest.key.config, provided }.into()
+            );
+        }
+        // Integrity first: plan hash, then every library hash.
+        self.load_plan()?;
+        let libraries = self.load_bundle()?;
+        let indexes = cached_indexes(self.manifest.key.framework);
+        let mut workloads = Vec::with_capacity(self.manifest.workloads.len());
+        for record in &self.manifest.workloads {
+            let outcome = verify_indexed(
+                &record.workload,
+                &libraries,
+                Some(&indexes),
+                record.baseline_checksum,
+                config,
+            )?;
+            workloads.push(VerifiedWorkload {
+                label: record.label.clone(),
+                baseline_checksum: record.baseline_checksum,
+                verified_checksum: outcome.checksum,
+            });
+        }
+        Ok(StoreVerification { workloads })
+    }
+
+    /// Read one stored file and check its content hash.
+    fn read_entry(&self, entry: &str, path: &Path, expected: u64) -> Result<Vec<u8>> {
+        let bytes = match fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(StoreError::MissingEntry {
+                    entry: entry.to_owned(),
+                    path: display(path),
+                }
+                .into())
+            }
+            Err(e) => return Err(io_error(path, &e)),
+        };
+        let actual = content_hash(&bytes);
+        if actual != expected {
+            return Err(
+                StoreError::HashMismatch { entry: entry.to_owned(), expected, actual }.into()
+            );
+        }
+        Ok(bytes)
+    }
+
+    /// Sanity accessor used by tooling: the original bundle the
+    /// artifact's framework generates, for size comparisons.
+    pub fn original_bundle(&self) -> simml::BundleHandle {
+        cached_bundle(self.manifest.key.framework)
+    }
+}
+
+/// Record of one workload's cold re-verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifiedWorkload {
+    /// Workload label.
+    pub label: String,
+    /// The checksum the manifest recorded at publish time.
+    pub baseline_checksum: u64,
+    /// The checksum the stored bundle just reproduced.
+    pub verified_checksum: u64,
+}
+
+/// The result of [`Store::verify`]: one record per contributing
+/// workload, all reproduced from a cold open of the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreVerification {
+    /// Per-workload verification records, in manifest order.
+    pub workloads: Vec<VerifiedWorkload>,
+}
+
+impl StoreVerification {
+    /// True if every workload reproduced its recorded baseline
+    /// checksum. Always true for results [`Store::verify`] returns — a
+    /// mismatch aborts with a typed error — but recorded per workload
+    /// so callers can audit the guarantee.
+    pub fn all_verified(&self) -> bool {
+        self.workloads.iter().all(|w| w.baseline_checksum == w.verified_checksum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_errors_display_their_cause() {
+        let e =
+            StoreError::HashMismatch { entry: "libtorch_cuda.so".into(), expected: 1, actual: 2 };
+        let msg = e.to_string();
+        assert!(msg.contains("libtorch_cuda.so"), "{msg}");
+        assert!(msg.contains("0x0000000000000001"), "{msg}");
+
+        let e = StoreError::PlanKeyMismatch {
+            existing: "torch-sm75-aa-bb".into(),
+            publishing: "tf-sm75-cc-dd".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("refusing to overwrite"), "{msg}");
+        assert!(msg.contains("torch-sm75-aa-bb") && msg.contains("tf-sm75-cc-dd"), "{msg}");
+
+        let e = StoreError::ConfigMismatch { stored: 0xab, provided: 0xcd };
+        assert!(e.to_string().contains("0x00000000000000ab"), "{e}");
+
+        let wrapped = NegativaError::from(StoreError::MissingManifest { path: "/x".into() });
+        assert!(wrapped.to_string().contains("no artifact manifest"), "{wrapped}");
+    }
+
+    #[test]
+    fn verification_report_audits_per_workload() {
+        let ok = StoreVerification {
+            workloads: vec![VerifiedWorkload {
+                label: "PyTorch/Train/MobileNetV2".into(),
+                baseline_checksum: 7,
+                verified_checksum: 7,
+            }],
+        };
+        assert!(ok.all_verified());
+        let mut broken = ok.clone();
+        broken.workloads[0].verified_checksum = 8;
+        assert!(!broken.all_verified());
+    }
+}

@@ -1,0 +1,293 @@
+//! Acceptance tests of the on-disk artifact store: publish → cold open
+//! round-trip fidelity, out-of-process-style re-verification, typed
+//! refusal to overwrite a different artifact, and detection of
+//! single-byte corruption anywhere in the store.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+use negativa_ml::store::{Store, StoreError};
+use negativa_ml::{DebloatArtifact, DebloatService, Debloater, NegativaError, PlanCache};
+use simcuda::GpuModel;
+use simml::{FrameworkKind, ModelKind, Operation, RunConfig, Workload};
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Train),
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Inference),
+    ]
+}
+
+/// One shared artifact for the whole test binary: the union debloat of
+/// the two paper workloads, computed once (the process-wide plan cache
+/// would dedupe the detection anyway).
+fn artifact() -> &'static DebloatArtifact {
+    static ARTIFACT: OnceLock<DebloatArtifact> = OnceLock::new();
+    ARTIFACT.get_or_init(|| {
+        Debloater::new(GpuModel::T4)
+            .session(FrameworkKind::PyTorch)
+            .debloat_many_artifact(&workloads())
+            .expect("the paper workloads debloat and verify")
+    })
+}
+
+/// A fresh store root per test, cleaned of any previous run's leftovers.
+fn test_root(name: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("negativa-store-{}-{name}", std::process::id()));
+    fs::remove_dir_all(&root).ok();
+    root
+}
+
+fn store_error(err: NegativaError) -> StoreError {
+    match err {
+        NegativaError::Store(e) => e,
+        other => panic!("expected a store error, got {other}"),
+    }
+}
+
+#[test]
+fn publish_then_cold_open_round_trips_bytes_plan_and_identity() {
+    let root = test_root("round-trip");
+    let artifact = artifact();
+    let store = Store::at(&root);
+    let manifest = store.publish(artifact).expect("publishing a verified artifact succeeds");
+    assert_eq!(manifest.key, artifact.key);
+    assert_eq!(manifest.entries.len(), artifact.libraries.len());
+    assert_eq!(manifest.workloads.len(), 2);
+
+    // Cold open: everything reconstructed from disk is identical to the
+    // in-memory originals.
+    let opened = store.open().expect("a just-published store opens");
+    assert_eq!(opened.plan_key(), artifact.key);
+    assert_eq!(opened.manifest(), &manifest);
+    let loaded = opened.load_bundle().expect("every content hash checks out");
+    assert_eq!(loaded, artifact.libraries, "stored bytes and manifests are byte-identical");
+    let plan = opened.load_plan().expect("plan.json decodes");
+    assert_eq!(&plan, artifact.plan.as_ref(), "the plan survives field-for-field");
+
+    // Re-verification replays every contributing workload against its
+    // recorded baseline checksum.
+    let verification = store.verify().expect("the stored bundle re-verifies cold");
+    assert_eq!(verification.workloads.len(), 2);
+    assert!(verification.all_verified());
+    for (record, verified) in manifest.workloads.iter().zip(&verification.workloads) {
+        assert_eq!(verified.label, record.label);
+        assert_eq!(verified.verified_checksum, record.baseline_checksum);
+    }
+
+    // Publishing the same identity again is idempotent, byte-stable
+    // included.
+    let before = fs::read(root.join("MANIFEST.json")).unwrap();
+    store.publish(artifact).expect("re-publishing the same identity is allowed");
+    assert_eq!(fs::read(root.join("MANIFEST.json")).unwrap(), before);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn reopened_plan_seeds_a_cache_with_zero_new_detections() {
+    let root = test_root("cache-seed");
+    Store::at(&root).publish(artifact()).unwrap();
+
+    // A cold consumer: fresh plan cache, nothing ever planned in it.
+    let cache = Arc::new(PlanCache::new(8));
+    let opened = Store::at(&root).open().unwrap();
+    let installed = opened.install_plan(&cache).expect("the stored plan installs");
+    assert_eq!(installed.as_ref(), artifact().plan.as_ref());
+    assert_eq!(cache.len(), 1);
+
+    let debloater = Debloater::new(GpuModel::T4).with_plan_cache(cache.clone());
+    let (report, libraries) = debloater.debloat_many_full(&workloads()).unwrap();
+    assert!(report.plan_cache_hit, "the seeded plan serves the debloat");
+    assert!(report.all_verified());
+    let stats = cache.stats();
+    assert_eq!(stats.detections, 0, "a store-seeded cache costs zero new detections");
+    assert_eq!(stats.misses, 0);
+    assert_eq!(stats.hits, 1);
+    assert_eq!(
+        libraries,
+        Store::at(&root).load_bundle().unwrap(),
+        "the cache-hit debloat reproduces the stored bytes exactly"
+    );
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn publishing_a_different_identity_into_an_occupied_store_is_refused() {
+    let root = test_root("key-mismatch");
+    let store = Store::at(&root);
+    store.publish(artifact()).unwrap();
+
+    // A different workload set → a different plan identity.
+    let other = Debloater::new(GpuModel::T4)
+        .session(FrameworkKind::PyTorch)
+        .debloat_many_artifact(&workloads()[1..])
+        .unwrap();
+    assert_ne!(other.key, artifact().key);
+    let err = store_error(store.publish(&other).unwrap_err());
+    match &err {
+        StoreError::PlanKeyMismatch { existing, publishing } => {
+            assert_eq!(*existing, artifact().key.artifact_id());
+            assert_eq!(*publishing, other.key.artifact_id());
+        }
+        other => panic!("expected PlanKeyMismatch, got {other}"),
+    }
+    // Nothing was overwritten: the original artifact still verifies.
+    assert!(store.verify().unwrap().all_verified());
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn corrupting_a_stored_library_is_a_hash_mismatch_naming_the_entry() {
+    let root = test_root("corrupt-object");
+    let store = Store::at(&root);
+    let manifest = store.publish(artifact()).unwrap();
+
+    // Flip one byte in the middle of the first stored library.
+    let entry = &manifest.entries[0];
+    let path = root.join(entry.object_path());
+    let mut bytes = fs::read(&path).unwrap();
+    let at = bytes.len() / 2;
+    bytes[at] ^= 0xff;
+    fs::write(&path, &bytes).unwrap();
+
+    for err in
+        [store_error(store.load_bundle().unwrap_err()), store_error(store.verify().unwrap_err())]
+    {
+        match &err {
+            StoreError::HashMismatch { entry: name, expected, actual } => {
+                assert_eq!(*name, entry.soname, "the error names the corrupted library");
+                assert_eq!(*expected, entry.content_hash);
+                assert_ne!(actual, expected);
+            }
+            other => panic!("expected HashMismatch, got {other}"),
+        }
+    }
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn corrupting_the_manifest_is_detected_by_its_self_hash() {
+    let root = test_root("corrupt-manifest");
+    let store = Store::at(&root);
+    store.publish(artifact()).unwrap();
+
+    let path = root.join("MANIFEST.json");
+    let mut bytes = fs::read(&path).unwrap();
+    let at = bytes.len() / 2;
+    bytes[at] ^= 0x01; // ASCII-safe flip: the file stays valid UTF-8
+    fs::write(&path, &bytes).unwrap();
+
+    let err = store_error(store.open().map(|_| ()).unwrap_err());
+    assert!(
+        matches!(&err, StoreError::CorruptManifest { path, .. } if path.contains("MANIFEST.json")),
+        "expected CorruptManifest, got {err}"
+    );
+    let err = store_error(store.verify().unwrap_err());
+    assert!(matches!(err, StoreError::CorruptManifest { .. }));
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn corrupting_the_stored_plan_is_a_hash_mismatch_naming_plan_json() {
+    let root = test_root("corrupt-plan");
+    let store = Store::at(&root);
+    store.publish(artifact()).unwrap();
+
+    let path = root.join("plan.json");
+    let mut bytes = fs::read(&path).unwrap();
+    let at = bytes.len() / 2;
+    bytes[at] ^= 0x01;
+    fs::write(&path, &bytes).unwrap();
+
+    let err = store_error(store.open().unwrap().load_plan().unwrap_err());
+    assert!(
+        matches!(&err, StoreError::HashMismatch { entry, .. } if entry == "plan.json"),
+        "expected HashMismatch naming plan.json, got {err}"
+    );
+    // verify() checks plan integrity before running anything.
+    let err = store_error(store.verify().unwrap_err());
+    assert!(matches!(err, StoreError::HashMismatch { .. }));
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn torn_publishes_are_detected_not_loaded() {
+    let root = test_root("torn-publish");
+    let store = Store::at(&root);
+    let manifest = store.publish(artifact()).unwrap();
+
+    // Simulate a torn publish that lost an object: the manifest (written
+    // last) survived, but a library's backing file is gone.
+    let victim = &manifest.entries[1];
+    fs::remove_file(root.join(victim.object_path())).unwrap();
+    let err = store_error(store.verify().unwrap_err());
+    match &err {
+        StoreError::MissingEntry { entry, .. } => assert_eq!(*entry, victim.soname),
+        other => panic!("expected MissingEntry, got {other}"),
+    }
+
+    // Republishing the same identity notices the hole (the idempotent
+    // fast path requires every entry present at its recorded length)
+    // and repairs it with a full rewrite.
+    store.publish(artifact()).unwrap();
+    assert!(store.verify().unwrap().all_verified());
+
+    // Simulate the other half: a publish torn *before* the manifest
+    // landed. The directory has content but no index — opening reports
+    // exactly that, it never guesses.
+    fs::remove_file(root.join("MANIFEST.json")).unwrap();
+    let err = store_error(store.open().map(|_| ()).unwrap_err());
+    assert!(matches!(err, StoreError::MissingManifest { .. }), "got {err}");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn verification_under_a_different_run_config_is_refused() {
+    let root = test_root("config-mismatch");
+    let store = Store::at(&root);
+    store.publish(artifact()).unwrap();
+
+    let mut config = RunConfig::default();
+    config.sample_steps += 1; // different fingerprint → incomparable baselines
+    let err = store_error(store.open().unwrap().verify_with_config(&config).unwrap_err());
+    match err {
+        StoreError::ConfigMismatch { stored, provided } => {
+            assert_eq!(stored, artifact().key.config);
+            assert_ne!(provided, stored);
+        }
+        other => panic!("expected ConfigMismatch, got {other}"),
+    }
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn service_auto_publishes_executed_batches() {
+    let root = test_root("service-publish");
+    let service =
+        DebloatService::builder(GpuModel::T4).service_workers(1).publish_root(&root).build();
+    let handle = service.handle();
+    let response = handle
+        .request(vec![Workload::paper(
+            FrameworkKind::PyTorch,
+            ModelKind::MobileNetV2,
+            Operation::Inference,
+        )])
+        .expect("the service answers");
+    assert!(response.report.all_verified());
+    let stats = service.stats();
+    assert_eq!(stats.published, 1, "one executed batch, one published artifact");
+    assert_eq!(stats.publish_failed, 0);
+    assert_eq!(stats.store_root.as_deref(), Some(root.as_path()));
+    drop(handle);
+    service.shutdown();
+
+    // The store root holds exactly one per-identity artifact directory;
+    // it re-verifies cold and matches the served response byte for byte.
+    let dirs: Vec<PathBuf> = fs::read_dir(&root).unwrap().map(|e| e.unwrap().path()).collect();
+    assert_eq!(dirs.len(), 1, "one plan identity was served: {dirs:?}");
+    let store = Store::at(&dirs[0]);
+    assert!(store.verify().unwrap().all_verified());
+    assert_eq!(*response.libraries, store.load_bundle().unwrap());
+    fs::remove_dir_all(&root).ok();
+}

@@ -5,11 +5,15 @@
 //! `cargo run --bin bench_check` before uploading it.
 //!
 //! The report is deliberately a *flat* JSON object of scalars — easy to
-//! diff across commits, easy to plot — so the parser here is a strict
-//! ~100-line recursive-descent reader for exactly that shape (the
-//! workspace is dependency-free by design; no serde).
+//! diff across commits, easy to plot. Parsing rides the workspace's
+//! shared dependency-free JSON codec ([`negativa_ml::codec`], the same
+//! one behind the artifact store's `MANIFEST.json`); this module then
+//! holds the document to the bench report's flat-scalar shape and key
+//! schema.
 
 use std::collections::BTreeMap;
+
+use negativa_ml::codec::JsonValue;
 
 /// Every key a valid `BENCH_service.json` must contain. Extending the
 /// bench adds the key here first; `bench_check` then holds CI to it.
@@ -77,57 +81,31 @@ pub fn render(entries: &[(&str, BenchValue)]) -> String {
     out
 }
 
-/// Parse a flat JSON object of string/number scalars. Rejects nesting,
-/// duplicate keys, trailing garbage, and anything else outside the
-/// report's shape.
+/// Parse a flat JSON object of string/number scalars through the
+/// shared codec. Rejects nesting, duplicate keys, trailing garbage, and
+/// anything else outside the report's shape.
 ///
 /// # Errors
 ///
-/// A human-readable description of the first syntax violation.
+/// A human-readable description of the first syntax or shape violation.
 pub fn parse_flat_object(input: &str) -> Result<BTreeMap<String, BenchValue>, String> {
-    let mut cursor = Cursor { bytes: input.as_bytes(), at: 0 };
+    let doc = JsonValue::parse(input)?;
+    let Some(pairs) = doc.as_object() else {
+        return Err("the report must be a JSON object".into());
+    };
     let mut out = BTreeMap::new();
-    cursor.skip_ws();
-    cursor.expect(b'{')?;
-    cursor.skip_ws();
-    if cursor.peek() == Some(b'}') {
-        cursor.at += 1;
-    } else {
-        loop {
-            cursor.skip_ws();
-            let key = cursor.parse_string()?;
-            cursor.skip_ws();
-            cursor.expect(b':')?;
-            cursor.skip_ws();
-            let value = match cursor.peek() {
-                Some(b'"') => BenchValue::Text(cursor.parse_string()?),
-                Some(c) if c == b'-' || c.is_ascii_digit() => {
-                    BenchValue::Number(cursor.parse_number()?)
-                }
-                other => {
-                    return Err(format!(
-                        "key {key:?}: expected a string or number value, found {other:?} \
-                         (the report is a flat object of scalars)"
-                    ))
-                }
-            };
-            if out.insert(key.clone(), value).is_some() {
-                return Err(format!("duplicate key {key:?}"));
+    for (key, value) in pairs {
+        let value = match value {
+            JsonValue::Number(n) => BenchValue::Number(*n),
+            JsonValue::Text(s) => BenchValue::Text(s.clone()),
+            other => {
+                return Err(format!(
+                    "key {key:?}: expected a string or number value, found {other:?} \
+                     (the report is a flat object of scalars)"
+                ))
             }
-            cursor.skip_ws();
-            match cursor.peek() {
-                Some(b',') => cursor.at += 1,
-                Some(b'}') => {
-                    cursor.at += 1;
-                    break;
-                }
-                other => return Err(format!("expected ',' or '}}' after a pair, found {other:?}")),
-            }
-        }
-    }
-    cursor.skip_ws();
-    if cursor.at != cursor.bytes.len() {
-        return Err(format!("trailing garbage after the closing brace at byte {}", cursor.at));
+        };
+        out.insert(key.clone(), value);
     }
     Ok(out)
 }
@@ -165,73 +143,6 @@ pub fn percentile(sorted_ns: &[u128], pct: u32) -> u128 {
     let pct = pct.min(100) as usize;
     let index = (sorted_ns.len() - 1) * pct / 100;
     sorted_ns[index]
-}
-
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    at: usize,
-}
-
-impl Cursor<'_> {
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.at).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.at += 1;
-        }
-    }
-
-    fn expect(&mut self, wanted: u8) -> Result<(), String> {
-        if self.peek() == Some(wanted) {
-            self.at += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected {:?} at byte {}, found {:?}",
-                wanted as char,
-                self.at,
-                self.peek().map(|b| b as char)
-            ))
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                Some(b'"') => {
-                    self.at += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.at += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        other => return Err(format!("unsupported escape {other:?} in string")),
-                    }
-                    self.at += 1;
-                }
-                Some(byte) => {
-                    out.push(byte as char);
-                    self.at += 1;
-                }
-                None => return Err("unterminated string".into()),
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<f64, String> {
-        let start = self.at;
-        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
-            self.at += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii digits");
-        text.parse::<f64>().map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,53 @@
+//! `ship` — publish a debloated bundle as an on-disk artifact.
+//!
+//! Runs the paper's shared-bundle scenario (PyTorch MobileNetV2, the
+//! union of Train and Inference, T4) through
+//! `Debloater::debloat_and_publish` and persists the result —
+//! compacted libraries, `plan.json`, and the self-hashed
+//! content-addressed `MANIFEST.json` — under the store directory
+//! (first CLI argument, else `STORE_DIR`, else `ARTIFACT_store`). The
+//! counterpart `verify_artifact` binary reopens the store **in a
+//! separate process** and re-runs every contributing workload against
+//! its recorded baseline checksum; CI runs the pair back to back as
+//! the packaging round-trip gate.
+
+use negativa_repro::cuda::GpuModel;
+use negativa_repro::ml::{FrameworkKind, ModelKind, Operation, Workload};
+use negativa_repro::negativa::store::Store;
+use negativa_repro::negativa::{Debloater, Totals};
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("STORE_DIR").ok())
+        .unwrap_or_else(|| "ARTIFACT_store".into());
+    let store = Store::at(&dir);
+    let workloads = [
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Train),
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Inference),
+    ];
+
+    let (report, manifest) =
+        match Debloater::new(GpuModel::T4).debloat_and_publish(&workloads, &store) {
+            Ok(published) => published,
+            Err(e) => {
+                eprintln!("ship: publish to {dir} failed: {e}");
+                std::process::exit(1);
+            }
+        };
+
+    let totals = Totals::sum(&report.libraries);
+    println!("{}", report.summary());
+    println!(
+        "shipped {} to {dir}: {} libraries ({:.1}% smaller), {} workload baselines, plan {:#018x}",
+        manifest.key.artifact_id(),
+        manifest.entries.len(),
+        totals.file_reduction_pct(),
+        manifest.workloads.len(),
+        manifest.plan_hash,
+    );
+    for entry in &manifest.entries {
+        println!("  {} -> {} ({} bytes)", entry.soname, entry.object_path(), entry.byte_len);
+    }
+    println!("re-verify out of process with: cargo run --release --bin verify_artifact -- {dir}");
+}

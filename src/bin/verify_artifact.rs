@@ -1,0 +1,53 @@
+//! `verify_artifact` — the cold half of the packaging contract.
+//!
+//! Opens the artifact store a previous `ship` process published (first
+//! CLI argument, else `STORE_DIR`, else `ARTIFACT_store`) and runs
+//! `Store::verify`: the manifest's self-hash, the plan's content hash,
+//! and every library's content hash are checked, the bundle is
+//! reconstructed from the stored bytes alone, and **every**
+//! contributing workload is re-executed, required to reproduce the
+//! baseline checksum recorded at publish time. Exits non-zero with the
+//! typed error on any integrity or behavioral failure, so CI catches a
+//! corrupted or wrongly-debloated artifact before it ships anywhere.
+
+use negativa_repro::negativa::store::Store;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("STORE_DIR").ok())
+        .unwrap_or_else(|| "ARTIFACT_store".into());
+    let store = Store::at(&dir);
+
+    let artifact = match store.open() {
+        Ok(artifact) => artifact,
+        Err(e) => {
+            eprintln!("verify_artifact: cannot open {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let manifest = artifact.manifest();
+    println!(
+        "verifying {} at {dir}: {} libraries, {} workloads",
+        manifest.key.artifact_id(),
+        manifest.entries.len(),
+        manifest.workloads.len(),
+    );
+
+    match artifact.verify() {
+        Ok(verification) => {
+            for w in &verification.workloads {
+                println!("  verified {:<40} checksum {:#018x}", w.label, w.verified_checksum);
+            }
+            assert!(verification.all_verified(), "verify() returned with a mismatch");
+            println!(
+                "verify_artifact: {dir} OK ({} workloads reproduced their baselines)",
+                verification.workloads.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("verify_artifact: {dir} FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

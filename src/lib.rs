@@ -25,6 +25,11 @@
 //!   requests costs one detection and one compaction), a per-framework
 //!   partitioned plan cache with single-flight planning and optional
 //!   TTL refresh, and a bounded worker pool shared across batches.
+//!   Below it, the [`negativa::store`] artifact store persists a
+//!   verified debloat — content-addressed library objects, the
+//!   serialized plan, and a self-hashed manifest with per-workload
+//!   baseline checksums — and re-verifies it from a cold process (the
+//!   `ship` / `verify_artifact` binaries run exactly that split in CI).
 //!
 //! # Quickstart
 //!
