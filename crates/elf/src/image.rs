@@ -1,4 +1,4 @@
-//! Owned, mutable ELF images and occupancy accounting.
+//! Copy-on-write ELF images and occupancy accounting.
 //!
 //! Negativa-ML's compaction phase zeroes out unused byte ranges but keeps
 //! every offset valid, so the debloated library is a drop-in replacement.
@@ -10,6 +10,23 @@
 //!   size.
 //! * **Memory** — the loader never touches all-zero pages, so resident
 //!   memory shrinks; `simcuda`'s loader uses the same block accounting.
+//!
+//! # Byte ownership
+//!
+//! Library images are multi-megabyte and the hot path fans one bundle out
+//! to many requesters, so the raw file bytes live behind a shared
+//! [`Arc`]: [`ElfImage::clone`] is a reference-count bump, never a byte
+//! copy. The **ownership rule** is that at most one holder mutates, and
+//! it pays for exclusivity exactly once: the zeroing methods go through
+//! `Arc::make_mut`, which deep-copies the bytes only if the image is
+//! currently shared (copy-on-write). In the debloat pipeline the single
+//! mutation site is compaction; everything downstream of it — batch
+//! fan-out, grouped responses, the artifact store — only ever clones
+//! handles. [`ElfImage::shares_bytes_with`] and
+//! [`ElfImage::is_sole_owner`] expose the sharing state so callers can
+//! account copied vs. shared bytes.
+
+use std::sync::Arc;
 
 use crate::error::ElfError;
 use crate::range::FileRange;
@@ -18,14 +35,16 @@ use crate::Result;
 /// Default block granularity for occupancy accounting (one page).
 pub const DEFAULT_BLOCK: u64 = 4096;
 
-/// An owned ELF image that supports in-place surgical edits.
+/// A copy-on-write ELF image that supports in-place surgical edits.
 ///
 /// Produced by [`crate::ElfBuilder::build`]; the raw bytes are always a
-/// parseable ELF64 file (see [`crate::Elf`]).
+/// parseable ELF64 file (see [`crate::Elf`]). Cloning shares the
+/// underlying bytes; the first mutation of a shared image deep-copies
+/// them (see the module docs for the ownership rule).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ElfImage {
     soname: String,
-    bytes: Vec<u8>,
+    bytes: Arc<Vec<u8>>,
 }
 
 /// Occupancy statistics at block granularity; see [`ElfImage::occupancy`].
@@ -47,12 +66,12 @@ pub struct OccupancyReport {
 impl ElfImage {
     /// Assemble from a soname and raw bytes (used by the builder).
     pub(crate) fn from_parts(soname: String, bytes: Vec<u8>) -> Self {
-        ElfImage { soname, bytes }
+        ElfImage { soname, bytes: Arc::new(bytes) }
     }
 
     /// Wrap existing bytes as an image (e.g. a file read back from disk).
     pub fn from_bytes(soname: impl Into<String>, bytes: Vec<u8>) -> Self {
-        ElfImage { soname: soname.into(), bytes }
+        ElfImage { soname: soname.into(), bytes: Arc::new(bytes) }
     }
 
     /// The shared object name this image was built with.
@@ -75,16 +94,31 @@ impl ElfImage {
         self.bytes.is_empty()
     }
 
-    /// Consume the image and take the raw bytes.
+    /// Consume the image and take the raw bytes. Copies only if the
+    /// bytes are still shared with another handle.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.bytes
+        Arc::try_unwrap(self.bytes).unwrap_or_else(|shared| (*shared).clone())
     }
 
-    /// Zero the bytes of `range` in place.
+    /// True if this image and `other` share one underlying byte buffer
+    /// (the zero-copy fan-out invariant the service pins in tests).
+    pub fn shares_bytes_with(&self, other: &ElfImage) -> bool {
+        Arc::ptr_eq(&self.bytes, &other.bytes)
+    }
+
+    /// True if no other handle references these bytes — the state in
+    /// which mutation is free (no copy-on-write).
+    pub fn is_sole_owner(&self) -> bool {
+        Arc::strong_count(&self.bytes) == 1
+    }
+
+    /// Zero the bytes of `range` in place, deep-copying first if the
+    /// bytes are shared (copy-on-write; see the module docs).
     ///
     /// # Errors
     ///
-    /// [`ElfError::RangeOutOfBounds`] if the range extends past the file.
+    /// [`ElfError::RangeOutOfBounds`] if the range extends past the
+    /// file; a shared image is *not* unshared on this error.
     pub fn zero_range(&mut self, range: FileRange) -> Result<()> {
         if range.end > self.len() {
             return Err(ElfError::RangeOutOfBounds {
@@ -93,11 +127,17 @@ impl ElfImage {
                 len: self.len(),
             });
         }
-        self.bytes[range.start as usize..range.end as usize].fill(0);
+        if range.is_empty() {
+            return Ok(());
+        }
+        let bytes = Arc::make_mut(&mut self.bytes);
+        bytes[range.start as usize..range.end as usize].fill(0);
         Ok(())
     }
 
-    /// Zero every range in `ranges`; stops at the first error.
+    /// Zero every range in `ranges`; stops at the first error. An empty
+    /// `ranges` is a no-op that keeps the bytes shared, so an untouched
+    /// library survives compaction without a copy.
     ///
     /// # Errors
     ///
@@ -292,5 +332,57 @@ mod tests {
         let len = img.len();
         assert_eq!(img.as_ref().len() as u64, len);
         assert_eq!(img.into_bytes().len() as u64, len);
+    }
+
+    #[test]
+    fn clones_share_bytes_without_copying() {
+        let img = image();
+        assert!(img.is_sole_owner());
+        let other = img.clone();
+        assert!(img.shares_bytes_with(&other));
+        assert!(!img.is_sole_owner());
+        assert_eq!(img, other);
+    }
+
+    #[test]
+    fn mutation_unshares_and_leaves_the_original_untouched() {
+        let img = image();
+        let mut copy = img.clone();
+        let r = FileRange::new(200, 264);
+        copy.zero_range(r).unwrap();
+        assert!(!copy.shares_bytes_with(&img), "first write detaches the clone");
+        assert!(copy.is_zeroed(r));
+        assert!(!img.is_zeroed(r), "copy-on-write never touches the shared original");
+        // A second write mutates in place: the copy already owns its bytes.
+        assert!(copy.is_sole_owner());
+    }
+
+    #[test]
+    fn empty_zeroing_keeps_bytes_shared() {
+        let img = image();
+        let mut copy = img.clone();
+        copy.zero_ranges(&[]).unwrap();
+        copy.zero_range(FileRange::new(100, 100)).unwrap();
+        assert!(copy.shares_bytes_with(&img), "no-op zeroing must not pay for a copy");
+    }
+
+    #[test]
+    fn failed_zeroing_does_not_unshare() {
+        let img = image();
+        let mut copy = img.clone();
+        let len = copy.len();
+        assert!(copy.zero_range(FileRange::new(len, len + 1)).is_err());
+        assert!(copy.shares_bytes_with(&img));
+    }
+
+    #[test]
+    fn into_bytes_copies_only_when_shared() {
+        let img = image();
+        let shared = img.clone();
+        let bytes = shared.into_bytes();
+        assert_eq!(bytes, img.bytes(), "shared take copies, byte-identical");
+        assert!(img.is_sole_owner(), "the last handle owns the original buffer again");
+        let sole = img.bytes().to_vec();
+        assert_eq!(img.into_bytes(), sole, "sole-owner take moves without copying");
     }
 }

@@ -13,10 +13,16 @@
 //! * [`Elf`] — a zero-copy parser for the images the builder produces (and
 //!   any structurally similar ELF64 file): header, section table, symbol
 //!   table, and section data access.
-//! * [`ElfImage`] — an owned, mutable image supporting in-place range
+//! * [`ElfImage`] — a copy-on-write image supporting in-place range
 //!   zeroing (the paper's compaction primitive) and *occupied-extent*
 //!   accounting, which models the on-disk footprint after hole punching
-//!   and the resident memory after page-granular loading.
+//!   and the resident memory after page-granular loading. The bytes live
+//!   behind a shared handle: cloning an image is a reference-count bump,
+//!   and the **ownership rule** is that exactly one holder mutates — in
+//!   the debloat pipeline that is the compaction step, which pays for a
+//!   deep copy at most once per library via `Arc::make_mut`-style
+//!   unsharing. Everything else (batch fan-out, grouped responses, the
+//!   artifact store) only clones handles.
 //! * [`ElfIndex`] — a parse-once cached view (section table + function
 //!   intervals) shared by every subsequent open; it stays valid across
 //!   compaction because zeroing never moves offsets.

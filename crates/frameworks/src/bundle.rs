@@ -11,9 +11,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use simelf::ElfImage;
 
+use crate::error::SimmlError;
 use crate::genlib;
 use crate::ops::OpFamily;
-use crate::spec::{FrameworkKind, LibTag};
+use crate::spec::{FrameworkKind, LibSpec, LibTag};
 use crate::Result;
 
 /// What one library offers for one op family.
@@ -53,6 +54,22 @@ pub struct GeneratedLibrary {
     pub image: ElfImage,
     /// The executor-facing description.
     pub manifest: LibManifest,
+}
+
+/// Generate one library from its spec — the per-library unit of work
+/// behind [`FrameworkBundle::generate`], exposed so callers with their
+/// own worker pools (the debloater) can fan generation out across
+/// libraries and reassemble with
+/// [`FrameworkBundle::from_libraries`]. Generation is pure: the result
+/// is byte-identical wherever and in whatever order it runs.
+///
+/// # Errors
+///
+/// [`crate::SimmlError::Generation`] if the spec is internally
+/// inconsistent — a programming error in [`crate::spec`], not an input
+/// condition.
+pub fn generate_library(spec: &LibSpec) -> Result<GeneratedLibrary> {
+    genlib::generate(spec)
 }
 
 /// A framework's complete library set, in provider-resolution order.
@@ -124,6 +141,49 @@ impl FrameworkBundle {
         Ok(FrameworkBundle { framework, libraries })
     }
 
+    /// Assemble a bundle from pre-generated *libraries* — the
+    /// reassembly half of a fanned-out generation: produce each library
+    /// with [`generate_library`] (on whatever workers you like) and
+    /// hand the results back here. Validation is against the
+    /// framework's own roster ([`FrameworkKind::lib_specs`]), never the
+    /// bundle cache, so this can safely *fill* the cache via
+    /// [`cached_bundle_with`].
+    ///
+    /// `libraries` must cover the roster exactly: same count, same
+    /// sonames, in provider-resolution order.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SimmlError::BundleMismatch`] naming the first count or
+    /// soname violation.
+    pub fn from_libraries(
+        framework: FrameworkKind,
+        libraries: Vec<GeneratedLibrary>,
+    ) -> Result<FrameworkBundle> {
+        let specs = framework.lib_specs();
+        if libraries.len() != specs.len() {
+            return Err(crate::SimmlError::BundleMismatch {
+                reason: format!(
+                    "{} ships {} libraries, got {}",
+                    framework.name(),
+                    specs.len(),
+                    libraries.len()
+                ),
+            });
+        }
+        for (lib, spec) in libraries.iter().zip(&specs) {
+            if lib.manifest.soname != spec.soname {
+                return Err(crate::SimmlError::BundleMismatch {
+                    reason: format!(
+                        "expected {} at this roster position, got {}",
+                        spec.soname, lib.manifest.soname
+                    ),
+                });
+            }
+        }
+        Ok(FrameworkBundle { framework, libraries })
+    }
+
     /// Which framework this bundle belongs to.
     pub fn framework(&self) -> FrameworkKind {
         self.framework
@@ -156,21 +216,59 @@ impl FrameworkBundle {
 /// lifetime so every stage sees the identical library bytes.
 pub type BundleHandle = Arc<FrameworkBundle>;
 
+/// The one process-wide bundle cache, shared by [`cached_bundle`] and
+/// [`cached_bundle_with`] so whichever fills a framework first wins and
+/// every later caller gets the same handle.
+fn bundle_cache() -> &'static Mutex<HashMap<FrameworkKind, Arc<FrameworkBundle>>> {
+    static CACHE: OnceLock<Mutex<HashMap<FrameworkKind, Arc<FrameworkBundle>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
 /// Process-wide bundle cache: generating a bundle is pure, so every
 /// caller (baseline run, detection run, debloater, tests) shares one
 /// immutable copy per framework.
 pub fn cached_bundle(framework: FrameworkKind) -> BundleHandle {
-    static CACHE: OnceLock<Mutex<HashMap<FrameworkKind, Arc<FrameworkBundle>>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut map = cache.lock().expect("bundle cache poisoned");
-    map.entry(framework)
-        .or_insert_with(|| {
-            Arc::new(
-                FrameworkBundle::generate(framework)
-                    .expect("bundle generation is deterministic and must not fail"),
-            )
-        })
-        .clone()
+    cached_bundle_with(framework, || FrameworkBundle::generate(framework))
+        .expect("bundle generation is deterministic and must not fail")
+}
+
+/// [`cached_bundle`] with an injectable cache fill: on a miss, `init`
+/// produces the bundle (e.g. fanned out per library through a caller's
+/// worker pool via [`generate_library`] +
+/// [`FrameworkBundle::from_libraries`]); on a hit, `init` never runs and
+/// the cached handle comes back. Because generation is pure, *which*
+/// caller fills the cache is unobservable — the bytes are identical.
+///
+/// `init` runs under the cache lock (same as [`cached_bundle`]'s
+/// generation), so a stampede of first requests generates once.
+///
+/// # Errors
+///
+/// Whatever `init` returns, plus [`crate::SimmlError::BundleMismatch`]
+/// (converted into `E`) if `init` produced a bundle for a different
+/// framework.
+pub fn cached_bundle_with<E: From<SimmlError>>(
+    framework: FrameworkKind,
+    init: impl FnOnce() -> std::result::Result<FrameworkBundle, E>,
+) -> std::result::Result<BundleHandle, E> {
+    let mut map = bundle_cache().lock().expect("bundle cache poisoned");
+    if let Some(handle) = map.get(&framework) {
+        return Ok(handle.clone());
+    }
+    let bundle = init()?;
+    if bundle.framework() != framework {
+        return Err(SimmlError::BundleMismatch {
+            reason: format!(
+                "cache fill for {} produced a {} bundle",
+                framework.name(),
+                bundle.framework().name()
+            ),
+        }
+        .into());
+    }
+    let handle = Arc::new(bundle);
+    map.insert(framework, handle.clone());
+    Ok(handle)
 }
 
 /// Process-wide cache of parse-once [`simelf::ElfIndex`] views for a
@@ -264,6 +362,55 @@ mod tests {
             }
             other => panic!("expected BundleMismatch, got {other}"),
         }
+    }
+
+    #[test]
+    fn from_libraries_reassembles_a_fanned_out_generation() {
+        // Per-library generation is the serial path's unit of work, so
+        // reassembly is byte-identical to FrameworkBundle::generate.
+        let specs = FrameworkKind::TensorFlow.lib_specs();
+        let libraries: Vec<GeneratedLibrary> =
+            specs.iter().map(|spec| generate_library(spec).unwrap()).collect();
+        let rebuilt =
+            FrameworkBundle::from_libraries(FrameworkKind::TensorFlow, libraries).unwrap();
+        assert_eq!(rebuilt, FrameworkBundle::generate(FrameworkKind::TensorFlow).unwrap());
+
+        // Count and roster-order violations are refused.
+        let err =
+            FrameworkBundle::from_libraries(FrameworkKind::TensorFlow, Vec::new()).unwrap_err();
+        assert!(matches!(err, crate::SimmlError::BundleMismatch { .. }), "{err}");
+        let mut swapped: Vec<GeneratedLibrary> =
+            specs.iter().map(|spec| generate_library(spec).unwrap()).collect();
+        swapped.swap(0, 1);
+        let err = FrameworkBundle::from_libraries(FrameworkKind::TensorFlow, swapped).unwrap_err();
+        match err {
+            crate::SimmlError::BundleMismatch { reason } => {
+                assert!(reason.contains(&specs[0].soname), "{reason}");
+            }
+            other => panic!("expected BundleMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cached_bundle_with_shares_the_one_cache() {
+        // Whatever fills first wins; the injectable fill and the plain
+        // accessor hand out the same Arc.
+        let via_init = cached_bundle_with::<SimmlError>(FrameworkKind::Vllm, || {
+            let libraries = FrameworkKind::Vllm
+                .lib_specs()
+                .iter()
+                .map(generate_library)
+                .collect::<Result<Vec<_>>>()?;
+            FrameworkBundle::from_libraries(FrameworkKind::Vllm, libraries)
+        })
+        .unwrap();
+        assert!(Arc::ptr_eq(&via_init, &cached_bundle(FrameworkKind::Vllm)));
+        // On a hit the init closure never runs.
+        let untouched = cached_bundle_with::<SimmlError>(FrameworkKind::Vllm, || {
+            panic!("cache hit must not re-generate")
+        })
+        .unwrap();
+        assert!(Arc::ptr_eq(&untouched, &via_init));
     }
 
     #[test]

@@ -53,7 +53,8 @@ pub mod spec;
 mod workload;
 
 pub use bundle::{
-    cached_bundle, cached_indexes, BundleHandle, FrameworkBundle, GeneratedLibrary, LibManifest,
+    cached_bundle, cached_bundle_with, cached_indexes, generate_library, BundleHandle,
+    FrameworkBundle, GeneratedLibrary, LibManifest,
 };
 pub use dataset::Dataset;
 pub use error::SimmlError;
@@ -64,7 +65,7 @@ pub use executor::{
 pub use metrics::WorkloadMetrics;
 pub use model::ModelKind;
 pub use ops::OpFamily;
-pub use spec::{FrameworkKind, LibTag};
+pub use spec::{FrameworkKind, LibSpec, LibTag};
 pub use workload::{Operation, Workload};
 
 /// Result alias used throughout this crate.

@@ -164,14 +164,17 @@ impl JsonValue {
         }
     }
 
-    /// Parse one JSON document. Rejects duplicate object keys,
-    /// unsupported escapes, and trailing garbage.
+    /// Parse one JSON document. Rejects duplicate object keys (at
+    /// every nesting level), unsupported escapes, trailing garbage,
+    /// and containers nested deeper than [`MAX_PARSE_DEPTH`] (the
+    /// recursive-descent parser uses the call stack, so unbounded
+    /// nesting in a hostile document would otherwise overflow it).
     ///
     /// # Errors
     ///
     /// A human-readable description of the first syntax violation.
     pub fn parse(input: &str) -> Result<JsonValue, String> {
-        let mut cursor = Cursor { bytes: input.as_bytes(), at: 0 };
+        let mut cursor = Cursor { bytes: input.as_bytes(), at: 0, depth: 0 };
         cursor.skip_ws();
         let value = cursor.parse_value()?;
         cursor.skip_ws();
@@ -204,12 +207,32 @@ fn render_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Deepest container nesting [`JsonValue::parse`] accepts. Every
+/// format this crate reads (manifests, plans, bench records) stays in
+/// single digits; the bound exists so a hostile or corrupt document
+/// fails with a typed error instead of exhausting the parser's call
+/// stack.
+pub const MAX_PARSE_DEPTH: usize = 64;
+
 struct Cursor<'a> {
     bytes: &'a [u8],
     at: usize,
+    /// Containers currently open ([`MAX_PARSE_DEPTH`]-bounded).
+    depth: usize,
 }
 
 impl Cursor<'_> {
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(format!(
+                "containers nested deeper than {MAX_PARSE_DEPTH} levels at byte {}",
+                self.at
+            ));
+        }
+        Ok(())
+    }
+
     fn peek(&self) -> Option<u8> {
         self.bytes.get(self.at).copied()
     }
@@ -260,10 +283,12 @@ impl Cursor<'_> {
 
     fn parse_object(&mut self) -> Result<JsonValue, String> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut pairs: Vec<(String, JsonValue)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.at += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Object(pairs));
         }
         loop {
@@ -282,6 +307,7 @@ impl Cursor<'_> {
                 Some(b',') => self.at += 1,
                 Some(b'}') => {
                     self.at += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Object(pairs));
                 }
                 other => return Err(format!("expected ',' or '}}' after a pair, found {other:?}")),
@@ -291,10 +317,12 @@ impl Cursor<'_> {
 
     fn parse_array(&mut self) -> Result<JsonValue, String> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.at += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Array(items));
         }
         loop {
@@ -305,6 +333,7 @@ impl Cursor<'_> {
                 Some(b',') => self.at += 1,
                 Some(b']') => {
                     self.at += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Array(items));
                 }
                 other => {
@@ -463,6 +492,31 @@ mod tests {
         assert!(JsonValue::parse("[1, 2,]").is_err(), "trailing comma");
         assert!(JsonValue::parse("{\"a\": \"\\n\"}").is_err(), "unsupported escape");
         assert!(JsonValue::parse("nul").is_err(), "truncated keyword");
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_inside_nested_objects() {
+        let err = JsonValue::parse("{\"outer\": {\"dup\": 1, \"dup\": 2}}").unwrap_err();
+        assert!(err.contains("dup"), "error names the offending key: {err}");
+        let err = JsonValue::parse("[{\"a\": 0}, {\"k\": {\"k2\": 1, \"k2\": 2}}]").unwrap_err();
+        assert!(err.contains("k2"), "rejection applies at every nesting level: {err}");
+        // Same key at *different* levels is legal.
+        JsonValue::parse("{\"k\": {\"k\": 1}}").expect("shadowing across levels is fine");
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        let deep = |n: usize| format!("{}0{}", "[".repeat(n), "]".repeat(n));
+        JsonValue::parse(&deep(MAX_PARSE_DEPTH)).expect("nesting at the bound parses");
+        let err = JsonValue::parse(&deep(MAX_PARSE_DEPTH + 1)).unwrap_err();
+        assert!(err.contains("nested deeper"), "{err}");
+        // Mixed object/array nesting counts against the same budget.
+        let mixed =
+            format!("{}0{}", "{\"k\": [".repeat(MAX_PARSE_DEPTH), "]}".repeat(MAX_PARSE_DEPTH));
+        assert!(JsonValue::parse(&mixed).is_err(), "2x the bound via mixed containers");
+        // Siblings do not accumulate: depth is current nesting, not totals.
+        let wide = format!("[{}]", vec!["[0]"; MAX_PARSE_DEPTH * 2].join(", "));
+        JsonValue::parse(&wide).expect("many shallow siblings parse");
     }
 
     #[test]

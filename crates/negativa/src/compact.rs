@@ -7,6 +7,15 @@
 //! materialize as page-granular occupancy (hole-punchable file blocks
 //! and untouched resident pages), measured here before and after so the
 //! analysis stage can report reductions without re-scanning.
+//!
+//! This is also the **single mutation site** of the pipeline's
+//! copy-on-write byte-ownership model: [`simelf::ElfImage`] bytes are
+//! shared handles everywhere else, and the clone taken here is a
+//! reference-count bump that only turns into a deep copy when zeroing
+//! actually writes (`Arc::make_mut`-style unsharing inside
+//! [`simelf::ElfImage::zero_range`]). A plan with nothing to zero hands
+//! the input bytes back shared. [`CompactionOutcome::bytes_copied`] /
+//! [`CompactionOutcome::bytes_shared`] record which of the two happened.
 
 use simelf::ElfImage;
 
@@ -32,6 +41,14 @@ pub struct CompactionOutcome {
     pub device_before: u64,
     /// `.nv_fatbin` occupied bytes after.
     pub device_after: u64,
+    /// Bytes deep-copied to detach the compacted image from the shared
+    /// input (the whole file, exactly once, iff the plan zeroed
+    /// anything).
+    pub bytes_copied: u64,
+    /// Bytes the compacted image still shares with the input (the whole
+    /// file iff the plan had nothing to zero — the untouched-library
+    /// fast path).
+    pub bytes_shared: u64,
 }
 
 /// Produce the compacted copy of `image` according to `plan`.
@@ -56,9 +73,16 @@ pub fn compact(image: &ElfImage, plan: &RetainPlan) -> Result<(ElfImage, Compact
         outcome.device_before = image.occupied_bytes_in(fatbin, PAGE);
     }
 
+    // Reference-count bump, not a byte copy: the deep copy (if any)
+    // happens inside the first effective zero_range via copy-on-write.
     let mut compacted = image.clone();
     compacted.zero_ranges(&plan.zero_host).map_err(NegativaError::Elf)?;
     compacted.zero_ranges(&plan.zero_device).map_err(NegativaError::Elf)?;
+    if compacted.shares_bytes_with(image) {
+        outcome.bytes_shared = image.len();
+    } else {
+        outcome.bytes_copied = image.len();
+    }
 
     outcome.file_after = compacted.page_occupancy().occupied_bytes;
     if let Some(text) = plan.text_range {
@@ -145,6 +169,30 @@ mod tests {
         let plan = locate(&image, &usage(), SmArch::SM75).unwrap();
         let _ = compact(&image, &plan).unwrap();
         assert_eq!(image.bytes(), before.as_slice());
+    }
+
+    #[test]
+    fn an_effective_plan_copies_the_image_exactly_once() {
+        let image = sample();
+        let plan = locate(&image, &usage(), SmArch::SM75).unwrap();
+        let (compacted, outcome) = compact(&image, &plan).unwrap();
+        assert!(!compacted.shares_bytes_with(&image), "zeroing must detach the copy");
+        assert_eq!(outcome.bytes_copied, image.len());
+        assert_eq!(outcome.bytes_shared, 0);
+    }
+
+    #[test]
+    fn a_plan_with_nothing_to_zero_shares_the_input_bytes() {
+        let image = sample();
+        let mut plan = locate(&image, &usage(), SmArch::SM75).unwrap();
+        plan.zero_host.clear();
+        plan.zero_device.clear();
+        let (compacted, outcome) = compact(&image, &plan).unwrap();
+        assert!(compacted.shares_bytes_with(&image), "no write, no copy");
+        assert_eq!(compacted.bytes(), image.bytes());
+        assert_eq!(outcome.bytes_copied, 0);
+        assert_eq!(outcome.bytes_shared, image.len());
+        assert_eq!(outcome.file_after, outcome.file_before);
     }
 
     #[test]

@@ -110,6 +110,70 @@ impl UsageMap {
     }
 }
 
+/// What changed between two [`UsageMap`]s, per library — the input of
+/// incremental re-planning ([`crate::PlanCache::refresh_incremental`]).
+///
+/// A library is *touched* if its kernel set or its host-function set
+/// differs between the two maps (including appearing in only one of
+/// them). Untouched libraries are exactly those whose cached
+/// [`crate::RetainPlan`] is still valid: location is a pure function of
+/// (image, that library's usage entries, arch), so an unchanged symbol
+/// set re-locates to an identical plan — which is what lets the
+/// incremental path skip it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UsageDiff {
+    /// Sonames whose usage changed in any way, in deterministic order.
+    pub touched: BTreeSet<String>,
+    /// Distinct (library, kernel) pairs present only in the new map.
+    pub added_kernels: usize,
+    /// Distinct (library, kernel) pairs present only in the old map.
+    pub removed_kernels: usize,
+    /// Distinct (library, host fn) pairs present only in the new map.
+    pub added_host_fns: usize,
+    /// Distinct (library, host fn) pairs present only in the old map.
+    pub removed_host_fns: usize,
+}
+
+impl UsageDiff {
+    /// True if the two maps record identical usage.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Total symbols that changed hands in either direction.
+    pub fn changed_symbols(&self) -> usize {
+        self.added_kernels + self.removed_kernels + self.added_host_fns + self.removed_host_fns
+    }
+}
+
+impl UsageMap {
+    /// Diff this (old) usage against `new`: which libraries' symbol sets
+    /// were touched, and how many symbols moved. Drives
+    /// [`crate::PlanCache::refresh_incremental`], which re-locates only
+    /// the touched libraries against the cached plan.
+    pub fn diff(&self, new: &UsageMap) -> UsageDiff {
+        let mut diff = UsageDiff::default();
+        for (old_side, new_side, added, removed) in [
+            (&self.kernels, &new.kernels, &mut diff.added_kernels, &mut diff.removed_kernels),
+            (&self.host_fns, &new.host_fns, &mut diff.added_host_fns, &mut diff.removed_host_fns),
+        ] {
+            let sonames: BTreeSet<&String> = old_side.keys().chain(new_side.keys()).collect();
+            for soname in sonames {
+                static EMPTY: BTreeSet<String> = BTreeSet::new();
+                let old_set = old_side.get(soname).unwrap_or(&EMPTY);
+                let new_set = new_side.get(soname).unwrap_or(&EMPTY);
+                if old_set == new_set {
+                    continue;
+                }
+                diff.touched.insert(soname.clone());
+                *added += new_set.difference(old_set).count();
+                *removed += old_set.difference(new_set).count();
+            }
+        }
+        diff
+    }
+}
+
 /// The paper's lightweight usage detector.
 ///
 /// Subscribes to exactly two callback sites: `cuModuleGetFunction`
@@ -225,6 +289,58 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.kernel_count(), 3);
         assert!(a.kernels_for("other.so").unwrap().contains("k3"));
+    }
+
+    #[test]
+    fn diff_is_empty_for_identical_usage() {
+        let mut a = UsageMap::new();
+        a.record_kernel("lib.so", "k1");
+        a.record_host_fn("lib.so", "f1");
+        let diff = a.diff(&a.clone());
+        assert!(diff.is_empty());
+        assert_eq!(diff.changed_symbols(), 0);
+    }
+
+    #[test]
+    fn diff_reports_touched_libraries_and_symbol_flow() {
+        let mut old = UsageMap::new();
+        old.record_kernel("liba.so", "k1");
+        old.record_kernel("liba.so", "k2");
+        old.record_kernel("libstable.so", "s1");
+        old.record_host_fn("libstable.so", "f1");
+        old.record_host_fn("libgone.so", "g1");
+
+        let mut new = UsageMap::new();
+        new.record_kernel("liba.so", "k1");
+        new.record_kernel("liba.so", "k3"); // k2 -> k3
+        new.record_kernel("libstable.so", "s1");
+        new.record_host_fn("libstable.so", "f1");
+        new.record_kernel("libnew.so", "n1");
+
+        let diff = old.diff(&new);
+        assert!(!diff.is_empty());
+        assert_eq!(
+            diff.touched.iter().map(String::as_str).collect::<Vec<_>>(),
+            vec!["liba.so", "libgone.so", "libnew.so"],
+            "untouched libstable.so stays out of the diff"
+        );
+        assert_eq!(diff.added_kernels, 2, "k3 and n1");
+        assert_eq!(diff.removed_kernels, 1, "k2");
+        assert_eq!(diff.added_host_fns, 0);
+        assert_eq!(diff.removed_host_fns, 1, "g1");
+        assert_eq!(diff.changed_symbols(), 4);
+    }
+
+    #[test]
+    fn diff_distinguishes_kernel_and_host_sides() {
+        let mut old = UsageMap::new();
+        old.record_kernel("lib.so", "x");
+        let mut new = UsageMap::new();
+        new.record_host_fn("lib.so", "x");
+        let diff = old.diff(&new);
+        assert_eq!(diff.touched.len(), 1);
+        assert_eq!(diff.removed_kernels, 1);
+        assert_eq!(diff.added_host_fns, 1);
     }
 
     #[test]

@@ -102,14 +102,14 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use simcuda::cupti::CuptiSubscriber;
 use simcuda::GpuModel;
 use simelf::ElfIndex;
 use simml::{
-    cached_bundle, cached_indexes, BundleHandle, FrameworkKind, GeneratedLibrary, RunConfig,
-    RunOutcome, Workload,
+    cached_bundle, cached_bundle_with, cached_indexes, generate_library, BundleHandle,
+    FrameworkBundle, FrameworkKind, GeneratedLibrary, RunConfig, RunOutcome, Workload,
 };
 
 pub mod codec;
@@ -130,7 +130,7 @@ pub use detect::{KernelDetector, UsageMap};
 pub use error::NegativaError;
 pub use locate::{locate, LocateStats, RetainPlan};
 pub use manifest::{ManifestEntry, StoreManifest, WorkloadRecord};
-pub use plan::{BundlePlan, PlanCache, PlanCacheStats, PlanKey, WorkloadBaseline};
+pub use plan::{BundlePlan, PlanCache, PlanCacheStats, PlanKey, PlanSource, WorkloadBaseline};
 pub use pool::{Parallelism, PoolStats, WorkerPool};
 pub use report::{DebloatReport, LibraryReport, MultiDebloatReport, Totals, WorkloadVerification};
 pub use service::{
@@ -170,6 +170,47 @@ pub fn shared_framework(workloads: &[Workload]) -> Result<FrameworkKind> {
     Ok(framework)
 }
 
+/// Bound on the per-workload detection memo; past it the memo resets
+/// (measurements are pure and re-derivable, so a reset only costs
+/// re-detection, never correctness).
+const DETECTION_MEMO_CAP: usize = 256;
+
+/// Per-workload detection memo shared by a [`Debloater`]'s sessions,
+/// keyed by ([`plan::workload_fingerprint`],
+/// [`plan::config_fingerprint`]) — the workload fingerprint covers the
+/// normalized device list, so one GPU's measurements never serve
+/// another's. This is what powers incremental re-planning: when one
+/// workload in a set changes, the unchanged workloads' usage and
+/// baselines come from here instead of re-running detection.
+#[derive(Debug, Default)]
+struct DetectionCache {
+    memos: Mutex<HashMap<(u64, u64), DetectionMemo>>,
+}
+
+/// One memoized detection: the usage a workload exercised plus the
+/// baseline it was measured against, shared between the memo map and
+/// every plan built from it.
+type DetectionMemo = Arc<(UsageMap, WorkloadBaseline)>;
+
+/// The diff base for incremental re-planning: the last planned identity
+/// and its normalized workload set, per framework, shared by a
+/// [`Debloater`] and all its sessions.
+type PriorPlans = Arc<Mutex<HashMap<FrameworkKind, (PlanKey, Vec<Workload>)>>>;
+
+impl DetectionCache {
+    fn get(&self, key: (u64, u64)) -> Option<DetectionMemo> {
+        self.memos.lock().expect("detection memo poisoned").get(&key).cloned()
+    }
+
+    fn insert(&self, key: (u64, u64), memo: DetectionMemo) {
+        let mut memos = self.memos.lock().expect("detection memo poisoned");
+        if memos.len() >= DETECTION_MEMO_CAP && !memos.contains_key(&key) {
+            memos.clear();
+        }
+        memos.insert(key, memo);
+    }
+}
+
 /// The end-to-end debloat pipeline for one GPU model.
 #[derive(Debug, Clone)]
 pub struct Debloater {
@@ -177,18 +218,19 @@ pub struct Debloater {
     config: RunConfig,
     parallelism: Parallelism,
     cache: Arc<PlanCache>,
+    /// Per-workload detection memo, shared across this debloater's
+    /// sessions (and their clones) to feed incremental re-planning.
+    detections: Arc<DetectionCache>,
+    /// Last planned identity per framework: the diff base for
+    /// incremental re-planning when the workload set changes.
+    prior: PriorPlans,
 }
 
 impl Debloater {
     /// A debloater targeting `gpu` with default execution settings: the
     /// process-wide shared [`WorkerPool`] and [`PlanCache`].
     pub fn new(gpu: GpuModel) -> Debloater {
-        Debloater {
-            gpu,
-            config: RunConfig::default(),
-            parallelism: Parallelism::shared(),
-            cache: plan::process_cache(),
-        }
+        Debloater::with_config(gpu, RunConfig::default())
     }
 
     /// Override the execution settings (scale, cost model, sampling).
@@ -197,7 +239,14 @@ impl Debloater {
     /// verification; the kernel detector is added on top (one per rank)
     /// for detection runs.
     pub fn with_config(gpu: GpuModel, config: RunConfig) -> Debloater {
-        Debloater { gpu, config, parallelism: Parallelism::shared(), cache: plan::process_cache() }
+        Debloater {
+            gpu,
+            config,
+            parallelism: Parallelism::shared(),
+            cache: plan::process_cache(),
+            detections: Arc::new(DetectionCache::default()),
+            prior: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 
     /// Toggle the per-library locate/compact fan-out (on by default,
@@ -239,9 +288,31 @@ impl Debloater {
             config: self.config.clone(),
             parallelism: self.parallelism.clone(),
             cache: self.cache.clone(),
+            detections: self.detections.clone(),
+            prior: self.prior.clone(),
             framework,
-            bundle: cached_bundle(framework),
+            bundle: self.bundle_for(framework),
             indexes: cached_indexes(framework),
+        }
+    }
+
+    /// The pinned, process-shared bundle for `framework`. With a worker
+    /// pool configured, a cold cache is filled by fanning per-library
+    /// generation out through that pool ([`generate_library`] per
+    /// roster entry, reassembled via
+    /// [`FrameworkBundle::from_libraries`]); generation is pure, so the
+    /// result is byte-identical to the serial fill and whichever path
+    /// ran first is unobservable to every later caller.
+    fn bundle_for(&self, framework: FrameworkKind) -> BundleHandle {
+        match &self.parallelism {
+            Parallelism::Serial => cached_bundle(framework),
+            pooled => cached_bundle_with::<NegativaError>(framework, || {
+                let specs = framework.lib_specs();
+                let libraries = pooled
+                    .run(&specs, |_, spec| generate_library(spec).map_err(NegativaError::from))?;
+                FrameworkBundle::from_libraries(framework, libraries).map_err(NegativaError::from)
+            })
+            .expect("bundle generation is deterministic and must not fail"),
         }
     }
 
@@ -266,7 +337,9 @@ impl Debloater {
         workload: &Workload,
     ) -> Result<(DebloatReport, Vec<GeneratedLibrary>)> {
         let session = self.session(workload.framework);
-        let (plan, cache_hit) = session.plan_cached(std::slice::from_ref(workload))?;
+        let normalized = session.normalize(workload)?;
+        let (_, plan, source) =
+            session.plan_cached_normalized(std::slice::from_ref(&normalized))?;
         let (libraries, debloated) = session.apply(&plan)?;
         let verified =
             session.verify_all(std::slice::from_ref(workload), &plan, &debloated)?.remove(0);
@@ -274,14 +347,17 @@ impl Debloater {
         let report = DebloatReport {
             workload: base.label.clone(),
             gpu: self.gpu,
-            libraries,
             baseline: base.baseline.clone(),
             detection: base.detection.clone(),
             debloated: verified.metrics,
             used_kernels: plan.used_kernels,
             used_host_fns: plan.used_host_fns,
             checksum: verified.checksum,
-            plan_cache_hit: cache_hit,
+            plan_cache_hit: source.cache_hit(),
+            bytes_copied: libraries.iter().map(|l| l.bytes_copied).sum(),
+            bytes_shared: libraries.iter().map(|l| l.bytes_shared).sum(),
+            plan_diff_ns: source.plan_diff_ns(),
+            libraries,
         };
         Ok((report, debloated))
     }
@@ -349,10 +425,13 @@ impl Debloater {
     /// batching is pure amortization, invisible in the output. Sets of
     /// different frameworks may be mixed freely (each set must still be
     /// single-framework internally); each framework's sets run against
-    /// one pinned session. Duplicate sets receive owned *clones* of the
-    /// shared result; a fan-out to many consumers of one identity is
-    /// cheaper through the [`service::DebloatService`], whose responses
-    /// share the libraries behind an `Arc`.
+    /// one pinned session. Duplicate sets receive clones of the shared
+    /// result — and because [`simelf::ElfImage`] bytes are
+    /// copy-on-write handles, those clones are reference-count bumps:
+    /// a group of N sets costs O(1) full-image copies (the single
+    /// compaction), never O(N). The [`service::DebloatService`]
+    /// additionally shares the whole library vector behind one `Arc`
+    /// per batch.
     ///
     /// # Errors
     ///
@@ -444,6 +523,8 @@ pub struct DebloatSession {
     config: RunConfig,
     parallelism: Parallelism,
     cache: Arc<PlanCache>,
+    detections: Arc<DetectionCache>,
+    prior: PriorPlans,
     framework: FrameworkKind,
     bundle: BundleHandle,
     indexes: Arc<Vec<ElfIndex>>,
@@ -511,35 +592,71 @@ impl DebloatSession {
                 reason: "detection needs at least one workload".into(),
             });
         }
-        let libraries = self.bundle.libraries();
         let mut usage = UsageMap::new();
         let mut baselines = Vec::with_capacity(workloads.len());
         for workload in workloads {
-            let baseline = self.run(workload, libraries, &self.config)?;
-
-            let detectors: Vec<Arc<KernelDetector>> =
-                (0..workload.devices.len()).map(|_| Arc::new(KernelDetector::new())).collect();
-            let mut detect_config = self.config.clone();
-            let handout = detectors.clone();
-            // Pushed, not assigned: any caller-installed per-rank
-            // profilers keep receiving the detection run's events.
-            detect_config
-                .rank_subscribers
-                .push(simml::RankSubscriberSpec::new("negativa-rank-detectors", move |rank| {
-                    handout[rank].clone() as Arc<dyn CuptiSubscriber>
-                }));
-            let detection = self.run(workload, libraries, &detect_config)?;
-            for detector in &detectors {
-                usage.merge(&detector.snapshot());
-            }
-            baselines.push(WorkloadBaseline {
-                label: workload.label(),
-                checksum: baseline.checksum,
-                baseline: baseline.metrics,
-                detection: detection.metrics,
-            });
+            // Always measure (full detection is the ground truth), but
+            // write through to the memo so a later *incremental*
+            // re-plan can reuse the unchanged workloads' measurements.
+            let memo = Arc::new(self.detect_one(workload)?);
+            self.detections.insert(self.memo_key(workload), memo.clone());
+            usage.merge(&memo.0);
+            baselines.push(memo.1.clone());
         }
         Ok(Detection { usage, baselines })
+    }
+
+    /// Run one workload twice — baseline, then detection with one
+    /// [`KernelDetector`] per rank — and return its usage union and
+    /// baseline record. Pure measurement of a deterministic run: the
+    /// result depends only on (workload, config, bundle).
+    fn detect_one(&self, workload: &Workload) -> Result<(UsageMap, WorkloadBaseline)> {
+        let libraries = self.bundle.libraries();
+        let baseline = self.run(workload, libraries, &self.config)?;
+
+        let detectors: Vec<Arc<KernelDetector>> =
+            (0..workload.devices.len()).map(|_| Arc::new(KernelDetector::new())).collect();
+        let mut detect_config = self.config.clone();
+        let handout = detectors.clone();
+        // Pushed, not assigned: any caller-installed per-rank
+        // profilers keep receiving the detection run's events.
+        detect_config
+            .rank_subscribers
+            .push(simml::RankSubscriberSpec::new("negativa-rank-detectors", move |rank| {
+                handout[rank].clone() as Arc<dyn CuptiSubscriber>
+            }));
+        let detection = self.run(workload, libraries, &detect_config)?;
+        let mut usage = UsageMap::new();
+        for detector in &detectors {
+            usage.merge(&detector.snapshot());
+        }
+        let baseline = WorkloadBaseline {
+            label: workload.label(),
+            checksum: baseline.checksum,
+            baseline: baseline.metrics,
+            detection: detection.metrics,
+        };
+        Ok((usage, baseline))
+    }
+
+    /// Memo key of one normalized workload's detection (the workload
+    /// fingerprint covers the normalized device list, so the session's
+    /// GPU is part of the key).
+    fn memo_key(&self, workload: &Workload) -> (u64, u64) {
+        (plan::workload_fingerprint(workload), plan::config_fingerprint(&self.config))
+    }
+
+    /// [`DebloatSession::detect_one`] through the shared memo: a hit
+    /// skips both runs (detection is a pure measurement), a miss
+    /// measures and writes through.
+    fn detect_one_memoized(&self, workload: &Workload) -> Result<DetectionMemo> {
+        let key = self.memo_key(workload);
+        if let Some(memo) = self.detections.get(key) {
+            return Ok(memo);
+        }
+        let memo = Arc::new(self.detect_one(workload)?);
+        self.detections.insert(key, memo.clone());
+        Ok(memo)
     }
 
     /// Phase 2 — turn a detection result into a cacheable
@@ -582,8 +699,8 @@ impl DebloatSession {
     pub fn plan_cached(&self, workloads: &[Workload]) -> Result<(Arc<BundlePlan>, bool)> {
         let normalized: Vec<Workload> =
             workloads.iter().map(|w| self.normalize(w)).collect::<Result<_>>()?;
-        let (_, plan, cache_hit) = self.plan_cached_normalized(&normalized)?;
-        Ok((plan, cache_hit))
+        let (_, plan, source) = self.plan_cached_normalized(&normalized)?;
+        Ok((plan, source.cache_hit()))
     }
 
     /// The single home of the cache-keying logic: derive the plan
@@ -592,16 +709,107 @@ impl DebloatSession {
     /// [`DebloatSession::plan_cached`] and
     /// [`DebloatSession::debloat_many_artifact`] go through here, so
     /// the key derivation can never drift between entry points.
+    ///
+    /// When a *different* key was planned before on this debloater, the
+    /// miss path first attempts an **incremental re-plan** against that
+    /// prior plan ([`PlanCache::refresh_incremental`]): re-detect only
+    /// workloads without a memoized measurement, diff the union usage,
+    /// re-locate only the touched libraries, and reuse every other
+    /// library's cached [`RetainPlan`]. Any divergence — missing memos,
+    /// fingerprint drift, roster mismatch — falls back to a full
+    /// detect + plan. Both paths produce equal plans (location is
+    /// per-library and detection is a pure measurement), so the choice
+    /// is invisible in the output and recorded only in [`PlanSource`]
+    /// and the cache stats.
     fn plan_cached_normalized(
         &self,
         normalized: &[Workload],
-    ) -> Result<(PlanKey, Arc<BundlePlan>, bool)> {
+    ) -> Result<(PlanKey, Arc<BundlePlan>, PlanSource)> {
         let key = PlanKey::for_workloads(self.framework, self.gpu, &self.config, normalized);
-        let (plan, cache_hit) = self.cache.get_or_compute(key, || {
-            let detection = self.detect_normalized(normalized)?;
-            self.plan(&detection)
-        })?;
-        Ok((key, plan, cache_hit))
+        let prior =
+            self.prior.lock().expect("prior-plan map poisoned").get(&self.framework).cloned();
+        let (plan, source) = match prior {
+            Some((prior_key, prior_workloads)) => self.cache.refresh_incremental(
+                key,
+                &prior_key,
+                |prior_plan| self.plan_incremental(prior_plan, &prior_workloads, normalized),
+                || self.plan_full(normalized),
+            )?,
+            None => {
+                let (plan, cached) =
+                    self.cache.get_or_compute(key, || self.plan_full(normalized))?;
+                (plan, if cached { PlanSource::Cached } else { PlanSource::Full })
+            }
+        };
+        self.prior
+            .lock()
+            .expect("prior-plan map poisoned")
+            .insert(self.framework, (key, normalized.to_vec()));
+        Ok((key, plan, source))
+    }
+
+    /// The from-scratch miss path: full detection of every workload,
+    /// then a full per-library location pass.
+    fn plan_full(&self, normalized: &[Workload]) -> Result<BundlePlan> {
+        let detection = self.detect_normalized(normalized)?;
+        self.plan(&detection)
+    }
+
+    /// Attempt an incremental re-plan of `normalized` against
+    /// `prior_plan` (whose contributing set was `prior_workloads`).
+    /// Returns `Ok(None)` on any divergence that would make the diff
+    /// unsound — the caller then runs [`DebloatSession::plan_full`].
+    fn plan_incremental(
+        &self,
+        prior_plan: &BundlePlan,
+        prior_workloads: &[Workload],
+        normalized: &[Workload],
+    ) -> Result<Option<BundlePlan>> {
+        if normalized.is_empty() {
+            return Ok(None);
+        }
+        // Reconstruct the prior union usage from the per-workload
+        // memos; a missing or drifted memo means we cannot prove what
+        // changed, so the diff is off the table.
+        let mut old_usage = UsageMap::new();
+        for workload in prior_workloads {
+            match self.detections.get(self.memo_key(workload)) {
+                Some(memo) => old_usage.merge(&memo.0),
+                None => return Ok(None),
+            }
+        }
+        if old_usage.fingerprint() != prior_plan.usage_fingerprint {
+            return Ok(None);
+        }
+        // Measure only what the memo does not already hold — for a
+        // one-workload change this is one detection, not |set|.
+        let mut new_usage = UsageMap::new();
+        let mut baselines = Vec::with_capacity(normalized.len());
+        for workload in normalized {
+            let memo = self.detect_one_memoized(workload)?;
+            new_usage.merge(&memo.0);
+            baselines.push(memo.1.clone());
+        }
+        let Some(retain) = plan::locate_all_incremental(
+            self.bundle.libraries(),
+            prior_plan,
+            &old_usage,
+            &new_usage,
+            self.gpu.arch(),
+            &self.parallelism,
+        )?
+        else {
+            return Ok(None);
+        };
+        Ok(Some(BundlePlan {
+            framework: self.framework,
+            gpu: self.gpu,
+            usage_fingerprint: new_usage.fingerprint(),
+            retain,
+            baselines,
+            used_kernels: new_usage.kernel_count(),
+            used_host_fns: new_usage.host_fn_count(),
+        }))
     }
 
     /// Debloat this session's bundle against the union usage of
@@ -635,7 +843,7 @@ impl DebloatSession {
     pub fn debloat_many_artifact(&self, workloads: &[Workload]) -> Result<DebloatArtifact> {
         let normalized: Vec<Workload> =
             workloads.iter().map(|w| self.normalize(w)).collect::<Result<_>>()?;
-        let (key, plan, cache_hit) = self.plan_cached_normalized(&normalized)?;
+        let (key, plan, source) = self.plan_cached_normalized(&normalized)?;
         let (libraries, debloated) = self.apply(&plan)?;
         let outcomes = self.verify_all(&normalized, &plan, &debloated)?;
         let per_workload = plan
@@ -653,13 +861,16 @@ impl DebloatSession {
             .collect();
         let report = MultiDebloatReport {
             gpu: self.gpu,
-            libraries,
             workloads: per_workload,
             used_kernels: plan.used_kernels,
             used_host_fns: plan.used_host_fns,
-            plan_cache_hit: cache_hit,
+            plan_cache_hit: source.cache_hit(),
             batched: false,
             batch_size: 1,
+            bytes_copied: libraries.iter().map(|l| l.bytes_copied).sum(),
+            bytes_shared: libraries.iter().map(|l| l.bytes_shared).sum(),
+            plan_diff_ns: source.plan_diff_ns(),
+            libraries,
         };
         Ok(DebloatArtifact {
             key,
@@ -706,11 +917,17 @@ impl DebloatSession {
             self.parallelism.run(libraries, |i, lib| compact(&lib.image, &plan.retain[i]))?;
         let mut reports = Vec::with_capacity(libraries.len());
         let mut debloated = Vec::with_capacity(libraries.len());
+        let (mut copied, mut shared) = (0u64, 0u64);
         for ((image, outcome), (retain, lib)) in
             compacted.into_iter().zip(plan.retain.iter().zip(libraries))
         {
+            copied += outcome.bytes_copied;
+            shared += outcome.bytes_shared;
             reports.push(LibraryReport::new(retain.soname.clone(), retain.stats, outcome));
             debloated.push(GeneratedLibrary { image, manifest: lib.manifest.clone() });
+        }
+        if let Parallelism::Pool(pool) = &self.parallelism {
+            pool.record_bytes(copied, shared);
         }
         Ok((reports, debloated))
     }

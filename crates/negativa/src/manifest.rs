@@ -288,6 +288,8 @@ fn entry_to_json(entry: &ManifestEntry) -> JsonValue {
         ("used_functions".into(), JsonValue::int(r.used_functions as u64)),
         ("total_elements".into(), JsonValue::int(r.total_elements as u64)),
         ("kept_elements".into(), JsonValue::int(r.kept_elements as u64)),
+        ("bytes_copied".into(), JsonValue::u64(r.bytes_copied)),
+        ("bytes_shared".into(), JsonValue::u64(r.bytes_shared)),
     ])
 }
 
@@ -305,6 +307,8 @@ fn entry_from_json(doc: &JsonValue) -> Result<ManifestEntry, String> {
         used_functions: get_usize(doc, "used_functions")?,
         total_elements: get_usize(doc, "total_elements")?,
         kept_elements: get_usize(doc, "kept_elements")?,
+        bytes_copied: get_u64(doc, "bytes_copied")?,
+        bytes_shared: get_u64(doc, "bytes_shared")?,
     };
     Ok(ManifestEntry {
         soname,
@@ -718,6 +722,8 @@ mod tests {
                     used_functions: 7,
                     total_elements: 40,
                     kept_elements: 2,
+                    bytes_copied: 4_000_000,
+                    bytes_shared: 0,
                 },
             }],
             workloads: vec![WorkloadRecord {

@@ -185,6 +185,45 @@ pub fn locate_all(
     parallelism.run(libraries, |_, lib| locate(&lib.image, usage, gpu))
 }
 
+/// Incrementally re-locate `libraries` after a usage change: libraries
+/// untouched by `old_usage.diff(new_usage)` reuse their cached
+/// [`RetainPlan`] from `prior` verbatim, only touched ones re-run
+/// [`crate::locate()`]. Location is a pure per-library function of
+/// (image, that library's usage entries, arch), so the result is
+/// *provably identical* to a full [`locate_all`] under `new_usage` —
+/// pinned by test.
+///
+/// Returns `Ok(None)` on divergence — the prior plan's library roster
+/// no longer matches the bundle — in which case the caller must fall
+/// back to full planning.
+///
+/// # Errors
+///
+/// As [`locate_all`], for the touched libraries.
+pub fn locate_all_incremental(
+    libraries: &[GeneratedLibrary],
+    prior: &BundlePlan,
+    old_usage: &UsageMap,
+    new_usage: &UsageMap,
+    gpu: SmArch,
+    parallelism: &Parallelism,
+) -> Result<Option<Vec<RetainPlan>>> {
+    let roster_matches = prior.retain.len() == libraries.len()
+        && prior.retain.iter().zip(libraries).all(|(r, lib)| r.soname == lib.image.soname());
+    if !roster_matches {
+        return Ok(None);
+    }
+    let diff = old_usage.diff(new_usage);
+    let plans = parallelism.run(libraries, |i, lib| {
+        if diff.touched.contains(lib.image.soname()) {
+            locate(&lib.image, new_usage, gpu)
+        } else {
+            Ok(prior.retain[i].clone())
+        }
+    })?;
+    Ok(Some(plans))
+}
+
 /// Plan-cache counters; see [`PlanCache::stats`] (per instance) and
 /// [`plan_cache_stats`] (the process-wide default instance).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -209,6 +248,50 @@ pub struct PlanCacheStats {
     /// stale plan is dropped and the lookup proceeds as a miss, so every
     /// expiry is also counted in [`PlanCacheStats::misses`].
     pub expired: u64,
+    /// Plans produced by the incremental path of
+    /// [`PlanCache::refresh_incremental`]: a usage diff against a prior
+    /// key's cached plan, re-locating only touched libraries.
+    pub incremental: u64,
+    /// [`PlanCache::refresh_incremental`] calls that fell back to full
+    /// planning — no usable prior plan, or the incremental closure
+    /// reported divergence.
+    pub incremental_fallbacks: u64,
+    /// Cumulative nanoseconds spent inside successful incremental
+    /// re-planning closures. Comparing this against full-plan times is
+    /// the bench's before/after record for the diff path.
+    pub plan_diff_ns: u64,
+}
+
+/// How a [`PlanCache::refresh_incremental`] call obtained its plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// A fresh plan was already cached (or this call coalesced into
+    /// another thread's in-flight computation).
+    Cached,
+    /// The incremental closure diffed the prior key's plan and
+    /// re-located only touched libraries, in `plan_diff_ns`.
+    Incremental {
+        /// Wall time the incremental re-plan took.
+        plan_diff_ns: u64,
+    },
+    /// Full planning ran — no usable prior plan, or the diff diverged.
+    Full,
+}
+
+impl PlanSource {
+    /// True if the plan was served from cache (no computation ran).
+    pub fn cache_hit(&self) -> bool {
+        matches!(self, PlanSource::Cached)
+    }
+
+    /// Wall time of the incremental re-plan, or 0 for the cached and
+    /// full paths.
+    pub fn plan_diff_ns(&self) -> u64 {
+        match self {
+            PlanSource::Incremental { plan_diff_ns } => *plan_diff_ns,
+            PlanSource::Cached | PlanSource::Full => 0,
+        }
+    }
 }
 
 /// One cache slot: a finished plan, or a marker that some thread is
@@ -299,6 +382,9 @@ pub struct PlanCache {
     detections: AtomicU64,
     coalesced: AtomicU64,
     expired: AtomicU64,
+    incremental: AtomicU64,
+    incremental_fallbacks: AtomicU64,
+    plan_diff_ns: AtomicU64,
 }
 
 impl PlanCache {
@@ -333,6 +419,9 @@ impl PlanCache {
             detections: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             expired: AtomicU64::new(0),
+            incremental: AtomicU64::new(0),
+            incremental_fallbacks: AtomicU64::new(0),
+            plan_diff_ns: AtomicU64::new(0),
         }
     }
 
@@ -384,6 +473,9 @@ impl PlanCache {
             detections: self.detections.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            incremental: self.incremental.load(Ordering::Relaxed),
+            incremental_fallbacks: self.incremental_fallbacks.load(Ordering::Relaxed),
+            plan_diff_ns: self.plan_diff_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -549,6 +641,76 @@ impl PlanCache {
     {
         self.invalidate(&key);
         self.get_or_compute(key, compute)
+    }
+
+    /// Serve `key` like [`PlanCache::get_or_compute`], but on a miss try
+    /// *incremental re-planning* against the cached plan of `prior` — a
+    /// sibling key whose workload fingerprint differs — before paying
+    /// for full planning.
+    ///
+    /// The `incremental` closure receives the prior plan and returns
+    /// `Ok(Some(plan))` on success or `Ok(None)` on any divergence it
+    /// detects (roster mismatch, unreconstructable prior usage), in
+    /// which case — or when `prior` has no fresh cached plan at all —
+    /// `full` runs instead ([`PlanCacheStats::incremental_fallbacks`]).
+    /// Successful diffs are timed into [`PlanCacheStats::plan_diff_ns`].
+    /// Single-flight, LRU, and TTL semantics are exactly those of
+    /// [`PlanCache::get_or_compute`]; the incremental path only changes
+    /// *how* the missing plan is computed, never what is cached.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the closure that ran returns; the key stays uncached
+    /// and retryable.
+    pub fn refresh_incremental<I, F>(
+        &self,
+        key: PlanKey,
+        prior: &PlanKey,
+        incremental: I,
+        full: F,
+    ) -> Result<(Arc<BundlePlan>, PlanSource)>
+    where
+        I: FnOnce(&BundlePlan) -> Result<Option<BundlePlan>>,
+        F: FnOnce() -> Result<BundlePlan>,
+    {
+        let prior_plan = if key == *prior { None } else { self.peek(prior) };
+        let source = std::cell::Cell::new(PlanSource::Full);
+        let (plan, cached) = self.get_or_compute(key, || {
+            if let Some(prior_plan) = prior_plan {
+                let started = Instant::now();
+                match incremental(&prior_plan)? {
+                    Some(plan) => {
+                        let diff_ns = started.elapsed().as_nanos() as u64;
+                        self.incremental.fetch_add(1, Ordering::Relaxed);
+                        self.plan_diff_ns.fetch_add(diff_ns, Ordering::Relaxed);
+                        source.set(PlanSource::Incremental { plan_diff_ns: diff_ns });
+                        return Ok(plan);
+                    }
+                    None => {
+                        self.incremental_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            } else {
+                self.incremental_fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+            full()
+        })?;
+        Ok((plan, if cached { PlanSource::Cached } else { source.get() }))
+    }
+
+    /// A fresh finished plan for `key`, without touching recency or the
+    /// hit/miss counters — the prior-plan probe of
+    /// [`PlanCache::refresh_incremental`], which must not skew the
+    /// cache's observable behavior.
+    fn peek(&self, key: &PlanKey) -> Option<Arc<BundlePlan>> {
+        let partition = self.partition(key.framework);
+        let state = Self::lock(&partition);
+        match state.entries.get(key) {
+            Some(Slot::Ready { plan, stored_at, .. }) if self.is_fresh(*stored_at) => {
+                Some(plan.clone())
+            }
+            _ => None,
+        }
     }
 
     /// The partition for `framework`, created on first use. The outer
@@ -893,6 +1055,109 @@ mod tests {
         std::thread::sleep(Duration::from_millis(15));
         assert!(cache.lookup(&key(3)).is_some());
         assert_eq!(cache.stats().expired, 0);
+    }
+
+    #[test]
+    fn refresh_incremental_diffs_against_the_prior_plan() {
+        let cache = PlanCache::new(4);
+        let prior_key = key(1);
+        cache.insert(prior_key, plan(1));
+
+        // Miss with a usable prior: the incremental closure runs and its
+        // product is cached under the new key.
+        let (p, source) = cache
+            .refresh_incremental(
+                key(2),
+                &prior_key,
+                |prior| {
+                    assert_eq!(prior.usage_fingerprint, 1, "the cached prior plan is handed in");
+                    Ok(Some(plan(2).as_ref().clone()))
+                },
+                || panic!("incremental success must not fall back"),
+            )
+            .unwrap();
+        assert_eq!(p.usage_fingerprint, 2);
+        assert!(matches!(source, PlanSource::Incremental { .. }));
+        let stats = cache.stats();
+        assert_eq!(stats.incremental, 1);
+        assert_eq!(stats.incremental_fallbacks, 0);
+        assert!(stats.plan_diff_ns > 0, "successful diffs are timed");
+
+        // Second request for the same key is a plain hit.
+        let (again, source) = cache
+            .refresh_incremental(
+                key(2),
+                &prior_key,
+                |_| panic!("hit must not diff"),
+                || panic!("hit must not plan"),
+            )
+            .unwrap();
+        assert!(Arc::ptr_eq(&p, &again));
+        assert_eq!(source, PlanSource::Cached);
+    }
+
+    #[test]
+    fn refresh_incremental_falls_back_on_divergence_or_missing_prior() {
+        let cache = PlanCache::new(4);
+        // No prior cached at all -> full planning.
+        let (p, source) = cache
+            .refresh_incremental(
+                key(10),
+                &key(9),
+                |_| panic!("no prior plan exists to diff against"),
+                || Ok(plan(10).as_ref().clone()),
+            )
+            .unwrap();
+        assert_eq!(p.usage_fingerprint, 10);
+        assert_eq!(source, PlanSource::Full);
+
+        // Prior cached but the closure reports divergence -> full.
+        let (p, source) = cache
+            .refresh_incremental(key(11), &key(10), |_| Ok(None), || Ok(plan(11).as_ref().clone()))
+            .unwrap();
+        assert_eq!(p.usage_fingerprint, 11);
+        assert_eq!(source, PlanSource::Full);
+
+        // prior == key degenerates to plain get_or_compute.
+        let (_, source) = cache
+            .refresh_incremental(
+                key(12),
+                &key(12),
+                |_| panic!("a key is never its own prior"),
+                || Ok(plan(12).as_ref().clone()),
+            )
+            .unwrap();
+        assert_eq!(source, PlanSource::Full);
+
+        let stats = cache.stats();
+        assert_eq!(stats.incremental, 0);
+        assert_eq!(stats.incremental_fallbacks, 3);
+        assert_eq!(stats.plan_diff_ns, 0, "fallbacks are not timed as diffs");
+    }
+
+    #[test]
+    fn refresh_incremental_errors_leave_the_key_retryable() {
+        let cache = PlanCache::new(4);
+        cache.insert(key(1), plan(1));
+        let err = cache
+            .refresh_incremental(
+                key(2),
+                &key(1),
+                |_| Err(crate::NegativaError::EmptyDevices { workload: "w".into() }),
+                || panic!("an incremental error propagates, not falls back"),
+            )
+            .unwrap_err();
+        assert!(matches!(err, crate::NegativaError::EmptyDevices { .. }));
+        assert!(cache.lookup(&key(2)).is_none(), "nothing cached on error");
+        let (_, source) = cache
+            .refresh_incremental(
+                key(2),
+                &key(1),
+                |_| Ok(Some(plan(2).as_ref().clone())),
+                || panic!("retry diffs again"),
+            )
+            .unwrap();
+        assert!(matches!(source, PlanSource::Incremental { .. }));
     }
 
     #[test]

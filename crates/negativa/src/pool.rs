@@ -40,6 +40,14 @@ pub struct PoolStats {
     /// any size that shares one union debloat advances it by 2, where
     /// N unbatched requests would advance it by 2·N.
     pub fan_outs: u64,
+    /// Library bytes the work routed through this pool deep-copied
+    /// (compaction's one copy-on-write detach per effectively-zeroed
+    /// library). Reported by callers via [`WorkerPool::record_bytes`].
+    pub bytes_copied: u64,
+    /// Library bytes handed onward as shared handles instead of copies
+    /// (untouched libraries surviving compaction, responses fanned out
+    /// to multiple requesters). Reported via [`WorkerPool::record_bytes`].
+    pub bytes_shared: u64,
 }
 
 /// A bounded admission gate for per-library work, shared across every
@@ -59,6 +67,8 @@ pub struct WorkerPool {
     peak_active: AtomicUsize,
     completed: AtomicU64,
     fan_outs: AtomicU64,
+    bytes_copied: AtomicU64,
+    bytes_shared: AtomicU64,
 }
 
 impl WorkerPool {
@@ -78,6 +88,8 @@ impl WorkerPool {
             peak_active: AtomicUsize::new(0),
             completed: AtomicU64::new(0),
             fan_outs: AtomicU64::new(0),
+            bytes_copied: AtomicU64::new(0),
+            bytes_shared: AtomicU64::new(0),
         })
     }
 
@@ -103,7 +115,18 @@ impl WorkerPool {
             peak_active: self.peak_active.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             fan_outs: self.fan_outs.load(Ordering::Relaxed),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+            bytes_shared: self.bytes_shared.load(Ordering::Relaxed),
         }
+    }
+
+    /// Account library bytes moved by work routed through this pool:
+    /// `copied` were deep-copied (compaction detaches), `shared` were
+    /// handed onward by reference. Called by the debloat session after
+    /// its compact fan-out and by response fan-out sites.
+    pub fn record_bytes(&self, copied: u64, shared: u64) {
+        self.bytes_copied.fetch_add(copied, Ordering::Relaxed);
+        self.bytes_shared.fetch_add(shared, Ordering::Relaxed);
     }
 
     /// Jobs executing through this pool right now (a point-in-time

@@ -69,6 +69,13 @@ pub struct LibraryReport {
     pub total_elements: usize,
     /// Elements retained.
     pub kept_elements: usize,
+    /// Bytes the compaction deep-copied to detach this library from the
+    /// shared original image (the whole file, exactly once, iff the
+    /// plan zeroed anything — the copy-on-write cost).
+    pub bytes_copied: u64,
+    /// Bytes the compacted library still shares with the original image
+    /// (the whole file iff the plan had nothing to zero).
+    pub bytes_shared: u64,
 }
 
 impl LibraryReport {
@@ -86,6 +93,8 @@ impl LibraryReport {
             used_functions: stats.used_functions,
             total_elements: stats.total_elements,
             kept_elements: stats.kept_elements,
+            bytes_copied: outcome.bytes_copied,
+            bytes_shared: outcome.bytes_shared,
         }
     }
 
@@ -181,6 +190,18 @@ pub struct DebloatReport {
     /// the baseline and detection runs were skipped and their metrics
     /// here are the cached originals.
     pub plan_cache_hit: bool,
+    /// Bytes the compaction deep-copied across the bundle to detach the
+    /// debloated libraries from the shared originals (copy-on-write:
+    /// at most one whole-file copy per library, regardless of how many
+    /// consumers the result fans out to).
+    pub bytes_copied: u64,
+    /// Bytes the debloated libraries still share with the original
+    /// bundle images (libraries whose plan had nothing to zero).
+    pub bytes_shared: u64,
+    /// Wall time of the incremental re-plan that produced this plan
+    /// (usage diff + touched-library relocation), in nanoseconds; 0
+    /// when the plan was served from cache or computed from scratch.
+    pub plan_diff_ns: u64,
 }
 
 impl DebloatReport {
@@ -315,6 +336,16 @@ pub struct MultiDebloatReport {
     /// provenance behind [`MultiDebloatReport::batched`]. Always ≥ 1;
     /// exactly 1 on the unbatched path.
     pub batch_size: usize,
+    /// Bytes the single shared compaction deep-copied to detach the
+    /// debloated libraries from the originals — O(1) in the batch size:
+    /// fan-out hands every requester a shared handle, never a copy.
+    pub bytes_copied: u64,
+    /// Bytes the debloated libraries still share with the original
+    /// bundle images (libraries whose plan had nothing to zero).
+    pub bytes_shared: u64,
+    /// Wall time of the incremental re-plan that produced this plan, in
+    /// nanoseconds; 0 when the plan came from cache or a full re-plan.
+    pub plan_diff_ns: u64,
 }
 
 impl MultiDebloatReport {
@@ -380,6 +411,8 @@ mod tests {
             used_functions: 3,
             total_elements: 6,
             kept_elements: 1,
+            bytes_copied: file.0,
+            bytes_shared: 0,
         }
     }
 
@@ -407,6 +440,9 @@ mod tests {
             used_host_fns: 34,
             checksum: 0xfeed,
             plan_cache_hit: false,
+            bytes_copied: 2000,
+            bytes_shared: 0,
+            plan_diff_ns: 0,
         }
     }
 
@@ -514,6 +550,9 @@ mod tests {
             plan_cache_hit: true,
             batched: false,
             batch_size: 1,
+            bytes_copied: 1000,
+            bytes_shared: 0,
+            plan_diff_ns: 0,
         }
     }
 

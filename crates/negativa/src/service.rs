@@ -202,6 +202,20 @@ pub struct ServiceStats {
     /// their responses — persistence is a side channel, never a reason
     /// to fail a served request).
     pub publish_failed: u64,
+    /// Library bytes deep-copied by executed batches' compactions
+    /// (copy-on-write: at most one whole-file copy per library per
+    /// batch, no matter how many requesters the batch served).
+    pub bytes_copied: u64,
+    /// Library bytes handed out *shared*: compacted images each
+    /// requester's response references behind the batch's `Arc`, plus
+    /// libraries whose plan had nothing to zero. Grows with the fan-out
+    /// while [`ServiceStats::bytes_copied`] does not — their ratio is
+    /// the zero-copy win ([`ServiceStats::sharing_ratio`]).
+    pub bytes_shared: u64,
+    /// Total wall time executed batches spent in *incremental*
+    /// re-planning (usage diff + touched-library relocation), in
+    /// nanoseconds; 0 until a changed workload set rides a prior plan.
+    pub plan_diff_ns: u64,
     /// Root directory executed batches are published under, if the
     /// service was built with [`DebloatServiceBuilder::publish_root`]
     /// (each plan identity gets its own store at
@@ -218,6 +232,30 @@ impl ServiceStats {
             0.0
         } else {
             self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of served library bytes that were *shared* rather than
+    /// deep-copied (0.0 before any traffic — never NaN). 0.5 means
+    /// every byte copied once was handed out once more for free; a
+    /// well-batched burst pushes this toward 1.0.
+    pub fn sharing_ratio(&self) -> f64 {
+        let total = self.bytes_copied + self.bytes_shared;
+        if total == 0 {
+            0.0
+        } else {
+            self.bytes_shared as f64 / total as f64
+        }
+    }
+
+    /// Requests answered per request accepted (0.0 before any traffic —
+    /// never NaN). Completed and failed both count as answered; the
+    /// gap to 1.0 is work still in flight.
+    pub fn answered_ratio(&self) -> f64 {
+        if self.accepted == 0 {
+            0.0
+        } else {
+            (self.completed + self.failed) as f64 / self.accepted as f64
         }
     }
 }
@@ -358,6 +396,9 @@ impl DebloatServiceBuilder {
             batched_requests: AtomicU64::new(0),
             published: AtomicU64::new(0),
             publish_failed: AtomicU64::new(0),
+            bytes_copied: AtomicU64::new(0),
+            bytes_shared: AtomicU64::new(0),
+            plan_diff_ns: AtomicU64::new(0),
         });
         let (admission_tx, admission_rx) = mpsc::sync_channel::<QueueItem>(self.queue_capacity);
         // One rendezvous channel per executor: a batch leaves the
@@ -453,6 +494,9 @@ struct ServiceShared {
     batched_requests: AtomicU64,
     published: AtomicU64,
     publish_failed: AtomicU64,
+    bytes_copied: AtomicU64,
+    bytes_shared: AtomicU64,
+    plan_diff_ns: AtomicU64,
 }
 
 impl ServiceShared {
@@ -675,6 +719,18 @@ fn execute(shared: &ServiceShared, batch: Batch) {
         }
         artifact.report.batch_size = size;
         artifact.report.batched = size > 1;
+        // Zero-copy accounting: the batch's single compaction copied
+        // what it copied (O(1) in the batch size), while every
+        // requester's response shares the compacted images behind one
+        // Arc — each fanned-out reference counts its library bytes as
+        // shared, which is exactly the copying a pre-copy-on-write
+        // fan-out would have done.
+        let fanned_out: u64 = artifact.libraries.iter().map(|lib| lib.image.len()).sum();
+        shared.bytes_copied.fetch_add(artifact.report.bytes_copied, Ordering::Relaxed);
+        shared
+            .bytes_shared
+            .fetch_add(artifact.report.bytes_shared + size as u64 * fanned_out, Ordering::Relaxed);
+        shared.plan_diff_ns.fetch_add(artifact.report.plan_diff_ns, Ordering::Relaxed);
         DebloatResponse { report: artifact.report, libraries: Arc::new(artifact.libraries) }
     });
     let counter = if result.is_ok() { &shared.completed } else { &shared.failed };
@@ -854,6 +910,9 @@ impl DebloatService {
             batched_requests: self.shared.batched_requests.load(Ordering::Relaxed),
             published: self.shared.published.load(Ordering::Relaxed),
             publish_failed: self.shared.publish_failed.load(Ordering::Relaxed),
+            bytes_copied: self.shared.bytes_copied.load(Ordering::Relaxed),
+            bytes_shared: self.shared.bytes_shared.load(Ordering::Relaxed),
+            plan_diff_ns: self.shared.plan_diff_ns.load(Ordering::Relaxed),
             store_root: self.shared.publish_root.clone(),
         }
     }
@@ -977,6 +1036,42 @@ mod tests {
         assert_eq!(stats.mean_batch_size(), 0.0);
         let stats = ServiceStats { batches: 2, batched_requests: 9, ..ServiceStats::default() };
         assert!((stats.mean_batch_size() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_traffic_snapshot_is_all_zeros_and_every_ratio_is_finite() {
+        // A service that never saw a request must report a fully zeroed
+        // snapshot, and every derived ratio must be 0.0 — never NaN or
+        // a division panic.
+        let service = DebloatService::builder(GpuModel::T4).service_workers(1).build();
+        let stats = service.stats();
+        service.shutdown();
+        assert_eq!(stats, ServiceStats::default());
+        for (name, ratio) in [
+            ("mean_batch_size", stats.mean_batch_size()),
+            ("sharing_ratio", stats.sharing_ratio()),
+            ("answered_ratio", stats.answered_ratio()),
+        ] {
+            assert_eq!(ratio, 0.0, "{name} must be exactly 0.0 with no traffic");
+            assert!(ratio.is_finite(), "{name} must never be NaN/inf");
+        }
+    }
+
+    #[test]
+    fn sharing_and_answered_ratios_guard_their_denominators() {
+        let stats = ServiceStats {
+            bytes_copied: 100,
+            bytes_shared: 300,
+            accepted: 8,
+            completed: 5,
+            failed: 1,
+            ..ServiceStats::default()
+        };
+        assert!((stats.sharing_ratio() - 0.75).abs() < 1e-9);
+        assert!((stats.answered_ratio() - 0.75).abs() < 1e-9);
+        // All-copied traffic is a valid 0.0, not a divide-by-zero dodge.
+        let all_copied = ServiceStats { bytes_copied: 100, ..ServiceStats::default() };
+        assert_eq!(all_copied.sharing_ratio(), 0.0);
     }
 
     #[test]

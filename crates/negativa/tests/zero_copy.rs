@@ -1,0 +1,129 @@
+//! The zero-copy hot path, end to end: a grouped burst of same-identity
+//! requests costs O(1) full-image copies (copy-on-write fan-out),
+//! incremental re-planning produces the exact plan a from-scratch run
+//! would, and pooled bundle generation is byte-identical to serial.
+
+use std::sync::Arc;
+
+use negativa_ml::{Debloater, NegativaError, PlanCache, WorkerPool};
+use simcuda::GpuModel;
+use simml::{FrameworkBundle, FrameworkKind, ModelKind, Operation, Workload};
+
+fn mobilenet() -> Workload {
+    Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Inference)
+}
+
+fn transformer() -> Workload {
+    Workload::paper(FrameworkKind::PyTorch, ModelKind::Transformer, Operation::Inference)
+}
+
+#[test]
+fn a_grouped_burst_of_identical_sets_costs_one_image_copy() {
+    let pool = WorkerPool::new(2);
+    let debloater = Debloater::new(GpuModel::T4)
+        .with_pool(pool.clone())
+        .with_plan_cache(Arc::new(PlanCache::new(4)));
+    let sets = vec![vec![mobilenet()]; 4];
+    let results = debloater.debloat_grouped(&sets).expect("grouped burst verifies");
+    assert_eq!(results.len(), 4);
+
+    // Every member of the group receives byte-identical output, stamped
+    // with the group's provenance.
+    let (first_report, first_libs) = &results[0];
+    assert!(first_report.batched);
+    assert_eq!(first_report.batch_size, 4);
+    for (report, libs) in &results[1..] {
+        assert_eq!(report, first_report);
+        assert_eq!(libs, first_libs);
+    }
+
+    // Byte-identical via *sharing*, not copying: each member's images
+    // are refcount bumps on the one compacted set.
+    for (_, libs) in &results[1..] {
+        for (mine, theirs) in libs.iter().zip(first_libs) {
+            assert!(
+                mine.image.shares_bytes_with(&theirs.image),
+                "{}: members must share one image allocation",
+                mine.manifest.soname
+            );
+        }
+    }
+
+    // The pool's byte ledger confirms O(1) copies: one compaction pass
+    // accounts every library exactly once (copied or shared), never
+    // once per member.
+    let total: u64 = first_libs.iter().map(|lib| lib.image.len()).sum();
+    let stats = pool.stats();
+    assert!(stats.bytes_copied > 0, "an effective plan detaches at least one image");
+    assert_eq!(
+        stats.bytes_copied + stats.bytes_shared,
+        total,
+        "a burst of 4 same-identity sets pays for one compaction, not four"
+    );
+}
+
+#[test]
+fn incremental_replanning_equals_full_planning() {
+    // Debloater A plans [w1], then grows the set to [w1, w2]: the
+    // second plan goes through the incremental path (diff the cached
+    // usage union, re-locate only touched symbols).
+    let cache_a = Arc::new(PlanCache::new(4));
+    let a = Debloater::new(GpuModel::T4).with_plan_cache(cache_a.clone());
+    let session_a = a.session(FrameworkKind::PyTorch);
+    let (seed_plan, hit) = session_a.plan_cached(&[mobilenet()]).expect("seed plan");
+    assert!(!hit);
+    let (incremental_plan, hit) =
+        session_a.plan_cached(&[mobilenet(), transformer()]).expect("grown plan");
+    assert!(!hit, "a new key is never a cache hit");
+    let stats = cache_a.stats();
+    assert_eq!(stats.incremental, 1, "the grown key re-plans incrementally");
+    assert_eq!(stats.incremental_fallbacks, 0, "no divergence on this path");
+    assert_ne!(*incremental_plan, *seed_plan, "the added workload changes the plan");
+
+    // Debloater B plans [w1, w2] from scratch on a fresh cache. The
+    // incremental result must be indistinguishable from it.
+    let cache_b = Arc::new(PlanCache::new(4));
+    let b = Debloater::new(GpuModel::T4).with_plan_cache(cache_b.clone());
+    let (full_plan, _) =
+        b.session(FrameworkKind::PyTorch).plan_cached(&[mobilenet(), transformer()]).unwrap();
+    assert_eq!(cache_b.stats().incremental, 0, "the fresh cache planned from scratch");
+    assert_eq!(*incremental_plan, *full_plan, "incremental re-planning must equal full planning");
+
+    // And the debloat built on the incremental plan verifies clean.
+    let report = session_a
+        .debloat_many_full(&[mobilenet(), transformer()])
+        .expect("debloat on the incremental plan verifies")
+        .0;
+    assert!(report.all_verified());
+}
+
+#[test]
+fn pooled_bundle_generation_is_byte_identical_to_serial() {
+    // Fan library generation out across a real worker pool and
+    // reassemble: the bundle must equal the serial generator's output,
+    // library for library, byte for byte.
+    let pool = WorkerPool::new(3);
+    let specs = FrameworkKind::TensorFlow.lib_specs();
+    let libraries = pool
+        .run(&specs, |_, spec| simml::generate_library(spec).map_err(NegativaError::from))
+        .expect("pooled generation succeeds");
+    let rebuilt = FrameworkBundle::from_libraries(FrameworkKind::TensorFlow, libraries)
+        .expect("reassembly validates against the specs");
+    assert_eq!(rebuilt, FrameworkBundle::generate(FrameworkKind::TensorFlow).unwrap());
+}
+
+#[test]
+fn pooled_and_serial_debloats_report_identically() {
+    let serial = Debloater::new(GpuModel::T4)
+        .with_plan_cache(Arc::new(PlanCache::new(4)))
+        .debloat(&mobilenet())
+        .expect("serial debloat verifies");
+    let pooled = Debloater::new(GpuModel::T4)
+        .with_pool(WorkerPool::new(4))
+        .with_plan_cache(Arc::new(PlanCache::new(4)))
+        .debloat(&mobilenet())
+        .expect("pooled debloat verifies");
+    // Every field is deterministic (virtual clock, content-derived
+    // bytes), so parallelism must be invisible in the report.
+    assert_eq!(serial, pooled);
+}

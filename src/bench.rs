@@ -34,6 +34,9 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "batched_throughput_rps",
     "batched_over_unbatched_speedup",
     "mean_batch_size",
+    "bytes_copied_total",
+    "bytes_shared_total",
+    "plan_diff_ns",
 ];
 
 /// Keys whose values are strings; every other required key must be a

@@ -16,6 +16,14 @@
 //!   a plan identity into union debloats, so the burst approaches one
 //!   compaction total. Per-request p50/p95 latency is measured from
 //!   concurrent client threads.
+//! * **incremental re-plan** — the planned workload set grows by one
+//!   entry: the session diffs the cached plan's usage union and
+//!   re-locates only the touched symbols, so `plan_diff_ns` stays well
+//!   under a from-scratch plan (`cold_ns` is the reference).
+//!
+//! The copy-on-write byte counters (`bytes_copied_total` /
+//! `bytes_shared_total`, from the service's `ServiceStats`) record how much of the
+//! batched burst was served by refcount bumps instead of image copies.
 //!
 //! Writes the measurements as JSON to `BENCH_service.json` (override
 //! with `BENCH_OUT=path`), validated against the schema shared with the
@@ -43,7 +51,8 @@ fn main() {
     let _ = negativa_repro::ml::cached_indexes(FrameworkKind::PyTorch);
 
     // Cold: a private, empty plan cache.
-    let debloater = Debloater::new(gpu).with_plan_cache(Arc::new(PlanCache::new(8)));
+    let plan_cache = Arc::new(PlanCache::new(8));
+    let debloater = Debloater::new(gpu).with_plan_cache(plan_cache.clone());
     let started = Instant::now();
     let cold = debloater.debloat(&workload).expect("cold debloat verifies");
     let cold_ns = started.elapsed().as_nanos();
@@ -63,6 +72,23 @@ fn main() {
         assert!(report.plan_cache_hit);
     }
     let unbatched_total_ns = started.elapsed().as_nanos();
+
+    // Incremental re-plan: extend the planned set by one workload. The
+    // prior plan's per-library RetainPlans and memoized detections are
+    // reused; only libraries whose symbol sets changed re-locate.
+    let extended = vec![
+        workload.clone(),
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::Transformer, Operation::Inference),
+    ];
+    let incremental = debloater.debloat_many(&extended).expect("incremental debloat verifies");
+    let cache_stats = plan_cache.stats();
+    assert_eq!(cache_stats.incremental, 1, "the grown key re-plans incrementally");
+    assert_eq!(cache_stats.incremental_fallbacks, 0, "no divergence on this path");
+    let plan_diff_ns = incremental.plan_diff_ns;
+    assert!(
+        u128::from(plan_diff_ns) < cold_ns,
+        "diff-based re-planning ({plan_diff_ns} ns) must undercut a from-scratch plan ({cold_ns} ns)"
+    );
 
     // Batched: the same burst, concurrently, through the staged
     // admission pipeline; requests sharing the plan identity group into
@@ -93,6 +119,14 @@ fn main() {
     let detections = service.plan_cache().stats().detections;
     service.shutdown();
     assert_eq!(detections, 1, "single-flight + batching: the whole burst shares one detection");
+    assert!(stats.bytes_copied > 0, "a union debloat pays its O(1) image copies");
+    assert!(
+        stats.bytes_shared > stats.bytes_copied,
+        "fan-out must be dominated by refcount bumps, not copies \
+         (shared {} vs copied {})",
+        stats.bytes_shared,
+        stats.bytes_copied
+    );
     latencies_ns.sort_unstable();
 
     let rps = |total_ns: u128| requests as f64 / (total_ns.max(1) as f64 / 1e9);
@@ -116,6 +150,9 @@ fn main() {
             BenchValue::Number(unbatched_total_ns as f64 / batched_total_ns.max(1) as f64),
         ),
         ("mean_batch_size", BenchValue::Number(stats.mean_batch_size())),
+        ("bytes_copied_total", BenchValue::int(u128::from(stats.bytes_copied))),
+        ("bytes_shared_total", BenchValue::int(u128::from(stats.bytes_shared))),
+        ("plan_diff_ns", BenchValue::int(u128::from(plan_diff_ns))),
     ];
     let json = render(&entries);
     validate(&json).expect("the bench report must satisfy its own schema");
