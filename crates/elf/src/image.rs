@@ -74,6 +74,17 @@ impl ElfImage {
         ElfImage { soname: soname.into(), bytes: Arc::new(bytes) }
     }
 
+    /// Wrap an already-shared byte buffer as an image without copying:
+    /// the new image participates in the buffer's reference count, so
+    /// callers holding one `Arc` per unique content (e.g. the artifact
+    /// store's per-hash object cache) can hand out any number of images
+    /// that all [`ElfImage::shares_bytes_with`] each other. The
+    /// copy-on-write ownership rule is unchanged — the first mutation
+    /// detaches.
+    pub fn from_shared_bytes(soname: impl Into<String>, bytes: Arc<Vec<u8>>) -> Self {
+        ElfImage { soname: soname.into(), bytes }
+    }
+
     /// The shared object name this image was built with.
     pub fn soname(&self) -> &str {
         &self.soname
@@ -342,6 +353,24 @@ mod tests {
         assert!(img.shares_bytes_with(&other));
         assert!(!img.is_sole_owner());
         assert_eq!(img, other);
+    }
+
+    #[test]
+    fn images_built_from_one_shared_buffer_share_bytes() {
+        let bytes = Arc::new(image().into_bytes());
+        let a = ElfImage::from_shared_bytes("a.so", bytes.clone());
+        let b = ElfImage::from_shared_bytes("b.so", bytes.clone());
+        assert!(a.shares_bytes_with(&b), "one buffer, two images, zero copies");
+        assert!(!a.is_sole_owner(), "the caller's Arc still counts");
+        // from_bytes, by contrast, always allocates a fresh buffer.
+        let fresh = ElfImage::from_bytes("c.so", bytes.as_ref().clone());
+        assert!(!fresh.shares_bytes_with(&a));
+        // The ownership rule holds: mutating one shared image detaches
+        // it without touching its siblings or the caller's buffer.
+        let mut c = ElfImage::from_shared_bytes("c.so", bytes.clone());
+        c.zero_range(FileRange::new(0, 4)).unwrap();
+        assert!(!c.shares_bytes_with(&a));
+        assert_eq!(a.bytes(), bytes.as_slice());
     }
 
     #[test]

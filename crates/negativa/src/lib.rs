@@ -37,7 +37,12 @@
 //!    modules [`mod@compact`] / [`mod@verify`]) — zero the planned ranges in
 //!    place (offsets never move; the debloated library is a drop-in
 //!    replacement) and re-run *every* contributing workload, demanding
-//!    bit-identical output against its own baseline checksum.
+//!    bit-identical output against its own baseline checksum. The
+//!    re-runs are deduplicated by (workload, config) fingerprint —
+//!    each unique workload verifies exactly once, duplicates share the
+//!    outcome — and fan out through the same bounded [`WorkerPool`] as
+//!    the locate and compact passes, in input order with first-error
+//!    semantics preserved.
 //!
 //! [`Debloater`] composes the phases behind three entry points:
 //! [`Debloater::debloat`] for one workload,
@@ -342,7 +347,7 @@ impl Debloater {
             session.plan_cached_normalized(std::slice::from_ref(&normalized))?;
         let (libraries, debloated) = session.apply(&plan)?;
         let verified =
-            session.verify_all(std::slice::from_ref(workload), &plan, &debloated)?.remove(0);
+            session.verify_all(std::slice::from_ref(&normalized), &plan, &debloated)?.remove(0);
         let base = &plan.baselines[0];
         let report = DebloatReport {
             workload: base.label.clone(),
@@ -790,17 +795,17 @@ impl DebloatSession {
             new_usage.merge(&memo.0);
             baselines.push(memo.1.clone());
         }
-        let Some(retain) = plan::locate_all_incremental(
+        // Roster drift is handled inside the incremental locator —
+        // added libraries locate from scratch, removed ones drop out —
+        // so provenance (checked above) is the only fallback trigger.
+        let retain = plan::locate_all_incremental(
             self.bundle.libraries(),
             prior_plan,
             &old_usage,
             &new_usage,
             self.gpu.arch(),
             &self.parallelism,
-        )?
-        else {
-            return Ok(None);
-        };
+        )?;
         Ok(Some(BundlePlan {
             framework: self.framework,
             gpu: self.gpu,
@@ -934,14 +939,25 @@ impl DebloatSession {
 
     /// Phase 3b — re-run every workload on the debloated libraries and
     /// require each to reproduce its own baseline checksum from `plan`.
-    /// Outcomes are returned in workload order.
+    /// Outcomes are returned in workload order. `workloads` must
+    /// already be pinned by [`DebloatSession::normalize`] — every
+    /// composed entry point normalizes exactly once, up front.
+    ///
+    /// Verification runs are deduplicated by detection identity (the
+    /// (workload, config) fingerprint pair): a set containing the same
+    /// workload twice re-executes it once and hands the duplicate a
+    /// clone of the [`RunOutcome`], and the unique runs fan out through
+    /// the session's bounded [`WorkerPool`] — the same admission
+    /// discipline as the locate and compact passes. Dedup and pooling
+    /// are both invisible in the result: outcomes come back in input
+    /// order, byte-identical to the serial per-workload loop.
     ///
     /// # Errors
     ///
     /// [`NegativaError::OverCompaction`] /
-    /// [`NegativaError::ChecksumMismatch`] on the first workload the
-    /// debloated bundle breaks — the compacted libraries must then be
-    /// discarded.
+    /// [`NegativaError::ChecksumMismatch`] on the first workload (in
+    /// input order) the debloated bundle breaks — the compacted
+    /// libraries must then be discarded.
     pub fn verify_all(
         &self,
         workloads: &[Workload],
@@ -957,18 +973,29 @@ impl DebloatSession {
                 ),
             });
         }
-        let mut outcomes = Vec::with_capacity(workloads.len());
+        // Unique workloads in first-appearance order, each carrying its
+        // baseline checksum (equal fingerprints imply equal workloads,
+        // and detection is pure, so duplicates share one baseline).
+        // First-appearance ordering is what preserves first-error
+        // semantics: the smallest failing unique index is also the
+        // first failing input index.
+        let mut unique: Vec<(&Workload, u64)> = Vec::new();
+        let mut slots = Vec::with_capacity(workloads.len());
+        let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
         for (workload, base) in workloads.iter().zip(&plan.baselines) {
-            let workload = self.normalize(workload)?;
-            outcomes.push(verify_indexed(
-                &workload,
-                debloated,
-                Some(&self.indexes),
-                base.checksum,
-                &self.config,
-            )?);
+            let slot = *seen.entry(self.memo_key(workload)).or_insert_with(|| {
+                unique.push((workload, base.checksum));
+                unique.len() - 1
+            });
+            slots.push(slot);
         }
-        Ok(outcomes)
+        let outcomes = self.parallelism.run(&unique, |_, &(workload, checksum)| {
+            verify_indexed(workload, debloated, Some(&self.indexes), checksum, &self.config)
+        })?;
+        if let Parallelism::Pool(pool) = &self.parallelism {
+            pool.record_verifies(unique.len() as u64, (workloads.len() - unique.len()) as u64);
+        }
+        Ok(slots.into_iter().map(|slot| outcomes[slot].clone()).collect())
     }
 
     /// Execute one workload on `libraries` through the session's pinned

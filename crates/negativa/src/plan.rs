@@ -193,13 +193,18 @@ pub fn locate_all(
 /// *provably identical* to a full [`locate_all`] under `new_usage` —
 /// pinned by test.
 ///
-/// Returns `Ok(None)` on divergence — the prior plan's library roster
-/// no longer matches the bundle — in which case the caller must fall
-/// back to full planning.
+/// The prior plan's library roster may differ from `libraries`: prior
+/// retains are matched **by soname**, so a library added to the bundle
+/// since `prior` was computed simply locates from scratch, and one
+/// removed from it drops out of the result (which always follows
+/// `libraries`, in bundle order). Roster drift is therefore never a
+/// reason to fall back to full planning — only usage-provenance
+/// divergence (missing memos, fingerprint drift), which the session
+/// layer detects before calling here.
 ///
 /// # Errors
 ///
-/// As [`locate_all`], for the touched libraries.
+/// As [`locate_all`], for the relocated libraries.
 pub fn locate_all_incremental(
     libraries: &[GeneratedLibrary],
     prior: &BundlePlan,
@@ -207,21 +212,21 @@ pub fn locate_all_incremental(
     new_usage: &UsageMap,
     gpu: SmArch,
     parallelism: &Parallelism,
-) -> Result<Option<Vec<RetainPlan>>> {
-    let roster_matches = prior.retain.len() == libraries.len()
-        && prior.retain.iter().zip(libraries).all(|(r, lib)| r.soname == lib.image.soname());
-    if !roster_matches {
-        return Ok(None);
-    }
+) -> Result<Vec<RetainPlan>> {
     let diff = old_usage.diff(new_usage);
-    let plans = parallelism.run(libraries, |i, lib| {
-        if diff.touched.contains(lib.image.soname()) {
-            locate(&lib.image, new_usage, gpu)
-        } else {
-            Ok(prior.retain[i].clone())
+    let prior_by_soname: HashMap<&str, &RetainPlan> =
+        prior.retain.iter().map(|retain| (retain.soname.as_str(), retain)).collect();
+    parallelism.run(libraries, |_, lib| {
+        match prior_by_soname.get(lib.image.soname()) {
+            // In the prior roster and untouched by the usage diff: the
+            // cached plan is still exact.
+            Some(prior_retain) if !diff.touched.contains(lib.image.soname()) => {
+                Ok((*prior_retain).clone())
+            }
+            // Touched, or new to the roster: locate from scratch.
+            _ => locate(&lib.image, new_usage, gpu),
         }
-    })?;
-    Ok(Some(plans))
+    })
 }
 
 /// Plan-cache counters; see [`PlanCache::stats`] (per instance) and

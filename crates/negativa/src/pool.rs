@@ -35,11 +35,22 @@ pub struct PoolStats {
     /// Total jobs the pool has finished executing.
     pub completed: u64,
     /// Fan-out calls ([`WorkerPool::run`]) the pool has served. Each
-    /// debloat costs exactly two — one locate pass, one compact pass —
-    /// so this is the batch-scoped accounting unit: a service batch of
-    /// any size that shares one union debloat advances it by 2, where
-    /// N unbatched requests would advance it by 2·N.
+    /// debloat costs exactly three — one locate pass, one compact pass,
+    /// one verify pass — so this is the batch-scoped accounting unit: a
+    /// service batch of any size that shares one union debloat advances
+    /// it by 3, where N unbatched requests would advance it by 3·N.
     pub fan_outs: u64,
+    /// Verification runs actually executed through this pool. The
+    /// verify stage deduplicates by (workload, config) fingerprint, so
+    /// a workload set with duplicates advances this once per *unique*
+    /// workload — the batch-scoped verify accounting, mirroring
+    /// [`PoolStats::fan_outs`]. Reported via
+    /// [`WorkerPool::record_verifies`].
+    pub verify_runs: u64,
+    /// Workloads whose verification outcome was served by a duplicate's
+    /// run instead of a re-execution (`submitted - unique` per verify
+    /// pass). Reported via [`WorkerPool::record_verifies`].
+    pub verify_deduped: u64,
     /// Library bytes the work routed through this pool deep-copied
     /// (compaction's one copy-on-write detach per effectively-zeroed
     /// library). Reported by callers via [`WorkerPool::record_bytes`].
@@ -67,6 +78,8 @@ pub struct WorkerPool {
     peak_active: AtomicUsize,
     completed: AtomicU64,
     fan_outs: AtomicU64,
+    verify_runs: AtomicU64,
+    verify_deduped: AtomicU64,
     bytes_copied: AtomicU64,
     bytes_shared: AtomicU64,
 }
@@ -88,6 +101,8 @@ impl WorkerPool {
             peak_active: AtomicUsize::new(0),
             completed: AtomicU64::new(0),
             fan_outs: AtomicU64::new(0),
+            verify_runs: AtomicU64::new(0),
+            verify_deduped: AtomicU64::new(0),
             bytes_copied: AtomicU64::new(0),
             bytes_shared: AtomicU64::new(0),
         })
@@ -115,6 +130,8 @@ impl WorkerPool {
             peak_active: self.peak_active.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             fan_outs: self.fan_outs.load(Ordering::Relaxed),
+            verify_runs: self.verify_runs.load(Ordering::Relaxed),
+            verify_deduped: self.verify_deduped.load(Ordering::Relaxed),
             bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
             bytes_shared: self.bytes_shared.load(Ordering::Relaxed),
         }
@@ -127,6 +144,15 @@ impl WorkerPool {
     pub fn record_bytes(&self, copied: u64, shared: u64) {
         self.bytes_copied.fetch_add(copied, Ordering::Relaxed);
         self.bytes_shared.fetch_add(shared, Ordering::Relaxed);
+    }
+
+    /// Account one verify pass routed through this pool: `runs` unique
+    /// workloads were actually re-executed, `deduped` duplicates were
+    /// served their twin's [`simml::RunOutcome`] without a run. Called
+    /// by the debloat session after its verify fan-out.
+    pub fn record_verifies(&self, runs: u64, deduped: u64) {
+        self.verify_runs.fetch_add(runs, Ordering::Relaxed);
+        self.verify_deduped.fetch_add(deduped, Ordering::Relaxed);
     }
 
     /// Jobs executing through this pool right now (a point-in-time

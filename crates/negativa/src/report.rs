@@ -7,6 +7,13 @@
 //! overhead. All sizes are page-granular occupied bytes — the effective
 //! footprint after hole punching — in real (generated) bytes; every
 //! percentage is scale-invariant.
+//!
+//! Every field here is **deterministic**: serial and pooled execution,
+//! grouped and unbatched service paths, and deduplicated verification
+//! must all produce `PartialEq`-identical reports (pinned by test), so
+//! no parallelism- or scheduling-dependent quantity may be added to
+//! these structs — such accounting belongs on [`crate::PoolStats`] /
+//! `ServiceStats`, which are snapshots, not per-debloat results.
 
 use simcuda::GpuModel;
 use simml::scale::real_bytes_to_paper_mb;

@@ -216,6 +216,20 @@ pub struct ServiceStats {
     /// re-planning (usage diff + touched-library relocation), in
     /// nanoseconds; 0 until a changed workload set rides a prior plan.
     pub plan_diff_ns: u64,
+    /// Object bytes the auto-publish stores actually read from disk
+    /// ([`crate::store::StoreStats::bytes_read`], summed over every
+    /// per-batch publish); always 0 without a publish root.
+    pub store_bytes_read: u64,
+    /// Object bytes the auto-publish stores served refcount-shared
+    /// instead of re-reading
+    /// ([`crate::store::StoreStats::bytes_shared`], summed).
+    pub store_bytes_shared: u64,
+    /// Objects auto-publishing found already present under their
+    /// content-hash name and did not rewrite
+    /// ([`crate::store::StoreStats::objects_skipped`], summed) — a hot
+    /// identity republished per batch skips all of its objects on every
+    /// batch after the first.
+    pub store_objects_skipped: u64,
     /// Root directory executed batches are published under, if the
     /// service was built with [`DebloatServiceBuilder::publish_root`]
     /// (each plan identity gets its own store at
@@ -399,6 +413,9 @@ impl DebloatServiceBuilder {
             bytes_copied: AtomicU64::new(0),
             bytes_shared: AtomicU64::new(0),
             plan_diff_ns: AtomicU64::new(0),
+            store_bytes_read: AtomicU64::new(0),
+            store_bytes_shared: AtomicU64::new(0),
+            store_objects_skipped: AtomicU64::new(0),
         });
         let (admission_tx, admission_rx) = mpsc::sync_channel::<QueueItem>(self.queue_capacity);
         // One rendezvous channel per executor: a batch leaves the
@@ -497,6 +514,9 @@ struct ServiceShared {
     bytes_copied: AtomicU64,
     bytes_shared: AtomicU64,
     plan_diff_ns: AtomicU64,
+    store_bytes_read: AtomicU64,
+    store_bytes_shared: AtomicU64,
+    store_objects_skipped: AtomicU64,
 }
 
 impl ServiceShared {
@@ -716,6 +736,13 @@ fn execute(shared: &ServiceShared, batch: Batch) {
                 Ok(_) => shared.published.fetch_add(1, Ordering::Relaxed),
                 Err(_) => shared.publish_failed.fetch_add(1, Ordering::Relaxed),
             };
+            // Each batch gets a fresh Store handle, so its stats are
+            // exactly this publish's delta — fold them into the
+            // service-lifetime ledger.
+            let io = store.stats();
+            shared.store_bytes_read.fetch_add(io.bytes_read, Ordering::Relaxed);
+            shared.store_bytes_shared.fetch_add(io.bytes_shared, Ordering::Relaxed);
+            shared.store_objects_skipped.fetch_add(io.objects_skipped, Ordering::Relaxed);
         }
         artifact.report.batch_size = size;
         artifact.report.batched = size > 1;
@@ -913,6 +940,9 @@ impl DebloatService {
             bytes_copied: self.shared.bytes_copied.load(Ordering::Relaxed),
             bytes_shared: self.shared.bytes_shared.load(Ordering::Relaxed),
             plan_diff_ns: self.shared.plan_diff_ns.load(Ordering::Relaxed),
+            store_bytes_read: self.shared.store_bytes_read.load(Ordering::Relaxed),
+            store_bytes_shared: self.shared.store_bytes_shared.load(Ordering::Relaxed),
+            store_objects_skipped: self.shared.store_objects_skipped.load(Ordering::Relaxed),
             store_root: self.shared.publish_root.clone(),
         }
     }

@@ -16,6 +16,27 @@
 //! content hash, a flipped plan byte fails [`StoreManifest::plan_hash`],
 //! and a flipped manifest byte fails its embedded self-hash.
 //!
+//! ## The object-reuse rule
+//!
+//! An object file's *name* is its content hash and every write lands
+//! atomically (temp + rename), so a file that exists at
+//! `objects/<hash>.bin` with the manifest-recorded length holds exactly
+//! the bytes that hash to `<hash>` — there is never a reason to write
+//! it again. [`Store::publish`] exploits this in both directions
+//! ([`StoreStats::objects_skipped`] counts the wins): republishing the
+//! same identity over an intact root writes nothing, and a root that
+//! already holds some of the objects (e.g. two plan identities sharing
+//! untouched libraries, or a future registry pooling objects across
+//! artifacts) only writes the missing ones. Reads are symmetric:
+//! [`StoredArtifact::load_bundle`] reads and hash-checks each unique
+//! content hash **once**, caches the buffer, and hands out
+//! refcount-shared [`ElfImage`]s ([`ElfImage::shares_bytes_with`]) for
+//! every further request of the same hash ([`StoreStats::bytes_read`]
+//! vs [`StoreStats::bytes_shared`]). Any future registry tier layering
+//! a shared object pool across stores must preserve exactly this rule:
+//! hash-named, atomically renamed, length-checked — then presence
+//! alone proves content.
+//!
 //! [`Store::publish`] is idempotent for one identity and **refuses** to
 //! replace a different one ([`StoreError::PlanKeyMismatch`]) — a store
 //! root is never silently repurposed. [`Store::verify`] is the cold
@@ -54,11 +75,13 @@
 //! # }
 //! ```
 
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use simelf::ElfImage;
 use simml::{cached_bundle, cached_indexes, FrameworkBundle, GeneratedLibrary, RunConfig};
@@ -182,18 +205,60 @@ impl fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
+/// Cumulative I/O accounting for one [`Store`] (shared across its
+/// clones and every [`StoredArtifact`] it opens): how much object
+/// traffic the zero-copy rules turned into no-ops. Snapshot via
+/// [`Store::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Object bytes actually read from disk (and content-hash checked)
+    /// by [`StoredArtifact::load_bundle`] — once per unique content
+    /// hash per opened artifact.
+    pub bytes_read: u64,
+    /// Object bytes served refcount-shared from an already-read buffer
+    /// instead of re-read and re-hashed — repeat loads of a hash cost a
+    /// clone of an `Arc`, not disk I/O.
+    pub bytes_shared: u64,
+    /// Objects [`Store::publish`] found already present at their
+    /// recorded length under their content-hash name and therefore did
+    /// not rewrite (see the module docs' object-reuse rule). A fully
+    /// intact republish skips every entry.
+    pub objects_skipped: u64,
+}
+
+/// The atomics behind [`StoreStats`], `Arc`-shared so clones of a
+/// [`Store`] and the artifacts it opens all account to one ledger.
+#[derive(Debug, Default)]
+struct StoreCounters {
+    bytes_read: AtomicU64,
+    bytes_shared: AtomicU64,
+    objects_skipped: AtomicU64,
+}
+
 /// A directory that holds (or will hold) one published debloat
 /// artifact; see the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct Store {
     root: PathBuf,
+    counters: Arc<StoreCounters>,
 }
 
 impl Store {
     /// A store rooted at `root`. Nothing is touched until
     /// [`Store::publish`] or [`Store::open`].
     pub fn at(root: impl Into<PathBuf>) -> Store {
-        Store { root: root.into() }
+        Store { root: root.into(), counters: Arc::new(StoreCounters::default()) }
+    }
+
+    /// Snapshot of the store's cumulative zero-copy I/O accounting,
+    /// covering this handle, its clones, and every artifact opened
+    /// through them.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
+            bytes_shared: self.counters.bytes_shared.load(Ordering::Relaxed),
+            objects_skipped: self.counters.objects_skipped.load(Ordering::Relaxed),
+        }
     }
 
     /// The store's root directory.
@@ -236,9 +301,12 @@ impl Store {
                 .into());
             }
             // Same identity, intact layout: nothing to do. A store with
-            // a missing or truncated file falls through to a full
-            // rewrite, which repairs it.
+            // a missing or truncated file falls through to the
+            // per-object path below, which repairs it.
             if self.entries_look_intact(&existing) {
+                self.counters
+                    .objects_skipped
+                    .fetch_add(existing.entries.len() as u64, Ordering::Relaxed);
                 return Ok(existing);
             }
         }
@@ -254,7 +322,14 @@ impl Store {
                 byte_len: bytes.len() as u64,
                 report: report.clone(),
             };
-            self.write_atomic(&entry.object_path(), bytes)?;
+            // Object-reuse rule (module docs): the filename is the
+            // content hash and writes are atomic, so presence at the
+            // recorded length proves the bytes are already these bytes.
+            if self.object_present(&entry.object_path(), entry.byte_len) {
+                self.counters.objects_skipped.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.write_atomic(&entry.object_path(), bytes)?;
+            }
             entries.push(entry);
         }
 
@@ -295,7 +370,12 @@ impl Store {
     /// its self-hash, [`StoreError::Io`] for filesystem failures.
     pub fn open(&self) -> Result<StoredArtifact> {
         let manifest = self.read_manifest()?;
-        Ok(StoredArtifact { root: self.root.clone(), manifest })
+        Ok(StoredArtifact {
+            root: self.root.clone(),
+            manifest,
+            counters: self.counters.clone(),
+            objects: Arc::new(Mutex::new(HashMap::new())),
+        })
     }
 
     /// [`Store::open`] + [`StoredArtifact::load_bundle`]: the stored
@@ -339,12 +419,18 @@ impl Store {
     /// files all exist at their recorded lengths (metadata only — full
     /// content hashing is [`Store::verify`]'s job).
     fn entries_look_intact(&self, manifest: &StoreManifest) -> bool {
-        let file_len = |relative: &str| fs::metadata(self.root.join(relative)).map(|m| m.len());
         manifest
             .entries
             .iter()
-            .all(|entry| file_len(&entry.object_path()).is_ok_and(|len| len == entry.byte_len))
-            && file_len(PLAN_FILE).is_ok()
+            .all(|entry| self.object_present(&entry.object_path(), entry.byte_len))
+            && fs::metadata(self.root.join(PLAN_FILE)).is_ok()
+    }
+
+    /// True if `relative` exists at exactly `byte_len` bytes — which,
+    /// for a hash-named, atomically renamed object file, proves it
+    /// already holds the content being published (module docs).
+    fn object_present(&self, relative: &str, byte_len: u64) -> bool {
+        fs::metadata(self.root.join(relative)).is_ok_and(|m| m.len() == byte_len)
     }
 
     /// Write `bytes` to `relative` through a uniquely named temp file +
@@ -374,10 +460,18 @@ fn display(path: &Path) -> String {
 
 /// One opened artifact: the decoded, integrity-checked manifest plus
 /// the root it loads content from. Created by [`Store::open`].
+///
+/// The handle carries a per-content-hash object cache: across all its
+/// [`StoredArtifact::load_bundle`] calls (and clones — the cache is
+/// shared), each unique hash is read and hash-checked once, and every
+/// image of that hash shares the one buffer
+/// ([`ElfImage::shares_bytes_with`]).
 #[derive(Debug, Clone)]
 pub struct StoredArtifact {
     root: PathBuf,
     manifest: StoreManifest,
+    counters: Arc<StoreCounters>,
+    objects: Arc<Mutex<HashMap<u64, Arc<Vec<u8>>>>>,
 }
 
 impl StoredArtifact {
@@ -430,6 +524,13 @@ impl StoredArtifact {
     /// and pairing them with the framework's deterministic library
     /// manifests ([`FrameworkBundle::from_images`]).
     ///
+    /// Zero-copy: each unique content hash is read from disk (and
+    /// hash-checked) at most once per handle; every image for that hash
+    /// — within one load and across repeat loads — shares the same
+    /// buffer, so a second `load_bundle` costs refcount bumps, not I/O.
+    /// [`Store::stats`] accounts the split as
+    /// [`StoreStats::bytes_read`] vs [`StoreStats::bytes_shared`].
+    ///
     /// # Errors
     ///
     /// [`StoreError::MissingEntry`] for a deleted object,
@@ -439,13 +540,28 @@ impl StoredArtifact {
     pub fn load_bundle(&self) -> Result<Vec<GeneratedLibrary>> {
         let mut images = Vec::with_capacity(self.manifest.entries.len());
         for entry in &self.manifest.entries {
-            let path = self.root.join(entry.object_path());
-            let bytes = self.read_entry(&entry.soname, &path, entry.content_hash)?;
-            images.push(ElfImage::from_bytes(entry.soname.clone(), bytes));
+            let bytes = self.object_bytes(entry)?;
+            images.push(ElfImage::from_shared_bytes(entry.soname.clone(), bytes));
         }
         let bundle = FrameworkBundle::from_images(self.manifest.key.framework, images)
             .map_err(NegativaError::Workload)?;
         Ok(bundle.into_libraries())
+    }
+
+    /// One object's bytes through the per-hash cache: a cached hash is
+    /// served as another reference to the already-checked buffer (no
+    /// read, no re-hash); a cold one is read, hash-checked, and cached.
+    fn object_bytes(&self, entry: &ManifestEntry) -> Result<Arc<Vec<u8>>> {
+        let mut cache = self.objects.lock().expect("store object cache poisoned");
+        if let Some(bytes) = cache.get(&entry.content_hash) {
+            self.counters.bytes_shared.fetch_add(entry.byte_len, Ordering::Relaxed);
+            return Ok(bytes.clone());
+        }
+        let path = self.root.join(entry.object_path());
+        let bytes = Arc::new(self.read_entry(&entry.soname, &path, entry.content_hash)?);
+        self.counters.bytes_read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        cache.insert(entry.content_hash, bytes.clone());
+        Ok(bytes)
     }
 
     /// Cold re-verification under the default [`RunConfig`]; see

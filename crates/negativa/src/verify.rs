@@ -14,6 +14,13 @@
 //! Either way the debloated bundle must be rejected; a clean pass is the
 //! paper's correctness guarantee that debloating preserved workload
 //! behavior.
+//!
+//! This module is the single-run primitive. Multi-workload
+//! orchestration — deduplicating re-runs by `(workload, config)`
+//! fingerprint and fanning the unique ones through the bounded
+//! [`crate::WorkerPool`] — lives in
+//! [`DebloatSession::verify_all`](crate::DebloatSession::verify_all),
+//! which calls [`verify_indexed`] once per unique workload.
 
 use simelf::ElfIndex;
 use simml::{run_workload_indexed, GeneratedLibrary, RunConfig, RunOutcome, SimmlError, Workload};

@@ -94,13 +94,19 @@ fn same_framework_burst_shares_one_detection_and_one_compaction() {
     }
 
     // Exactly one detection per executed group (plug + burst), and
-    // exactly one locate + one compact fan-out per group: the burst of
-    // 8 cost one detection and one compaction, not 8.
+    // exactly one locate + compact + verify fan-out per group: the
+    // burst of 8 cost one detection, one compaction, and one
+    // verification pass, not 8.
     let cache_stats = cache.stats();
     assert_eq!(cache_stats.detections, 2, "plug + burst = two unique plan identities");
     assert_eq!(cache_stats.misses, 2);
     let pool_stats = pool.stats();
-    assert_eq!(pool_stats.fan_outs, 4, "2 executed union debloats x (locate + compact)");
+    assert_eq!(pool_stats.fan_outs, 6, "2 executed union debloats x (locate + compact + verify)");
+    assert_eq!(
+        pool_stats.verify_runs, 3,
+        "2 plug workloads + 1 burst workload, each verified exactly once"
+    );
+    assert_eq!(pool_stats.verify_deduped, 0, "no duplicate workloads inside either set");
     assert!(pool_stats.peak_active <= 3, "pool bound held: {pool_stats:?}");
 
     let stats = service.stats();
@@ -111,6 +117,29 @@ fn same_framework_burst_shares_one_detection_and_one_compaction() {
     assert_eq!(stats.batches, 2, "plug batch + one burst batch");
     assert_eq!(stats.batched_requests, (BURST + 1) as u64);
     assert!((stats.mean_batch_size() - 4.5).abs() < 1e-9, "{}", stats.mean_batch_size());
+    service.shutdown();
+}
+
+/// Intra-set verification dedup: a request whose workload set names the
+/// same workload twice re-executes it once — the duplicate is handed
+/// the shared `RunOutcome` — pinned by the pool's verify accounting,
+/// the same style as the `fan_outs` batching pins above.
+#[test]
+fn duplicate_workloads_in_one_set_verify_once() {
+    let pool = WorkerPool::new(2);
+    let service =
+        DebloatService::builder(GpuModel::T4).service_workers(1).pool(pool.clone()).build();
+    let handle = service.handle();
+
+    let w = workload(FrameworkKind::PyTorch, Operation::Inference);
+    let response = handle.request(vec![w.clone(), w]).expect("duplicate sets are admissible");
+    assert!(response.report.all_verified());
+    assert_eq!(response.report.workloads.len(), 2, "the duplicate keeps its own record");
+    assert_eq!(response.report.workloads[0], response.report.workloads[1]);
+
+    let pool_stats = pool.stats();
+    assert_eq!(pool_stats.verify_runs, 1, "two submitted workloads, one unique verify run");
+    assert_eq!(pool_stats.verify_deduped, 1, "the duplicate shared its twin's outcome");
     service.shutdown();
 }
 

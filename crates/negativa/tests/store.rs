@@ -112,6 +112,35 @@ fn reopened_plan_seeds_a_cache_with_zero_new_detections() {
     fs::remove_dir_all(&root).ok();
 }
 
+/// The write side of the object-reuse rule, stat-pinned: republishing
+/// over an existing identity performs zero object writes — both on the
+/// intact fast path and on the manifest-repair path, where every
+/// hash-named object already present at its recorded length is reused.
+#[test]
+fn republishing_skips_objects_already_present() {
+    let root = test_root("republish-skip");
+    let artifact = artifact();
+    let store = Store::at(&root);
+    let manifest = store.publish(artifact).unwrap();
+    let entries = manifest.entries.len() as u64;
+    assert!(entries > 0);
+    assert_eq!(store.stats().objects_skipped, 0, "a fresh publish writes every object");
+
+    // Intact root: the idempotent fast path skips every object.
+    store.publish(artifact).unwrap();
+    assert_eq!(store.stats().objects_skipped, entries, "an intact republish writes zero objects");
+
+    // Torn manifest, intact objects: the per-object path rewrites the
+    // manifest but reuses every object already present under its
+    // content-hash name.
+    fs::remove_file(root.join("MANIFEST.json")).unwrap();
+    let repaired = store.publish(artifact).expect("republishing repairs the torn manifest");
+    assert_eq!(repaired, manifest, "the repaired manifest is byte-stable");
+    assert_eq!(store.stats().objects_skipped, 2 * entries, "objects were reused, not rewritten");
+    assert!(store.verify().unwrap().all_verified());
+    fs::remove_dir_all(&root).ok();
+}
+
 #[test]
 fn publishing_a_different_identity_into_an_occupied_store_is_refused() {
     let root = test_root("key-mismatch");

@@ -1,11 +1,15 @@
 //! The zero-copy hot path, end to end: a grouped burst of same-identity
 //! requests costs O(1) full-image copies (copy-on-write fan-out),
 //! incremental re-planning produces the exact plan a from-scratch run
-//! would, and pooled bundle generation is byte-identical to serial.
+//! would (even across library-roster drift), pooled bundle generation
+//! and pooled deduplicated verification are byte-identical to serial,
+//! and the artifact store reads each unique content hash once.
 
 use std::sync::Arc;
 
-use negativa_ml::{Debloater, NegativaError, PlanCache, WorkerPool};
+use negativa_ml::plan::{self, BundlePlan};
+use negativa_ml::store::Store;
+use negativa_ml::{Debloater, NegativaError, Parallelism, PlanCache, WorkerPool};
 use simcuda::GpuModel;
 use simml::{FrameworkBundle, FrameworkKind, ModelKind, Operation, Workload};
 
@@ -95,6 +99,148 @@ fn incremental_replanning_equals_full_planning() {
         .expect("debloat on the incremental plan verifies")
         .0;
     assert!(report.all_verified());
+}
+
+/// Roster drift through the incremental planner: a prior plan computed
+/// over a *smaller* library roster still re-plans incrementally when
+/// the bundle grows — the added library locates from scratch, the rest
+/// ride the prior plan — and the result equals full planning. Same in
+/// the shrink direction: dropped libraries just fall out.
+#[test]
+fn roster_drift_replans_incrementally_and_equals_full() {
+    let debloater = Debloater::new(GpuModel::T4).with_plan_cache(Arc::new(PlanCache::new(4)));
+    let session = debloater.session(FrameworkKind::PyTorch);
+    let old_detection = session.detect(&[mobilenet()]).expect("seed detection");
+    let new_detection = session.detect(&[mobilenet(), transformer()]).expect("grown detection");
+    let libraries = session.bundle().libraries();
+    let arch = GpuModel::T4.arch();
+    let serial = Parallelism::Serial;
+
+    // The prior plan knows one library fewer than the bundle now holds
+    // — as if the roster grew since it was computed.
+    let truncated = &libraries[..libraries.len() - 1];
+    let prior = BundlePlan {
+        framework: FrameworkKind::PyTorch,
+        gpu: GpuModel::T4,
+        usage_fingerprint: old_detection.usage.fingerprint(),
+        retain: plan::locate_all(truncated, &old_detection.usage, arch, &serial).unwrap(),
+        baselines: old_detection.baselines.clone(),
+        used_kernels: old_detection.usage.kernel_count(),
+        used_host_fns: old_detection.usage.host_fn_count(),
+    };
+    let grown = plan::locate_all_incremental(
+        libraries,
+        &prior,
+        &old_detection.usage,
+        &new_detection.usage,
+        arch,
+        &serial,
+    )
+    .expect("roster growth stays on the incremental path");
+    let full = plan::locate_all(libraries, &new_detection.usage, arch, &serial).unwrap();
+    assert_eq!(grown, full, "incremental planning across roster growth must equal full");
+
+    // Shrink: the prior plan covers the full roster, the bundle now
+    // holds one library fewer.
+    let prior_full = BundlePlan { retain: full, ..prior };
+    let shrunk = plan::locate_all_incremental(
+        truncated,
+        &prior_full,
+        &old_detection.usage,
+        &new_detection.usage,
+        arch,
+        &serial,
+    )
+    .expect("roster shrinkage stays on the incremental path");
+    assert_eq!(shrunk, plan::locate_all(truncated, &new_detection.usage, arch, &serial).unwrap());
+}
+
+/// Pooled, deduplicated verification is invisible in the results: same
+/// outcomes, same order, and the same first error as the serial path,
+/// even with duplicate workloads in the set.
+#[test]
+fn pooled_verification_is_byte_identical_to_serial() {
+    // Duplicates on purpose: indexes 0/2 and 1/3 share fingerprints.
+    let workloads = vec![mobilenet(), transformer(), mobilenet(), transformer(), mobilenet()];
+    let serial_session = Debloater::new(GpuModel::T4)
+        .with_parallelism(false)
+        .with_plan_cache(Arc::new(PlanCache::new(4)))
+        .session(FrameworkKind::PyTorch);
+    let pool = WorkerPool::new(4);
+    let pooled_session = Debloater::new(GpuModel::T4)
+        .with_pool(pool.clone())
+        .with_plan_cache(Arc::new(PlanCache::new(4)))
+        .session(FrameworkKind::PyTorch);
+
+    let (plan, _) = serial_session.plan_cached(&workloads).expect("plan");
+    let (_, debloated) = serial_session.apply(&plan).expect("apply");
+    let normalized: Vec<Workload> =
+        workloads.iter().map(|w| serial_session.normalize(w).unwrap()).collect();
+
+    let serial = serial_session.verify_all(&normalized, &plan, &debloated).expect("serial verify");
+    let pooled = pooled_session.verify_all(&normalized, &plan, &debloated).expect("pooled verify");
+    assert_eq!(serial, pooled, "pooling and dedup must be invisible in the outcomes");
+    assert_eq!(serial.len(), workloads.len(), "every workload gets its outcome, in input order");
+    assert_eq!(serial[0], serial[2], "duplicates share one re-execution's outcome");
+    let stats = pool.stats();
+    assert_eq!(stats.verify_runs, 2, "five workloads, two unique fingerprints");
+    assert_eq!(stats.verify_deduped, 3);
+
+    // First-error semantics: corrupt the second unique workload's
+    // baseline and both paths must fail identically, naming it.
+    let mut corrupted = (*plan).clone();
+    corrupted.baselines[1].checksum ^= 1;
+    corrupted.baselines[3].checksum ^= 1;
+    let serial_err = serial_session.verify_all(&normalized, &corrupted, &debloated).unwrap_err();
+    let pooled_err = pooled_session.verify_all(&normalized, &corrupted, &debloated).unwrap_err();
+    assert_eq!(serial_err.to_string(), pooled_err.to_string());
+    assert!(
+        matches!(serial_err, NegativaError::ChecksumMismatch { .. }),
+        "a corrupted baseline fails as a checksum mismatch: {serial_err}"
+    );
+}
+
+/// The store's read side of the object-reuse rule: each unique content
+/// hash is read once per opened artifact, and every image handed out
+/// for that hash shares the one buffer.
+#[test]
+fn reopened_store_bundles_share_bytes_per_content_hash() {
+    let root = std::env::temp_dir().join(format!("negativa-zc-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let store = Store::at(&root);
+    let (report, manifest) = Debloater::new(GpuModel::T4)
+        .debloat_and_publish(&[mobilenet()], &store)
+        .expect("publish verifies");
+    assert!(report.all_verified());
+    assert_eq!(store.stats().objects_skipped, 0, "a fresh publish writes every object");
+
+    let artifact = store.open().expect("reopen");
+    let first = artifact.load_bundle().expect("first load");
+    let total: u64 = manifest.entries.iter().map(|entry| entry.byte_len).sum();
+    let after_first = store.stats();
+    assert!(after_first.bytes_read > 0);
+    assert_eq!(
+        after_first.bytes_read + after_first.bytes_shared,
+        total,
+        "the first load pays disk I/O once per unique hash, sharing any repeats"
+    );
+
+    let second = artifact.load_bundle().expect("second load");
+    let after_second = store.stats();
+    assert_eq!(after_second.bytes_read, after_first.bytes_read, "repeat loads never hit disk");
+    assert_eq!(
+        after_second.bytes_shared,
+        after_first.bytes_shared + total,
+        "every repeat byte is served shared"
+    );
+    for (a, b) in first.iter().zip(&second) {
+        assert!(
+            a.image.shares_bytes_with(&b.image),
+            "{}: images of one content hash must share one buffer",
+            a.manifest.soname
+        );
+    }
+    std::fs::remove_dir_all(&root).ok();
 }
 
 #[test]

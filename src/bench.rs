@@ -37,6 +37,10 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "bytes_copied_total",
     "bytes_shared_total",
     "plan_diff_ns",
+    "verify_ns",
+    "verify_parallel_speedup",
+    "store_open_ns",
+    "store_objects_deduped",
 ];
 
 /// Keys whose values are strings; every other required key must be a

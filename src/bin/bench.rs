@@ -20,6 +20,19 @@
 //!   entry: the session diffs the cached plan's usage union and
 //!   re-locates only the touched symbols, so `plan_diff_ns` stays well
 //!   under a from-scratch plan (`cold_ns` is the reference).
+//! * **verification** — the verification roster of a grouped 16-burst
+//!   (four unique workloads, each contributed four times), run two
+//!   ways: the pre-PR serial loop (one `verify_indexed` per entry, no
+//!   dedup) and the session's `verify_all` (each unique workload
+//!   verified once, fanned through the bounded `WorkerPool`, outcomes
+//!   shared with the duplicates). `verify_ns` is the new pass's time,
+//!   `verify_parallel_speedup` the old/new ratio (floored at 1.0 by
+//!   `bench_check`; dedup alone carries the floor on single-core
+//!   runners, extra cores add to it).
+//! * **store I/O** — `store_open_ns` times a cold `Store::open` +
+//!   `load_bundle` of a just-published artifact;
+//!   `store_objects_deduped` counts the objects a republish over the
+//!   same identity found already present and did not rewrite.
 //!
 //! The copy-on-write byte counters (`bytes_copied_total` /
 //! `bytes_shared_total`, from the service's `ServiceStats`) record how much of the
@@ -37,7 +50,9 @@ use negativa_repro::bench::{percentile, render, validate, BenchValue};
 use negativa_repro::cuda::GpuModel;
 use negativa_repro::ml::{FrameworkKind, ModelKind, Operation, Workload};
 use negativa_repro::negativa::service::DebloatService;
-use negativa_repro::negativa::{Debloater, PlanCache};
+use negativa_repro::negativa::store::Store;
+use negativa_repro::negativa::verify::verify_indexed;
+use negativa_repro::negativa::{Debloater, PlanCache, WorkerPool};
 
 fn main() {
     let gpu = GpuModel::T4;
@@ -89,6 +104,78 @@ fn main() {
         u128::from(plan_diff_ns) < cold_ns,
         "diff-based re-planning ({plan_diff_ns} ns) must undercut a from-scratch plan ({cold_ns} ns)"
     );
+
+    // Verification, old loop vs new pass, on a grouped-burst roster:
+    // four unique workloads each contributed four times (best of 3
+    // timings each, to shed scheduler noise). The pre-PR loop
+    // re-executes all 16 entries; `verify_all` runs each unique
+    // workload once through the bounded pool and hands the duplicates
+    // the shared outcome.
+    let unique_verify = [
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Inference),
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Train),
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::Transformer, Operation::Inference),
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::Transformer, Operation::Train),
+    ];
+    let verify_set: Vec<Workload> = unique_verify.iter().cycle().take(16).cloned().collect();
+    let pooled_session = Debloater::new(gpu)
+        .with_pool(WorkerPool::new(4))
+        .with_plan_cache(Arc::new(PlanCache::new(4)))
+        .session(FrameworkKind::PyTorch);
+    let (verify_plan, _) = pooled_session.plan_cached(&verify_set).expect("verify-set plan");
+    let (_, verify_libs) = pooled_session.apply(&verify_plan).expect("verify-set apply");
+    let normalized: Vec<Workload> = verify_set
+        .iter()
+        .map(|w| pooled_session.normalize(w).expect("paper workloads normalize"))
+        .collect();
+    let best_of_3 = |run: &dyn Fn()| -> u128 {
+        (0..3)
+            .map(|_| {
+                let begun = Instant::now();
+                run();
+                begun.elapsed().as_nanos()
+            })
+            .min()
+            .expect("three timed runs")
+    };
+    let indexes = negativa_repro::ml::cached_indexes(FrameworkKind::PyTorch);
+    let config = negativa_repro::ml::RunConfig::default();
+    let verify_serial_ns = best_of_3(&|| {
+        for (entry, baseline) in normalized.iter().zip(&verify_plan.baselines) {
+            verify_indexed(entry, &verify_libs, Some(&indexes), baseline.checksum, &config)
+                .expect("serial verification passes");
+        }
+    });
+    let verify_ns = best_of_3(&|| {
+        let outcomes = pooled_session
+            .verify_all(&normalized, &verify_plan, &verify_libs)
+            .expect("pooled verification passes");
+        assert_eq!(outcomes.len(), verify_set.len());
+    });
+    let verify_parallel_speedup = verify_serial_ns as f64 / verify_ns.max(1) as f64;
+
+    // Store I/O: publish once into a scratch root, time the cold
+    // open + load (each unique content hash read exactly once), then
+    // republish over the same identity — the object-reuse rule makes
+    // that zero object writes, counted by the store's stats.
+    let store_root =
+        std::env::temp_dir().join(format!("negativa-bench-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&store_root).ok();
+    let store_artifact = pooled_session
+        .debloat_many_artifact(std::slice::from_ref(&workload))
+        .expect("store-bench debloat verifies");
+    let store = Store::at(&store_root);
+    store.publish(&store_artifact).expect("store-bench publish");
+    let started = Instant::now();
+    let opened = store.open().expect("reopen the published artifact");
+    let loaded = opened.load_bundle().expect("every content hash checks out");
+    let store_open_ns = started.elapsed().as_nanos();
+    assert!(!loaded.is_empty());
+    let republisher = Store::at(&store_root);
+    republisher.publish(&store_artifact).expect("republish over the same identity");
+    let store_objects_deduped = republisher.stats().objects_skipped;
+    assert!(store_objects_deduped > 0, "an intact republish must skip every object");
+    std::fs::remove_dir_all(&store_root).ok();
 
     // Batched: the same burst, concurrently, through the staged
     // admission pipeline; requests sharing the plan identity group into
@@ -153,6 +240,10 @@ fn main() {
         ("bytes_copied_total", BenchValue::int(u128::from(stats.bytes_copied))),
         ("bytes_shared_total", BenchValue::int(u128::from(stats.bytes_shared))),
         ("plan_diff_ns", BenchValue::int(u128::from(plan_diff_ns))),
+        ("verify_ns", BenchValue::int(verify_ns)),
+        ("verify_parallel_speedup", BenchValue::Number(verify_parallel_speedup)),
+        ("store_open_ns", BenchValue::int(store_open_ns)),
+        ("store_objects_deduped", BenchValue::int(u128::from(store_objects_deduped))),
     ];
     let json = render(&entries);
     validate(&json).expect("the bench report must satisfy its own schema");

@@ -1,13 +1,22 @@
-//! `bench_check` — the CI schema guard for `BENCH_service.json`.
+//! `bench_check` — the CI guard for `BENCH_service.json`.
 //!
 //! Reads the report the `bench` binary wrote (default
-//! `BENCH_service.json`, override with `BENCH_OUT=path`) and validates
-//! it against the shared schema in [`negativa_repro::bench`]: the file
-//! must parse as a flat JSON object and contain every required key with
-//! the right type. Exits non-zero with a readable message otherwise, so
-//! a perf-trajectory artifact can never silently go malformed.
+//! `BENCH_service.json`, override with `BENCH_OUT=path`) and holds it
+//! to two contracts, exiting non-zero with a readable message on the
+//! first violation:
+//!
+//! 1. **Schema** — the file must parse as a flat JSON object and
+//!    contain every required key with the right type
+//!    ([`negativa_repro::bench::validate`]), so the perf-trajectory
+//!    artifact can never silently go malformed.
+//! 2. **Perf floors** — the headline optimizations must still pay off:
+//!    `batched_over_unbatched_speedup >= 2.0` (admission batching),
+//!    `bytes_shared_total > bytes_copied_total` (copy-on-write
+//!    fan-out), and `verify_parallel_speedup >= 1.0` (pooled
+//!    verification). A regression fails the build instead of silently
+//!    rotting the uploaded artifact.
 
-use negativa_repro::bench::{validate, REQUIRED_KEYS};
+use negativa_repro::bench::{parse_flat_object, validate, BenchValue, REQUIRED_KEYS};
 
 fn main() {
     let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".into());
@@ -22,5 +31,36 @@ fn main() {
         eprintln!("bench_check: {path} failed schema validation: {e}");
         std::process::exit(1);
     }
-    println!("bench_check: {path} OK ({} required keys present and typed)", REQUIRED_KEYS.len());
+
+    // Perf floors. `validate` proved every required key exists and is a
+    // number, so the lookups below cannot miss.
+    let report = parse_flat_object(&json).expect("validate() accepted this report");
+    let number = |key: &str| match report[key] {
+        BenchValue::Number(n) => n,
+        BenchValue::Text(_) => unreachable!("validate() typed {key} as a number"),
+    };
+    let floors = [
+        ("batched_over_unbatched_speedup", 2.0, "admission batching regressed"),
+        ("verify_parallel_speedup", 1.0, "pooled verification regressed below serial"),
+    ];
+    for (key, floor, what) in floors {
+        let value = number(key);
+        if value < floor {
+            eprintln!("bench_check: {path}: {what}: {key} = {value:.3}, floor is {floor:.1}");
+            std::process::exit(1);
+        }
+    }
+    let copied = number("bytes_copied_total");
+    let shared = number("bytes_shared_total");
+    if shared <= copied {
+        eprintln!(
+            "bench_check: {path}: copy-on-write fan-out regressed: bytes_shared_total \
+             ({shared}) must exceed bytes_copied_total ({copied})"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_check: {path} OK ({} required keys present and typed, perf floors hold)",
+        REQUIRED_KEYS.len()
+    );
 }
