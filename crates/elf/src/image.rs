@@ -161,6 +161,30 @@ impl ElfImage {
         Ok(())
     }
 
+    /// Overwrite the bytes starting at `offset` with `bytes` in place,
+    /// deep-copying first if shared (copy-on-write, exactly as
+    /// [`ElfImage::zero_range`]). Compaction uses this for in-place
+    /// element rewrites: recompressed payload streams and header flag
+    /// updates. The file length never changes.
+    ///
+    /// # Errors
+    ///
+    /// [`ElfError::RangeOutOfBounds`] if `offset + bytes.len()` extends
+    /// past the file; a shared image is *not* unshared on this error. An
+    /// empty write is a no-op that keeps the bytes shared.
+    pub fn write_range(&mut self, offset: u64, bytes: &[u8]) -> Result<()> {
+        let end = offset + bytes.len() as u64;
+        if end > self.len() {
+            return Err(ElfError::RangeOutOfBounds { start: offset, end, len: self.len() });
+        }
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let dst = Arc::make_mut(&mut self.bytes);
+        dst[offset as usize..end as usize].copy_from_slice(bytes);
+        Ok(())
+    }
+
     /// True if every byte of `range` is zero.
     pub fn is_zeroed(&self, range: FileRange) -> bool {
         if range.end > self.len() {
@@ -393,6 +417,37 @@ mod tests {
         copy.zero_ranges(&[]).unwrap();
         copy.zero_range(FileRange::new(100, 100)).unwrap();
         assert!(copy.shares_bytes_with(&img), "no-op zeroing must not pay for a copy");
+    }
+
+    #[test]
+    fn write_range_overwrites_in_place() {
+        let mut img = ElfImage::from_bytes("t", vec![0u8; 100]);
+        img.write_range(10, &[1, 2, 3]).unwrap();
+        assert_eq!(&img.bytes()[9..14], &[0, 1, 2, 3, 0]);
+        assert_eq!(img.len(), 100, "file size never changes");
+    }
+
+    #[test]
+    fn write_range_is_copy_on_write() {
+        let img = image();
+        let mut copy = img.clone();
+        copy.write_range(200, &[0xAB; 8]).unwrap();
+        assert!(!copy.shares_bytes_with(&img), "first write detaches the clone");
+        assert_ne!(&img.bytes()[200..208], &[0xAB; 8], "original untouched");
+    }
+
+    #[test]
+    fn failed_or_empty_write_does_not_unshare() {
+        let img = image();
+        let mut copy = img.clone();
+        let len = copy.len();
+        assert!(matches!(
+            copy.write_range(len - 1, &[1, 2]).unwrap_err(),
+            ElfError::RangeOutOfBounds { .. }
+        ));
+        assert!(copy.shares_bytes_with(&img), "failed write must not pay for a copy");
+        copy.write_range(50, &[]).unwrap();
+        assert!(copy.shares_bytes_with(&img), "empty write must not pay for a copy");
     }
 
     #[test]

@@ -1,6 +1,9 @@
-//! GPU compute capabilities.
+//! GPU compute capabilities and fleet specifications.
 
 use std::fmt;
+
+use crate::error::FatbinError;
+use crate::Result;
 
 /// An SM (streaming multiprocessor) compute capability, e.g. `sm_75`.
 ///
@@ -69,6 +72,150 @@ impl From<u32> for SmArch {
     }
 }
 
+/// The set of GPU architectures one debloat artifact serves: an ordered,
+/// deduplicated fleet of [`SmArch`]es.
+///
+/// The paper keys every plan to the single GPU the workload ran on; a
+/// heterogeneous cluster (say T4 + A100 + H100) then needs one artifact
+/// per architecture even though the host-side plan is identical. A
+/// `FleetSpec` widens the plan identity: the locator retains the best
+/// compatible element *per fleet member* and unions the keeps, so one
+/// compacted bundle serves the whole fleet.
+///
+/// The representation is a fixed-capacity inline array (so the spec
+/// stays `Copy` and cheap to hash inside plan keys), normalized to
+/// ascending order with duplicates removed — two fleets listing the same
+/// members in any order compare and hash equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FleetSpec {
+    len: u8,
+    archs: [SmArch; FleetSpec::MAX_MEMBERS],
+}
+
+impl FleetSpec {
+    /// Maximum number of distinct architectures one fleet may name.
+    /// Comfortably above the six the paper observed a single library
+    /// shipping ([`SmArch::PAPER_SET`]).
+    pub const MAX_MEMBERS: usize = 8;
+
+    /// A fleet of exactly one architecture — the paper's original
+    /// single-GPU plan identity. Pipelines driven by a single-member
+    /// fleet behave byte-identically to the pre-fleet code path.
+    pub fn single(arch: SmArch) -> FleetSpec {
+        let mut archs = [SmArch(0); FleetSpec::MAX_MEMBERS];
+        archs[0] = arch;
+        FleetSpec { len: 1, archs }
+    }
+
+    /// A fleet of the given architectures, normalized (sorted ascending,
+    /// deduplicated).
+    ///
+    /// # Errors
+    ///
+    /// [`FatbinError::InvalidInput`] if `archs` is empty or names more
+    /// than [`FleetSpec::MAX_MEMBERS`] distinct architectures.
+    pub fn new(archs: &[SmArch]) -> Result<FleetSpec> {
+        if archs.is_empty() {
+            return Err(FatbinError::InvalidInput {
+                reason: "a fleet must name at least one architecture".into(),
+            });
+        }
+        let mut sorted = archs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() > FleetSpec::MAX_MEMBERS {
+            return Err(FatbinError::InvalidInput {
+                reason: format!(
+                    "fleet names {} distinct architectures; at most {} are supported",
+                    sorted.len(),
+                    FleetSpec::MAX_MEMBERS
+                ),
+            });
+        }
+        let mut out = [SmArch(0); FleetSpec::MAX_MEMBERS];
+        out[..sorted.len()].copy_from_slice(&sorted);
+        Ok(FleetSpec { len: sorted.len() as u8, archs: out })
+    }
+
+    /// This fleet plus `arch` (a no-op if already a member). Saturates —
+    /// returns `self` unchanged — if the fleet is already at
+    /// [`FleetSpec::MAX_MEMBERS`] distinct members, which cannot happen
+    /// for fleets drawn from the paper's architecture set.
+    pub fn including(self, arch: SmArch) -> FleetSpec {
+        if self.contains(arch) || self.len as usize >= FleetSpec::MAX_MEMBERS {
+            return self;
+        }
+        let mut members = self.members().to_vec();
+        members.push(arch);
+        FleetSpec::new(&members).expect("len checked above")
+    }
+
+    /// The member architectures, ascending and deduplicated.
+    pub fn members(&self) -> &[SmArch] {
+        &self.archs[..self.len as usize]
+    }
+
+    /// Number of member architectures (always at least 1).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always false — a fleet names at least one architecture. Present
+    /// to satisfy the `len`/`is_empty` API convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if this is the single-architecture (legacy plan identity)
+    /// case.
+    pub fn is_single(&self) -> bool {
+        self.len == 1
+    }
+
+    /// True if `arch` is a fleet member.
+    pub fn contains(&self, arch: SmArch) -> bool {
+        self.members().contains(&arch)
+    }
+
+    /// True if SASS compiled for `arch` can execute on at least one
+    /// fleet member ([`SmArch::runs_on`]).
+    pub fn any_member_runs(&self, arch: SmArch) -> bool {
+        self.members().iter().any(|&gpu| arch.runs_on(gpu))
+    }
+
+    /// Path-safe label used inside artifact identifiers: `sm75` for a
+    /// single-member fleet (unchanged from the pre-fleet identity
+    /// format), `sm75x80x90` for larger fleets. ASCII alphanumeric only.
+    pub fn label(&self) -> String {
+        let mut out = String::from("sm");
+        for (i, arch) in self.members().iter().enumerate() {
+            if i > 0 {
+                out.push('x');
+            }
+            out.push_str(&arch.0.to_string());
+        }
+        out
+    }
+}
+
+impl fmt::Display for FleetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, arch) in self.members().iter().enumerate() {
+            if i > 0 {
+                write!(f, "+")?;
+            }
+            write!(f, "{arch}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<SmArch> for FleetSpec {
+    fn from(arch: SmArch) -> Self {
+        FleetSpec::single(arch)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +246,57 @@ mod tests {
     fn major_minor_split() {
         assert_eq!(SmArch::SM86.major(), 8);
         assert_eq!(SmArch::SM86.minor(), 6);
+    }
+
+    #[test]
+    fn fleet_normalizes_order_and_duplicates() {
+        let a = FleetSpec::new(&[SmArch::SM90, SmArch::SM75, SmArch::SM80, SmArch::SM75]).unwrap();
+        let b = FleetSpec::new(&[SmArch::SM75, SmArch::SM80, SmArch::SM90]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.members(), &[SmArch::SM75, SmArch::SM80, SmArch::SM90]);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_single());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn fleet_rejects_empty_and_oversized() {
+        assert!(matches!(FleetSpec::new(&[]), Err(FatbinError::InvalidInput { .. })));
+        let too_many: Vec<SmArch> = (0..9).map(|i| SmArch(60 + i)).collect();
+        assert!(matches!(FleetSpec::new(&too_many), Err(FatbinError::InvalidInput { .. })));
+        assert!(FleetSpec::new(&SmArch::PAPER_SET).is_ok());
+    }
+
+    #[test]
+    fn single_fleet_matches_new_of_one() {
+        let s = FleetSpec::single(SmArch::SM75);
+        assert_eq!(s, FleetSpec::new(&[SmArch::SM75]).unwrap());
+        assert_eq!(s, FleetSpec::from(SmArch::SM75));
+        assert!(s.is_single());
+        assert_eq!(s.label(), "sm75");
+        assert_eq!(s.to_string(), "sm_75");
+    }
+
+    #[test]
+    fn multi_fleet_label_is_path_safe_and_deterministic() {
+        let fleet = FleetSpec::new(&[SmArch::SM90, SmArch::SM75, SmArch::SM80]).unwrap();
+        assert_eq!(fleet.label(), "sm75x80x90");
+        assert!(fleet.label().chars().all(|c| c.is_ascii_alphanumeric()));
+        assert_eq!(fleet.to_string(), "sm_75+sm_80+sm_90");
+    }
+
+    #[test]
+    fn including_inserts_once_and_keeps_order() {
+        let fleet = FleetSpec::single(SmArch::SM90).including(SmArch::SM75);
+        assert_eq!(fleet.members(), &[SmArch::SM75, SmArch::SM90]);
+        assert_eq!(fleet.including(SmArch::SM75), fleet, "re-inserting a member is a no-op");
+    }
+
+    #[test]
+    fn any_member_runs_unions_compatibility() {
+        let fleet = FleetSpec::new(&[SmArch::SM75, SmArch::SM90]).unwrap();
+        assert!(fleet.any_member_runs(SmArch::SM70), "sm_70 SASS runs on the sm_75 member");
+        assert!(fleet.any_member_runs(SmArch::SM90));
+        assert!(!fleet.any_member_runs(SmArch::SM80), "no Ampere member");
     }
 }

@@ -10,6 +10,14 @@
 //! determinism and simplicity, not ratio — PTX-like textual payloads with
 //! long runs compress well, pseudo-random SASS does not, mirroring
 //! reality closely enough for the experiments.
+//!
+//! A stored stream must reconstruct **exactly** the declared uncompressed
+//! size: [`rle_decompress`] refuses short streams with a typed
+//! [`FatbinError::TruncatedCompression`] instead of silently returning a
+//! short read. The stream may be followed by zero padding — compaction's
+//! in-place rewrite of compressed elements shrinks the stream within its
+//! original payload slot and zero-fills the tail — but any *non-zero*
+//! byte after the stream completes is rejected as corruption.
 
 use crate::error::FatbinError;
 use crate::Result;
@@ -34,31 +42,50 @@ pub fn rle_compress(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decompress an RLE stream produced by [`rle_compress`].
+/// Decompress an RLE stream produced by [`rle_compress`], which must
+/// reconstruct exactly `expected_len` bytes (the element header's
+/// declared uncompressed size).
+///
+/// Zero padding after the complete stream is tolerated — that is how
+/// compaction rewrites a compressed element in place within its original
+/// payload slot — but the stream itself must be complete and exact.
 ///
 /// # Errors
 ///
-/// [`FatbinError::BadCompression`] on odd-length input, a zero run
-/// count, or output exceeding `max_len` (guards against decompression
-/// bombs in malformed images).
-pub fn rle_decompress(data: &[u8], max_len: usize) -> Result<Vec<u8>> {
-    if data.len() % 2 != 0 {
-        return Err(FatbinError::BadCompression {
-            reason: format!("odd RLE stream length {}", data.len()),
-        });
-    }
-    let mut out = Vec::with_capacity(data.len());
-    for pair in data.chunks_exact(2) {
-        let (count, byte) = (pair[0], pair[1]);
-        if count == 0 {
-            return Err(FatbinError::BadCompression { reason: "zero run count".into() });
+/// [`FatbinError::TruncatedCompression`] if the stream ends (mid-pair or
+/// between pairs) before producing `expected_len` bytes — never a silent
+/// short read. [`FatbinError::BadCompression`] on a zero run count, on
+/// output exceeding `expected_len` (guards against decompression bombs
+/// in malformed images), or on non-zero trailing bytes after the stream
+/// completes.
+pub fn rle_decompress(data: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut at = 0usize;
+    while out.len() < expected_len {
+        if at + 2 > data.len() {
+            return Err(FatbinError::TruncatedCompression {
+                expected: expected_len as u64,
+                produced: out.len() as u64,
+            });
         }
-        if out.len() + count as usize > max_len {
+        let (count, byte) = (data[at], data[at + 1]);
+        if count == 0 {
             return Err(FatbinError::BadCompression {
-                reason: format!("decompressed size exceeds declared {max_len}"),
+                reason: format!("zero run count at stream offset {at}"),
+            });
+        }
+        if out.len() + count as usize > expected_len {
+            return Err(FatbinError::BadCompression {
+                reason: format!("decompressed size exceeds declared {expected_len}"),
             });
         }
         out.resize(out.len() + count as usize, byte);
+        at += 2;
+    }
+    if data[at..].iter().any(|&b| b != 0) {
+        return Err(FatbinError::BadCompression {
+            reason: format!("non-zero trailing bytes after complete stream at offset {at}"),
+        });
     }
     Ok(out)
 }
@@ -91,19 +118,61 @@ mod tests {
     }
 
     #[test]
-    fn decompress_rejects_odd_length() {
-        assert!(matches!(rle_decompress(&[1, 2, 3], 100), Err(FatbinError::BadCompression { .. })));
+    fn decompress_rejects_mid_pair_truncation() {
+        // Stream ends after a run count with no value byte.
+        let err = rle_decompress(&[1, 2, 3], 100).unwrap_err();
+        assert!(
+            matches!(err, FatbinError::TruncatedCompression { expected: 100, produced: 1 }),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("1 of the declared 100"), "{err}");
+    }
+
+    #[test]
+    fn decompress_rejects_short_even_length_stream() {
+        // A clean pair boundary that still falls short of the declared
+        // size must be a typed truncation, never a silent short read.
+        let full = rle_compress(&[9u8; 600]);
+        let cut = &full[..full.len() - 2];
+        let err = rle_decompress(cut, 600).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FatbinError::TruncatedCompression { expected: 600, produced } if produced < 600
+            ),
+            "got {err:?}"
+        );
     }
 
     #[test]
     fn decompress_rejects_zero_count() {
-        assert!(matches!(rle_decompress(&[0, 5], 100), Err(FatbinError::BadCompression { .. })));
+        let err = rle_decompress(&[0, 5], 100).unwrap_err();
+        assert!(matches!(err, FatbinError::BadCompression { .. }), "got {err:?}");
+        assert!(err.to_string().contains("zero run count"), "{err}");
     }
 
     #[test]
-    fn decompress_respects_max_len() {
+    fn decompress_respects_declared_size() {
         let c = rle_compress(&vec![9u8; 1000]);
         assert!(rle_decompress(&c, 999).is_err());
         assert!(rle_decompress(&c, 1000).is_ok());
+    }
+
+    #[test]
+    fn zero_padding_after_complete_stream_is_tolerated() {
+        let data = [vec![5u8; 40], (0..17u8).collect::<Vec<u8>>()].concat();
+        let mut c = rle_compress(&data);
+        c.extend_from_slice(&[0u8; 9]); // in-place rewrite slot padding
+        assert_eq!(rle_decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn nonzero_trailing_bytes_are_rejected() {
+        let data = vec![5u8; 40];
+        let mut c = rle_compress(&data);
+        c.extend_from_slice(&[0, 0, 7]);
+        let err = rle_decompress(&c, data.len()).unwrap_err();
+        assert!(matches!(err, FatbinError::BadCompression { .. }), "got {err:?}");
+        assert!(err.to_string().contains("trailing"), "{err}");
     }
 }

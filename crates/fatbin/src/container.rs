@@ -8,9 +8,11 @@
 //! the CUDA loader can still iterate the container — [`Element::is_cleared`]
 //! detects such holes.
 
+use std::collections::HashSet;
+
 use crate::arch::SmArch;
 use crate::compress::{rle_compress, rle_decompress};
-use crate::cubin::Cubin;
+use crate::cubin::{slice_kernels, Cubin};
 use crate::error::FatbinError;
 use crate::Result;
 use simelf::FileRange;
@@ -23,6 +25,13 @@ const ELEMENT_MAGIC: u16 = 0x50ED;
 /// Size in bytes of a serialized element header.
 pub(crate) const ELEMENT_HEADER_SIZE: usize = 32;
 const FLAG_COMPRESSED: u8 = 0b1;
+const FLAG_SLICED: u8 = 0b10;
+
+/// Byte offset of the flags byte within a serialized element header
+/// (after the u16 magic and the kind byte). Compaction marks an
+/// arch-sliced element by OR-ing [`Element::SLICED_FLAG`] into the byte
+/// at `element_range.start + ELEMENT_FLAGS_OFFSET`.
+pub const ELEMENT_FLAGS_OFFSET: u64 = 3;
 
 /// What an element's payload contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,6 +68,9 @@ pub struct Element {
     kind: ElementKind,
     arch: SmArch,
     compressed: bool,
+    /// Set by compaction on elements it removed for targeting an
+    /// architecture outside the fleet (payload zeroed, header flagged).
+    sliced: bool,
     /// Payload in stored form (compressed if `compressed`).
     payload: Vec<u8>,
     uncompressed_size: u64,
@@ -77,6 +89,7 @@ impl Element {
             kind: ElementKind::Cubin,
             arch,
             compressed: false,
+            sliced: false,
             uncompressed_size: payload.len() as u64,
             payload,
         })
@@ -94,6 +107,7 @@ impl Element {
             kind: ElementKind::Cubin,
             arch,
             compressed: true,
+            sliced: false,
             uncompressed_size: raw.len() as u64,
             payload,
         })
@@ -107,6 +121,7 @@ impl Element {
             kind: ElementKind::Ptx,
             arch,
             compressed: true,
+            sliced: false,
             uncompressed_size: raw.len() as u64,
             payload: rle_compress(raw),
         }
@@ -125,6 +140,18 @@ impl Element {
     /// True if the payload is stored compressed.
     pub fn is_compressed(&self) -> bool {
         self.compressed
+    }
+
+    /// The flag bit compaction sets on arch-sliced elements; see
+    /// [`ELEMENT_FLAGS_OFFSET`].
+    pub const SLICED_FLAG: u8 = FLAG_SLICED;
+
+    /// True if compaction flagged this element as removed for targeting
+    /// an architecture outside the plan's fleet. Sliced elements also
+    /// read back [`Element::is_cleared`] (their payload is zeroed); the
+    /// flag records *why*.
+    pub fn is_sliced(&self) -> bool {
+        self.sliced
     }
 
     /// Stored payload bytes (compressed form if compressed).
@@ -193,7 +220,14 @@ impl Element {
     fn write_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&ELEMENT_MAGIC.to_le_bytes());
         out.push(self.kind.to_u8());
-        out.push(if self.compressed { FLAG_COMPRESSED } else { 0 });
+        let mut flags = 0u8;
+        if self.compressed {
+            flags |= FLAG_COMPRESSED;
+        }
+        if self.sliced {
+            flags |= FLAG_SLICED;
+        }
+        out.push(flags);
         out.extend_from_slice(&(ELEMENT_HEADER_SIZE as u32).to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&self.uncompressed_size.to_le_bytes());
@@ -213,6 +247,7 @@ impl Element {
         }
         let kind = ElementKind::from_u8(e[2])?;
         let compressed = e[3] & FLAG_COMPRESSED != 0;
+        let sliced = e[3] & FLAG_SLICED != 0;
         let header_size = u32::from_le_bytes(e[4..8].try_into().expect("len 4")) as usize;
         if header_size != ELEMENT_HEADER_SIZE {
             return Err(FatbinError::Malformed {
@@ -232,12 +267,59 @@ impl Element {
                 kind,
                 arch,
                 compressed,
+                sliced,
                 payload: bytes[body_start..body_end].to_vec(),
                 uncompressed_size,
             },
             body_end,
         ))
     }
+}
+
+/// The result of slicing a compressed cubin payload; see
+/// [`slice_compressed_payload`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlicedPayload {
+    /// The recompressed stream. Always no longer than the original
+    /// payload, so it fits the element's existing slot; the caller
+    /// zero-fills the tail of the slot.
+    pub stream: Vec<u8>,
+    /// Previously non-zero code bytes zeroed in the decompressed form.
+    pub code_bytes_sliced: u64,
+}
+
+/// Kernel-slice a **compressed** cubin payload for an in-place rewrite:
+/// decompress the stored stream, zero the code of every kernel not
+/// reachable from `used` ([`crate::cubin::slice_kernels`]), and
+/// recompress. The element's declared `uncompressed_size` is unchanged —
+/// only code bytes are zeroed, never removed — so the rewritten stream
+/// decompresses to the same size and the cubin still parses with every
+/// kernel listed.
+///
+/// Returns `None` when there is nothing to gain: every kernel is
+/// reachable from `used`, or (pathologically) the recompressed stream
+/// would not fit the original payload slot. The caller then leaves the
+/// element untouched.
+///
+/// # Errors
+///
+/// Decompression errors as for [`crate::compress::rle_decompress`];
+/// cubin parse errors as for [`Cubin::parse`].
+pub fn slice_compressed_payload(
+    payload: &[u8],
+    uncompressed_size: u64,
+    used: &HashSet<String>,
+) -> Result<Option<SlicedPayload>> {
+    let mut raw = rle_decompress(payload, uncompressed_size as usize)?;
+    let code_bytes_sliced = slice_kernels(&mut raw, used)?;
+    if code_bytes_sliced == 0 {
+        return Ok(None);
+    }
+    let stream = rle_compress(&raw);
+    if stream.len() > payload.len() {
+        return Ok(None);
+    }
+    Ok(Some(SlicedPayload { stream, code_bytes_sliced }))
 }
 
 /// A fatbin region: a header plus a list of elements.
@@ -519,5 +601,79 @@ mod tests {
         let fb = Fatbin::new(vec![]);
         assert_eq!(Fatbin::parse(&fb.to_bytes()).unwrap(), fb);
         assert_eq!(fb.element_count(), 0);
+    }
+
+    #[test]
+    fn sliced_flag_round_trips_through_serialization() {
+        let fb = sample();
+        let mut bytes = fb.to_bytes();
+        let layout = fb.element_layout();
+        let p = &layout[0];
+        // Compaction's on-disk protocol: zero the payload, OR the sliced
+        // bit into the header flags byte.
+        bytes[p.payload_range.start as usize..p.payload_range.end as usize].fill(0);
+        bytes[(p.range.start + ELEMENT_FLAGS_OFFSET) as usize] |= Element::SLICED_FLAG;
+        let back = Fatbin::parse(&bytes).unwrap();
+        let els: Vec<_> = back.elements().collect();
+        assert!(els[0].1.is_sliced());
+        assert!(els[0].1.is_cleared());
+        assert!(!els[1].1.is_sliced(), "other elements keep a clean flags byte");
+        // And the flag survives a re-serialization of the parsed form.
+        let again = Fatbin::parse(&back.to_bytes()).unwrap();
+        assert!(again.elements().next().unwrap().1.is_sliced());
+    }
+
+    #[test]
+    fn slice_compressed_payload_rewrites_within_the_slot() {
+        let c = cubin("b", 3); // b_k0 entry, b_k1/b_k2 device kernels
+        let el = Element::cubin_compressed(SmArch::SM80, &c).unwrap();
+        let used: HashSet<String> = ["b_k0".to_string()].into_iter().collect();
+        let sliced = slice_compressed_payload(el.payload(), el.uncompressed_size(), &used)
+            .unwrap()
+            .expect("unused device kernels should be sliced");
+        assert_eq!(sliced.code_bytes_sliced, 60, "two 30-byte device kernels zeroed");
+        assert!(sliced.stream.len() <= el.payload().len(), "must fit the original slot");
+
+        // Apply the rewrite the way compaction does: stream at the start
+        // of the payload slot, zero tail, sliced sizes unchanged.
+        let mut slot = vec![0u8; el.payload().len()];
+        slot[..sliced.stream.len()].copy_from_slice(&sliced.stream);
+        let rewritten = Element {
+            kind: ElementKind::Cubin,
+            arch: SmArch::SM80,
+            compressed: true,
+            sliced: false,
+            uncompressed_size: el.uncompressed_size(),
+            payload: slot,
+        };
+        assert!(!rewritten.is_cleared());
+        let back = rewritten.decode_cubin().unwrap();
+        assert_eq!(back.kernel_names(), ["b_k0", "b_k1", "b_k2"], "every kernel still listed");
+        let orig = el.decode_cubin().unwrap();
+        assert_eq!(
+            back.kernels()[0].code,
+            orig.kernels()[0].code,
+            "retained kernel code byte-identical"
+        );
+        assert!(back.kernels()[1].code.iter().all(|&b| b == 0));
+        assert!(back.kernels()[2].code.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn slice_compressed_payload_is_none_when_nothing_to_slice() {
+        let c = cubin("b", 2);
+        let el = Element::cubin_compressed(SmArch::SM80, &c).unwrap();
+        let used: HashSet<String> = ["b_k0".to_string(), "b_k1".to_string()].into_iter().collect();
+        assert_eq!(
+            slice_compressed_payload(el.payload(), el.uncompressed_size(), &used).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn slice_compressed_payload_propagates_corrupt_stream_errors() {
+        let used: HashSet<String> = HashSet::new();
+        let err = slice_compressed_payload(&[1, 2, 3], 100, &used).unwrap_err();
+        assert!(matches!(err, FatbinError::TruncatedCompression { .. }), "got {err:?}");
     }
 }

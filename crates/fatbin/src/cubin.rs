@@ -299,6 +299,53 @@ impl Cubin {
     }
 }
 
+/// Zero, in place within the serialized cubin `bytes`, the code of every
+/// kernel **not** reachable from a used kernel: the intra-element
+/// equivalent of the paper's element-level removal. `used` names the
+/// kernels detection observed; each is expanded through the intra-cubin
+/// launch closure ([`Cubin::launch_closure`]), so a device kernel a used
+/// entry can launch is never sliced. Kernel *tables* (names, entries,
+/// call graph) are left intact — the cubin still parses and lists every
+/// kernel, exactly like an element whose payload survived compaction.
+///
+/// Returns the number of previously non-zero code bytes zeroed (0 when
+/// every kernel is reachable from `used`).
+///
+/// # Errors
+///
+/// Parse errors as for [`Cubin::parse`] — slicing never guesses at a
+/// malformed cubin, and `bytes` is only modified on success.
+pub fn slice_kernels(bytes: &mut [u8], used: &HashSet<String>) -> Result<u64> {
+    let cubin = Cubin::parse(bytes)?;
+    let mut keep = BTreeSet::new();
+    for (i, kernel) in cubin.kernels().iter().enumerate() {
+        if used.contains(&kernel.name) {
+            keep.extend(cubin.launch_closure(i));
+        }
+    }
+    // Walk the (already validated) entry table again for the on-disk
+    // code offsets; serialization lays code out back to back after the
+    // string table.
+    let strtab_size = u32::from_le_bytes(bytes[8..12].try_into().expect("len 4")) as usize;
+    let entries_size = u32::from_le_bytes(bytes[12..16].try_into().expect("len 4")) as usize;
+    let code_start = HEADER_SIZE + entries_size + strtab_size;
+    let mut zeroed = 0u64;
+    let mut at = HEADER_SIZE;
+    for i in 0..cubin.kernels().len() {
+        let e = &bytes[at..at + ENTRY_FIXED];
+        let code_off = u64::from_le_bytes(e[4..12].try_into().expect("len 8")) as usize;
+        let k_size = u64::from_le_bytes(e[12..20].try_into().expect("len 8")) as usize;
+        let callee_count = u16::from_le_bytes(e[20..22].try_into().expect("len 2")) as usize;
+        at += ENTRY_FIXED + 4 * callee_count;
+        if !keep.contains(&i) {
+            let range = code_start + code_off..code_start + code_off + k_size;
+            zeroed += bytes[range.clone()].iter().filter(|&&b| b != 0).count() as u64;
+            bytes[range].fill(0);
+        }
+    }
+    Ok(zeroed)
+}
+
 fn read_str(strtab: &[u8], offset: usize) -> Option<String> {
     let tail = strtab.get(offset..)?;
     let nul = tail.iter().position(|&b| b == 0)?;
@@ -391,5 +438,46 @@ mod tests {
     #[test]
     fn code_size_sums_kernels() {
         assert_eq!(sample().code_size(), 128 + 32 + 16 + 64 + 8);
+    }
+
+    #[test]
+    fn slice_kernels_zeroes_only_unreachable_code() {
+        let c = sample();
+        let mut bytes = c.to_bytes();
+        let used: HashSet<String> = ["matmul".to_string()].into();
+        let zeroed = slice_kernels(&mut bytes, &used).unwrap();
+        // softmax (64) and orphan_dead_code (8) are unreachable from
+        // matmul; its own closure (matmul, epilogue, reduce_tail) stays.
+        assert_eq!(zeroed, 64 + 8);
+        let back = Cubin::parse(&bytes).unwrap();
+        assert_eq!(back.kernel_names(), c.kernel_names(), "tables survive slicing");
+        for name in ["matmul", "matmul_epilogue", "reduce_tail"] {
+            let i = back.index_of(name).unwrap();
+            assert_eq!(back.kernels()[i].code, c.kernels()[i].code, "{name} byte-identical");
+        }
+        for name in ["softmax", "orphan_dead_code"] {
+            let i = back.index_of(name).unwrap();
+            assert!(back.kernels()[i].code.iter().all(|&b| b == 0), "{name} must be zeroed");
+        }
+    }
+
+    #[test]
+    fn slice_kernels_with_all_used_is_a_no_op() {
+        let c = sample();
+        let mut bytes = c.to_bytes();
+        let before = bytes.clone();
+        let used: HashSet<String> =
+            ["matmul", "softmax", "orphan_dead_code"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(slice_kernels(&mut bytes, &used).unwrap(), 0);
+        assert_eq!(bytes, before, "nothing to slice, nothing modified");
+    }
+
+    #[test]
+    fn slice_kernels_rejects_malformed_input_without_modifying() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 0; // break the magic
+        let before = bytes.clone();
+        assert!(slice_kernels(&mut bytes, &HashSet::new()).is_err());
+        assert_eq!(bytes, before);
     }
 }

@@ -34,6 +34,15 @@ pub enum FatbinError {
         /// Human-readable description.
         reason: String,
     },
+    /// A compressed stream ended before reconstructing its declared
+    /// uncompressed size — a truncated element, never a silent short
+    /// read.
+    TruncatedCompression {
+        /// Bytes the element header declared.
+        expected: u64,
+        /// Bytes the stream actually produced before ending.
+        produced: u64,
+    },
     /// The containing ELF image could not be read.
     Elf(simelf::ElfError),
 }
@@ -52,6 +61,11 @@ impl fmt::Display for FatbinError {
             FatbinError::BadCompression { reason } => {
                 write!(f, "bad compressed payload: {reason}")
             }
+            FatbinError::TruncatedCompression { expected, produced } => write!(
+                f,
+                "truncated compressed payload: stream produced {produced} of the declared \
+                 {expected} bytes"
+            ),
             FatbinError::Elf(e) => write!(f, "elf error: {e}"),
         }
     }

@@ -33,6 +33,17 @@ pub struct ExtractedCubin {
     pub entry_names: Vec<String>,
     /// True if the payload was already zeroed by a previous compaction.
     pub cleared: bool,
+    /// True if a fleet-scoped compaction flagged this element sliced —
+    /// removed because its architecture runs on no fleet member
+    /// ([`crate::Element::SLICED_FLAG`] in the header flags byte).
+    pub sliced: bool,
+    /// True if the payload is stored compressed (relevant to planning:
+    /// compressed elements need an in-place decompress/slice/recompress
+    /// rewrite rather than simple payload zeroing of removed kernels).
+    pub compressed: bool,
+    /// Declared uncompressed payload size (equals the stored payload
+    /// length for uncompressed elements).
+    pub uncompressed_size: u64,
 }
 
 /// Extract the cubin listing from raw fatbin bytes.
@@ -73,6 +84,9 @@ pub fn extract(fatbin_bytes: &[u8]) -> Result<Vec<ExtractedCubin>> {
             kernel_names,
             entry_names,
             cleared,
+            sliced: element.is_sliced(),
+            compressed: element.is_compressed(),
+            uncompressed_size: element.uncompressed_size(),
         });
     }
     Ok(out)
@@ -135,6 +149,10 @@ mod tests {
         assert_eq!(listing[2].kind, ElementKind::Ptx);
         assert!(listing[2].kernel_names.is_empty());
         assert_eq!(listing[3].kernel_names, vec!["conv2d"]);
+        assert!(!listing[0].compressed);
+        assert_eq!(listing[0].uncompressed_size, listing[0].payload_range.len());
+        assert!(listing[3].compressed, "fourth element stored compressed");
+        assert!(listing[3].uncompressed_size > 150, "conv cubin is larger than its code");
     }
 
     #[test]

@@ -62,9 +62,12 @@ mod cubin;
 mod error;
 mod extract;
 
-pub use arch::SmArch;
-pub use container::{Element, ElementKind, Fatbin, Region};
-pub use cubin::{Cubin, Kernel, KernelDef};
+pub use arch::{FleetSpec, SmArch};
+pub use container::{
+    slice_compressed_payload, Element, ElementKind, Fatbin, Region, SlicedPayload,
+    ELEMENT_FLAGS_OFFSET,
+};
+pub use cubin::{slice_kernels, Cubin, Kernel, KernelDef};
 pub use error::FatbinError;
 pub use extract::{extract, extract_from_elf, ExtractedCubin};
 

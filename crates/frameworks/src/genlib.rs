@@ -83,13 +83,22 @@ pub(crate) fn generate(spec: &LibSpec) -> Result<GeneratedLibrary> {
             let mut elements = Vec::new();
             for group in 0..spec.groups_per_family {
                 let mut defs = Vec::with_capacity(spec.kernels_per_group);
+                let last = spec.kernels_per_group as u32 - 1;
                 for k in 0..spec.kernels_per_group {
                     let name = namegen::kernel_name(&spec.lib_tag, family, group, k);
                     let len = if k == 0 { spec.kernel_bytes } else { spec.kernel_bytes * 2 / 5 };
                     let code = body_bytes(&name, "sass", len.max(16));
                     defs.push(if k == 0 {
+                        // The hot entry the dispatch table routes to; it
+                        // launches through the group's device helpers.
+                        KernelDef::entry(name, code).with_callees((1..last).collect())
+                    } else if k as u32 == last {
+                        // A cold fallback entry outside the hot entry's
+                        // call graph, and absent from `entry_kernels` so
+                        // no dispatch path ever launches it — the
+                        // intra-element dead code (legacy/debug variants)
+                        // that compression-aware slicing removes.
                         KernelDef::entry(name, code)
-                            .with_callees((1..spec.kernels_per_group as u32).collect())
                     } else {
                         KernelDef::device(name, code)
                     });

@@ -24,7 +24,9 @@
 //!    union usage to byte ranges ([`locate()`]) per library, fanned out
 //!    through a bounded [`WorkerPool`] shared across every in-flight
 //!    debloat (module [`pool`]), producing a cacheable [`BundlePlan`]:
-//!    per-library [`RetainPlan`]s keyed by framework, GPU architecture,
+//!    per-library [`RetainPlan`]s keyed by framework, the target GPU
+//!    **fleet** ([`fatbin::FleetSpec`] — one or more architectures a
+//!    single artifact must serve, see [`Debloater::with_fleet`]),
 //!    and a usage fingerprint, alongside each workload's baseline
 //!    checksum and metrics. Plans live in a [`PlanCache`] partitioned
 //!    per framework — each partition an independently locked,
@@ -133,7 +135,8 @@ pub mod verify;
 pub use compact::{compact, CompactionOutcome};
 pub use detect::{KernelDetector, UsageMap};
 pub use error::NegativaError;
-pub use locate::{locate, LocateStats, RetainPlan};
+pub use fatbin::{FleetSpec, SmArch};
+pub use locate::{locate, ElementRewrite, LocateStats, RetainPlan, RewriteKind};
 pub use manifest::{ManifestEntry, StoreManifest, WorkloadRecord};
 pub use plan::{BundlePlan, PlanCache, PlanCacheStats, PlanKey, PlanSource, WorkloadBaseline};
 pub use pool::{Parallelism, PoolStats, WorkerPool};
@@ -220,6 +223,7 @@ impl DetectionCache {
 #[derive(Debug, Clone)]
 pub struct Debloater {
     gpu: GpuModel,
+    fleet: FleetSpec,
     config: RunConfig,
     parallelism: Parallelism,
     cache: Arc<PlanCache>,
@@ -246,6 +250,7 @@ impl Debloater {
     pub fn with_config(gpu: GpuModel, config: RunConfig) -> Debloater {
         Debloater {
             gpu,
+            fleet: FleetSpec::single(gpu.arch()),
             config,
             parallelism: Parallelism::shared(),
             cache: plan::process_cache(),
@@ -278,9 +283,34 @@ impl Debloater {
         self
     }
 
+    /// Plan for an entire GPU **fleet** instead of just this
+    /// debloater's own GPU: location retains the best compatible SASS
+    /// flavor *per fleet member* (union of the per-member keeps), and
+    /// compaction **slices** device code no fleet member can run —
+    /// zeroing foreign-arch elements (flagged [`fatbin::Element::SLICED_FLAG`])
+    /// and rewriting kept *compressed* elements in place with their
+    /// unused kernels removed. One artifact then serves every member.
+    ///
+    /// The session's own GPU is always folded into the fleet
+    /// (verification re-runs every workload on it, and its loader
+    /// ignores kept higher-arch flavors), so
+    /// `with_fleet(FleetSpec::single(self.gpu.arch()))` is a no-op and
+    /// a single-member fleet produces output byte-identical to the
+    /// default path.
+    pub fn with_fleet(mut self, fleet: FleetSpec) -> Debloater {
+        self.fleet = fleet.including(self.gpu.arch());
+        self
+    }
+
     /// The GPU model this debloater targets.
     pub fn gpu(&self) -> GpuModel {
         self.gpu
+    }
+
+    /// The GPU fleet plans are scoped to — the session GPU's
+    /// architecture alone unless widened by [`Debloater::with_fleet`].
+    pub fn fleet(&self) -> FleetSpec {
+        self.fleet
     }
 
     /// Open a session against `framework`'s bundle: pins the bundle
@@ -290,6 +320,7 @@ impl Debloater {
     pub fn session(&self, framework: FrameworkKind) -> DebloatSession {
         DebloatSession {
             gpu: self.gpu,
+            fleet: self.fleet,
             config: self.config.clone(),
             parallelism: self.parallelism.clone(),
             cache: self.cache.clone(),
@@ -458,7 +489,7 @@ impl Debloater {
             let session = sessions.entry(framework).or_insert_with(|| self.session(framework));
             let normalized: Vec<Workload> =
                 set.iter().map(|w| session.normalize(w)).collect::<Result<_>>()?;
-            let key = PlanKey::for_workloads(framework, self.gpu, &self.config, &normalized);
+            let key = PlanKey::for_fleet(framework, self.fleet, &self.config, &normalized);
             let members = groups.entry(key).or_default();
             if members.is_empty() {
                 order.push(key);
@@ -525,6 +556,7 @@ pub struct Detection {
 #[derive(Debug, Clone)]
 pub struct DebloatSession {
     gpu: GpuModel,
+    fleet: FleetSpec,
     config: RunConfig,
     parallelism: Parallelism,
     cache: Arc<PlanCache>,
@@ -539,6 +571,12 @@ impl DebloatSession {
     /// The framework this session's bundle belongs to.
     pub fn framework(&self) -> FrameworkKind {
         self.framework
+    }
+
+    /// The GPU fleet this session's plans are scoped to (always
+    /// contains the session GPU's own architecture).
+    pub fn fleet(&self) -> FleetSpec {
+        self.fleet
     }
 
     /// The pinned bundle handle.
@@ -677,7 +715,7 @@ impl DebloatSession {
         let retain = plan::locate_all(
             self.bundle.libraries(),
             &detection.usage,
-            self.gpu.arch(),
+            self.fleet,
             &self.parallelism,
         )?;
         Ok(BundlePlan {
@@ -730,7 +768,7 @@ impl DebloatSession {
         &self,
         normalized: &[Workload],
     ) -> Result<(PlanKey, Arc<BundlePlan>, PlanSource)> {
-        let key = PlanKey::for_workloads(self.framework, self.gpu, &self.config, normalized);
+        let key = PlanKey::for_fleet(self.framework, self.fleet, &self.config, normalized);
         let prior =
             self.prior.lock().expect("prior-plan map poisoned").get(&self.framework).cloned();
         let (plan, source) = match prior {
@@ -803,7 +841,7 @@ impl DebloatSession {
             prior_plan,
             &old_usage,
             &new_usage,
-            self.gpu.arch(),
+            self.fleet,
             &self.parallelism,
         )?;
         Ok(Some(BundlePlan {
@@ -923,16 +961,20 @@ impl DebloatSession {
         let mut reports = Vec::with_capacity(libraries.len());
         let mut debloated = Vec::with_capacity(libraries.len());
         let (mut copied, mut shared) = (0u64, 0u64);
+        let (mut sliced_arch, mut sliced_compressed) = (0u64, 0u64);
         for ((image, outcome), (retain, lib)) in
             compacted.into_iter().zip(plan.retain.iter().zip(libraries))
         {
             copied += outcome.bytes_copied;
             shared += outcome.bytes_shared;
+            sliced_arch += outcome.bytes_sliced_arch;
+            sliced_compressed += outcome.bytes_sliced_compressed;
             reports.push(LibraryReport::new(retain.soname.clone(), retain.stats, outcome));
             debloated.push(GeneratedLibrary { image, manifest: lib.manifest.clone() });
         }
         if let Parallelism::Pool(pool) = &self.parallelism {
             pool.record_bytes(copied, shared);
+            pool.record_sliced(sliced_arch, sliced_compressed);
         }
         Ok((reports, debloated))
     }

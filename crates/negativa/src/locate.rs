@@ -6,17 +6,34 @@
 //!   st_size)` interval (from the ELF symbol table) becomes a retain
 //!   range; the complement within `.text` is marked for zeroing.
 //! * **GPU side** — the `cuobjdump`-equivalent extraction lists every
-//!   fatbin element with its payload range. Elements survive only if
-//!   they are the flavor the CUDA loader would actually pick for the
-//!   target GPU (best compatible architecture within the element's
-//!   kernel-group, mirroring `simcuda`'s module loader) *and* contain at
-//!   least one used kernel. Everything else — wrong-architecture SASS,
-//!   unused kernel groups, PTX — is marked for zeroing, matching the
-//!   paper's removal-reason breakdown (Figure 7).
+//!   fatbin element with its payload range. The plan targets a
+//!   [`FleetSpec`]: for *each* fleet member, elements survive only if
+//!   they are the flavor the CUDA loader would actually pick for that
+//!   GPU (best compatible architecture within the element's kernel
+//!   group, mirroring `simcuda`'s module loader) *and* contain at least
+//!   one used kernel; the per-member keeps are unioned. Everything else
+//!   — wrong-architecture SASS, unused kernel groups, PTX — is marked
+//!   for zeroing, matching the paper's removal-reason breakdown
+//!   (Figure 7).
+//!
+//! Multi-member fleets additionally emit [`ElementRewrite`]s:
+//!
+//! * [`RewriteKind::ArchSlice`] — a removed element whose architecture
+//!   no fleet member can execute gets its header flagged
+//!   ([`fatbin::Element::SLICED_FLAG`]) on top of the payload zeroing,
+//!   recording *why* it was removed.
+//! * [`RewriteKind::CompressedSlice`] — a *kept* compressed element
+//!   carrying kernels outside the used set is rewritten in place:
+//!   decompress, zero unreachable kernel code, recompress into the
+//!   original payload slot.
+//!
+//! A single-member fleet (the paper's original plan identity) emits no
+//! rewrites and produces byte-identical output to the pre-fleet
+//! pipeline.
 
 use std::collections::{BTreeMap, HashSet};
 
-use fatbin::{extract_from_elf, ElementKind};
+use fatbin::{extract_from_elf, ElementKind, FleetSpec, ELEMENT_FLAGS_OFFSET};
 use simelf::range::complement_within;
 use simelf::{Elf, ElfImage, FileRange};
 use simml::namegen::stable_hash;
@@ -34,8 +51,45 @@ pub struct LocateStats {
     pub used_functions: usize,
     /// Intact fatbin elements (cubin and PTX).
     pub total_elements: usize,
-    /// Elements retained after location.
+    /// Elements retained after location (union over fleet members).
     pub kept_elements: usize,
+}
+
+/// Why an element is rewritten in place; see [`ElementRewrite`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteKind {
+    /// The element targets an architecture no fleet member can execute:
+    /// its payload is zeroed (it is also listed in
+    /// [`RetainPlan::zero_device`]) and its header flags byte gets
+    /// [`fatbin::Element::SLICED_FLAG`] OR-ed in.
+    ArchSlice,
+    /// A kept compressed element carries kernels outside the used set:
+    /// compaction decompresses the payload, zeroes the code of every
+    /// kernel unreachable from `used_kernels` (launch closures expand
+    /// inside [`fatbin::slice_kernels`]), recompresses, and rewrites the
+    /// stream in place within the original payload slot.
+    CompressedSlice {
+        /// The element's declared uncompressed payload size.
+        uncompressed_size: u64,
+        /// Used kernels present in this element, sorted (deterministic
+        /// plan identity).
+        used_kernels: Vec<String>,
+    },
+}
+
+/// One in-place element rewrite compaction must perform; emitted only
+/// for multi-member fleets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementRewrite {
+    /// 1-based element index within the fatbin (the extraction index).
+    pub index: u32,
+    /// File offset of the element's header flags byte
+    /// (`element_range.start + `[`ELEMENT_FLAGS_OFFSET`]).
+    pub flags_offset: u64,
+    /// File range of the element's payload.
+    pub payload_range: FileRange,
+    /// What to do.
+    pub kind: RewriteKind,
 }
 
 /// The compaction work order for one library.
@@ -51,18 +105,20 @@ pub struct RetainPlan {
     pub zero_host: Vec<FileRange>,
     /// Device byte ranges to zero (removed element payloads).
     pub zero_device: Vec<FileRange>,
+    /// In-place element rewrites (empty for single-member fleets).
+    pub rewrites: Vec<ElementRewrite>,
     /// Counting statistics.
     pub stats: LocateStats,
 }
 
 /// Compute the retain/zero plan for one library under `usage`, targeting
-/// a GPU of architecture `gpu`.
+/// a GPU fleet.
 ///
 /// # Errors
 ///
 /// [`NegativaError::Elf`] / [`NegativaError::Fatbin`] if the image does
 /// not parse — debloating never guesses at malformed inputs.
-pub fn locate(image: &ElfImage, usage: &UsageMap, gpu: fatbin::SmArch) -> Result<RetainPlan> {
+pub fn locate(image: &ElfImage, usage: &UsageMap, fleet: FleetSpec) -> Result<RetainPlan> {
     let soname = image.soname().to_owned();
     let elf = Elf::parse(image.bytes()).map_err(NegativaError::Elf)?;
     let mut stats = LocateStats::default();
@@ -84,35 +140,43 @@ pub fn locate(image: &ElfImage, usage: &UsageMap, gpu: fatbin::SmArch) -> Result
     // ---- GPU side ------------------------------------------------------
     let fatbin_range = elf.section_by_name(simelf::types::names::NV_FATBIN).map(|s| s.file_range());
     let mut zero_device = Vec::new();
+    let mut rewrites = Vec::new();
     if fatbin_range.is_some() {
         let (listing, _) = extract_from_elf(image.bytes()).map_err(NegativaError::Fatbin)?;
-        // Group elements by kernel-name fingerprint (every architecture
-        // flavor of one compilation unit ships the same kernels) and
-        // pick, per group, the flavor the loader would select: highest
-        // compatible architecture, first element on ties. This mirrors
-        // `simcuda::CudaSim::load_module` exactly.
-        let mut best: BTreeMap<u64, (fatbin::SmArch, u32)> = BTreeMap::new();
-        for item in &listing {
-            if item.cleared || item.kind != ElementKind::Cubin || !item.arch.runs_on(gpu) {
-                continue;
-            }
-            let mut names: Vec<&str> = item.kernel_names.iter().map(String::as_str).collect();
-            names.sort_unstable();
-            let fingerprint = stable_hash(&[&names.join("\0")]);
-            match best.entry(fingerprint) {
-                std::collections::btree_map::Entry::Vacant(v) => {
-                    v.insert((item.arch, item.index));
+        // Per fleet member: group elements by kernel-name fingerprint
+        // (every architecture flavor of one compilation unit ships the
+        // same kernels) and pick, per group, the flavor the loader would
+        // select on that GPU: highest compatible architecture, first
+        // element on ties. This mirrors `simcuda::CudaSim::load_module`
+        // exactly. The kept set is the union over members.
+        let mut selected: HashSet<u32> = HashSet::new();
+        for &gpu in fleet.members() {
+            let mut best: BTreeMap<u64, (fatbin::SmArch, u32)> = BTreeMap::new();
+            for item in &listing {
+                if item.cleared || item.kind != ElementKind::Cubin || !item.arch.runs_on(gpu) {
+                    continue;
                 }
-                std::collections::btree_map::Entry::Occupied(mut o) => {
-                    if item.arch > o.get().0 {
-                        o.insert((item.arch, item.index));
+                let mut names: Vec<&str> = item.kernel_names.iter().map(String::as_str).collect();
+                names.sort_unstable();
+                let fingerprint = stable_hash(&[&names.join("\0")]);
+                match best.entry(fingerprint) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert((item.arch, item.index));
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        if item.arch > o.get().0 {
+                            o.insert((item.arch, item.index));
+                        }
                     }
                 }
             }
+            selected.extend(best.values().map(|&(_, index)| index));
         }
-        let selected: HashSet<u32> = best.values().map(|&(_, index)| index).collect();
         let empty = Default::default();
         let used = usage.kernels_for(&soname).unwrap_or(&empty);
+        // Rewrites only engage for multi-member fleets: single-member
+        // plans stay byte-identical to the pre-fleet pipeline.
+        let slicing = !fleet.is_single();
         for item in &listing {
             if item.cleared {
                 continue; // removed by an earlier compaction — nothing to do
@@ -120,15 +184,49 @@ pub fn locate(image: &ElfImage, usage: &UsageMap, gpu: fatbin::SmArch) -> Result
             stats.total_elements += 1;
             let keep = selected.contains(&item.index)
                 && item.kernel_names.iter().any(|k| used.contains(k));
+            let flags_offset = item.range.start + ELEMENT_FLAGS_OFFSET;
             if keep {
                 stats.kept_elements += 1;
+                // A kept compressed element may still carry kernels no
+                // workload used: schedule an in-place
+                // decompress/slice/recompress. Over-emission is fine —
+                // compaction skips the rewrite when slicing would zero
+                // nothing (launch closures can cover the whole cubin).
+                if slicing
+                    && item.compressed
+                    && item.kind == ElementKind::Cubin
+                    && item.kernel_names.iter().any(|k| !used.contains(k))
+                {
+                    let mut used_kernels: Vec<String> =
+                        item.kernel_names.iter().filter(|k| used.contains(*k)).cloned().collect();
+                    used_kernels.sort_unstable();
+                    rewrites.push(ElementRewrite {
+                        index: item.index,
+                        flags_offset,
+                        payload_range: item.payload_range,
+                        kind: RewriteKind::CompressedSlice {
+                            uncompressed_size: item.uncompressed_size,
+                            used_kernels,
+                        },
+                    });
+                }
             } else {
                 zero_device.push(item.payload_range);
+                // Record *why* when the removal is pure architecture
+                // mismatch: no fleet member could have executed it.
+                if slicing && !fleet.any_member_runs(item.arch) {
+                    rewrites.push(ElementRewrite {
+                        index: item.index,
+                        flags_offset,
+                        payload_range: item.payload_range,
+                        kind: RewriteKind::ArchSlice,
+                    });
+                }
             }
         }
     }
 
-    Ok(RetainPlan { soname, text_range, fatbin_range, zero_host, zero_device, stats })
+    Ok(RetainPlan { soname, text_range, fatbin_range, zero_host, zero_device, rewrites, stats })
 }
 
 #[cfg(test)]
@@ -171,18 +269,75 @@ mod tests {
     #[test]
     fn keeps_only_the_loader_selected_used_element() {
         let image = sample_library();
-        let plan = locate(&image, &usage(), SmArch::SM75).unwrap();
+        let plan = locate(&image, &usage(), FleetSpec::single(SmArch::SM75)).unwrap();
         // 12 cubin elements + 1 PTX; only the sm_75 flavor of the used
         // group survives.
         assert_eq!(plan.stats.total_elements, 13);
         assert_eq!(plan.stats.kept_elements, 1);
         assert_eq!(plan.zero_device.len(), 12);
+        assert!(plan.rewrites.is_empty(), "single-member fleets never rewrite");
+    }
+
+    #[test]
+    fn fleet_unions_per_member_keeps_and_flags_foreign_arches() {
+        let image = sample_library();
+        let fleet = FleetSpec::new(&[SmArch::SM75, SmArch::SM80, SmArch::SM90]).unwrap();
+        let plan = locate(&image, &usage(), fleet).unwrap();
+        // One used-group flavor per member: sm_75, sm_80, sm_90.
+        assert_eq!(plan.stats.kept_elements, 3);
+        assert_eq!(plan.zero_device.len(), 10);
+        // sm_86 and sm_89 run on no fleet member (sm_80 is a *lower*
+        // minor; sm_90 a different major): both groups' flavors are
+        // arch-sliced. Everything else was removed for being unused.
+        let arch_slices: Vec<&ElementRewrite> =
+            plan.rewrites.iter().filter(|r| r.kind == RewriteKind::ArchSlice).collect();
+        assert_eq!(arch_slices.len(), 4);
+        for r in &plan.rewrites {
+            assert_eq!(r.flags_offset + 29, r.payload_range.start, "flags byte inside header");
+        }
+    }
+
+    #[test]
+    fn kept_compressed_elements_get_slice_rewrites() {
+        let mixed = Cubin::new(vec![
+            KernelDef::entry("gemm", vec![0x21; 200]).with_callees(vec![1]),
+            KernelDef::device("gemm_tail", vec![0x22; 64]),
+            KernelDef::entry("never", vec![0x23; 300]),
+        ])
+        .unwrap();
+        let elements = vec![
+            Element::cubin_compressed(SmArch::SM75, &mixed).unwrap(),
+            Element::cubin_compressed(SmArch::SM80, &mixed).unwrap(),
+        ];
+        let image = ElfBuilder::new("libloc.so")
+            .function("gemm_dispatch", vec![0x90; 64])
+            .fatbin(Fatbin::new(vec![Region::new(elements)]).to_bytes())
+            .build()
+            .unwrap();
+        let fleet = FleetSpec::new(&[SmArch::SM75, SmArch::SM80]).unwrap();
+        let plan = locate(&image, &usage(), fleet).unwrap();
+        // Each member selects its own flavor; both kept, both carry the
+        // unused "never" kernel → both get a compressed-slice rewrite.
+        assert_eq!(plan.stats.kept_elements, 2);
+        assert_eq!(plan.rewrites.len(), 2);
+        for r in &plan.rewrites {
+            match &r.kind {
+                RewriteKind::CompressedSlice { uncompressed_size, used_kernels } => {
+                    assert_eq!(*uncompressed_size, mixed.to_bytes().len() as u64);
+                    assert_eq!(used_kernels, &["gemm".to_string()]);
+                }
+                other => panic!("expected CompressedSlice, got {other:?}"),
+            }
+        }
+        // The same library under a single-member fleet: no rewrites.
+        let single = locate(&image, &usage(), FleetSpec::single(SmArch::SM75)).unwrap();
+        assert!(single.rewrites.is_empty());
     }
 
     #[test]
     fn host_plan_retains_used_functions_only() {
         let image = sample_library();
-        let plan = locate(&image, &usage(), SmArch::SM75).unwrap();
+        let plan = locate(&image, &usage(), FleetSpec::single(SmArch::SM75)).unwrap();
         assert_eq!(plan.stats.total_functions, 2);
         assert_eq!(plan.stats.used_functions, 1);
         // The used function's body must not intersect any zero range.
@@ -202,7 +357,7 @@ mod tests {
     #[test]
     fn no_usage_zeroes_everything() {
         let image = sample_library();
-        let plan = locate(&image, &UsageMap::new(), SmArch::SM75).unwrap();
+        let plan = locate(&image, &UsageMap::new(), FleetSpec::single(SmArch::SM75)).unwrap();
         assert_eq!(plan.stats.used_functions, 0);
         assert_eq!(plan.stats.kept_elements, 0);
         assert_eq!(plan.zero_device.len(), 13);
@@ -212,7 +367,7 @@ mod tests {
     fn wrong_gpu_arch_keeps_nothing_on_device() {
         let image = sample_library();
         // usage says "gemm" but the GPU is sm_60: no compatible SASS.
-        let plan = locate(&image, &usage(), SmArch(60)).unwrap();
+        let plan = locate(&image, &usage(), FleetSpec::single(SmArch(60))).unwrap();
         assert_eq!(plan.stats.kept_elements, 0);
     }
 
@@ -221,7 +376,7 @@ mod tests {
         let image = ElfBuilder::new("libcpu.so").function("f", vec![1; 64]).build().unwrap();
         let mut u = UsageMap::new();
         u.record_host_fn("libcpu.so", "f");
-        let plan = locate(&image, &u, SmArch::SM75).unwrap();
+        let plan = locate(&image, &u, FleetSpec::single(SmArch::SM75)).unwrap();
         assert!(plan.fatbin_range.is_none());
         assert!(plan.zero_device.is_empty());
         assert_eq!(plan.stats.used_functions, 1);

@@ -27,19 +27,27 @@
 //! a missing or mistyped field is an error naming the field, never a
 //! default.
 
-use fatbin::SmArch;
+use fatbin::{FleetSpec, SmArch};
 use simcuda::{GpuModel, LoadMode};
 use simelf::FileRange;
 use simml::{Dataset, FrameworkKind, ModelKind, Operation, Workload, WorkloadMetrics};
 
 use crate::codec::{content_hash, JsonValue};
-use crate::locate::{LocateStats, RetainPlan};
+use crate::locate::{ElementRewrite, LocateStats, RetainPlan, RewriteKind};
 use crate::plan::{BundlePlan, PlanKey, WorkloadBaseline};
 use crate::report::LibraryReport;
 
 /// On-disk format version of `MANIFEST.json` and `plan.json`. Bumped on
 /// any incompatible schema change; decoding rejects other versions.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// **v2** replaced the single `arch` scalar with a `fleet` array (the
+/// set of architectures one artifact serves), added the in-place
+/// element `rewrites` to each retain plan, and the
+/// `bytes_sliced_arch` / `bytes_sliced_compressed` /
+/// `compressed_rewritten` counters to each library entry. v1 manifests
+/// are rejected by the version gate with a typed "unsupported manifest
+/// format version" error, never a missing-field parse error.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// File name of the store's index at the artifact root.
 pub const MANIFEST_FILE: &str = "MANIFEST.json";
@@ -167,7 +175,12 @@ impl StoreManifest {
             (HASH_KEY.into(), JsonValue::u64(self_hash)),
             ("framework".into(), JsonValue::Text(self.key.framework.name().into())),
             ("gpu".into(), JsonValue::Text(gpu_name(self.gpu).into())),
-            ("arch".into(), JsonValue::int(self.key.arch.0 as u64)),
+            (
+                "fleet".into(),
+                JsonValue::Array(
+                    self.key.fleet.members().iter().map(|a| JsonValue::int(a.0 as u64)).collect(),
+                ),
+            ),
             ("workloads_fingerprint".into(), JsonValue::u64(self.key.workloads)),
             ("config_fingerprint".into(), JsonValue::u64(self.key.config)),
             ("plan_hash".into(), JsonValue::u64(self.plan_hash)),
@@ -186,9 +199,19 @@ impl StoreManifest {
 
     fn from_json(doc: &JsonValue) -> Result<StoreManifest, String> {
         let framework = parse_framework(get_str(doc, "framework")?)?;
+        let archs = get_array(doc, "fleet")?
+            .iter()
+            .map(|v| {
+                v.as_usize()
+                    .map(|a| SmArch(a as u32))
+                    .ok_or_else(|| mistyped("fleet", "architecture number"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let fleet = FleetSpec::new(&archs)
+            .map_err(|_| format!("fleet must name 1..={} architectures", FleetSpec::MAX_MEMBERS))?;
         let key = PlanKey {
             framework,
-            arch: SmArch(get_usize(doc, "arch")? as u32),
+            fleet,
             workloads: get_u64(doc, "workloads_fingerprint")?,
             config: get_u64(doc, "config_fingerprint")?,
         };
@@ -290,6 +313,9 @@ fn entry_to_json(entry: &ManifestEntry) -> JsonValue {
         ("kept_elements".into(), JsonValue::int(r.kept_elements as u64)),
         ("bytes_copied".into(), JsonValue::u64(r.bytes_copied)),
         ("bytes_shared".into(), JsonValue::u64(r.bytes_shared)),
+        ("bytes_sliced_arch".into(), JsonValue::u64(r.bytes_sliced_arch)),
+        ("bytes_sliced_compressed".into(), JsonValue::u64(r.bytes_sliced_compressed)),
+        ("compressed_rewritten".into(), JsonValue::u64(r.compressed_rewritten)),
     ])
 }
 
@@ -309,6 +335,9 @@ fn entry_from_json(doc: &JsonValue) -> Result<ManifestEntry, String> {
         kept_elements: get_usize(doc, "kept_elements")?,
         bytes_copied: get_u64(doc, "bytes_copied")?,
         bytes_shared: get_u64(doc, "bytes_shared")?,
+        bytes_sliced_arch: get_u64(doc, "bytes_sliced_arch")?,
+        bytes_sliced_compressed: get_u64(doc, "bytes_sliced_compressed")?,
+        compressed_rewritten: get_u64(doc, "compressed_rewritten")?,
     };
     Ok(ManifestEntry {
         soname,
@@ -462,6 +491,7 @@ fn retain_to_json(plan: &RetainPlan) -> JsonValue {
         ("fatbin_range".into(), opt_range_to_json(plan.fatbin_range)),
         ("zero_host".into(), ranges_to_json(&plan.zero_host)),
         ("zero_device".into(), ranges_to_json(&plan.zero_device)),
+        ("rewrites".into(), JsonValue::Array(plan.rewrites.iter().map(rewrite_to_json).collect())),
         ("total_functions".into(), JsonValue::int(plan.stats.total_functions as u64)),
         ("used_functions".into(), JsonValue::int(plan.stats.used_functions as u64)),
         ("total_elements".into(), JsonValue::int(plan.stats.total_elements as u64)),
@@ -480,12 +510,62 @@ fn retain_from_json(doc: &JsonValue) -> Result<RetainPlan, String> {
         )?,
         zero_host: ranges_from_json(get_array(doc, "zero_host")?)?,
         zero_device: ranges_from_json(get_array(doc, "zero_device")?)?,
+        rewrites: get_array(doc, "rewrites")?
+            .iter()
+            .map(rewrite_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
         stats: LocateStats {
             total_functions: get_usize(doc, "total_functions")?,
             used_functions: get_usize(doc, "used_functions")?,
             total_elements: get_usize(doc, "total_elements")?,
             kept_elements: get_usize(doc, "kept_elements")?,
         },
+    })
+}
+
+fn rewrite_to_json(r: &ElementRewrite) -> JsonValue {
+    let mut fields = vec![
+        ("index".into(), JsonValue::int(r.index as u64)),
+        ("flags_offset".into(), JsonValue::u64(r.flags_offset)),
+        ("payload_range".into(), range_to_json(r.payload_range)),
+    ];
+    match &r.kind {
+        RewriteKind::ArchSlice => {
+            fields.push(("kind".into(), JsonValue::Text("arch_slice".into())));
+        }
+        RewriteKind::CompressedSlice { uncompressed_size, used_kernels } => {
+            fields.push(("kind".into(), JsonValue::Text("compressed_slice".into())));
+            fields.push(("uncompressed_size".into(), JsonValue::u64(*uncompressed_size)));
+            fields.push((
+                "used_kernels".into(),
+                JsonValue::Array(used_kernels.iter().map(|k| JsonValue::Text(k.clone())).collect()),
+            ));
+        }
+    }
+    JsonValue::Object(fields)
+}
+
+fn rewrite_from_json(doc: &JsonValue) -> Result<ElementRewrite, String> {
+    let kind = match get_str(doc, "kind")? {
+        "arch_slice" => RewriteKind::ArchSlice,
+        "compressed_slice" => RewriteKind::CompressedSlice {
+            uncompressed_size: get_u64(doc, "uncompressed_size")?,
+            used_kernels: get_array(doc, "used_kernels")?
+                .iter()
+                .map(|k| {
+                    k.as_str().map(str::to_owned).ok_or_else(|| mistyped("used_kernels", "string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+        other => return Err(format!("unknown rewrite kind {other:?}")),
+    };
+    Ok(ElementRewrite {
+        index: get_usize(doc, "index")? as u32,
+        flags_offset: get_u64(doc, "flags_offset")?,
+        payload_range: range_from_json(
+            doc.get("payload_range").ok_or_else(|| missing("payload_range"))?,
+        )?,
+        kind,
     })
 }
 
@@ -660,6 +740,23 @@ mod tests {
                 fatbin_range: None,
                 zero_host: vec![FileRange { start: 0x1100, end: 0x1200 }],
                 zero_device: Vec::new(),
+                rewrites: vec![
+                    ElementRewrite {
+                        index: 3,
+                        flags_offset: 0x2003,
+                        payload_range: FileRange { start: 0x2020, end: 0x2420 },
+                        kind: RewriteKind::ArchSlice,
+                    },
+                    ElementRewrite {
+                        index: 5,
+                        flags_offset: 0x3003,
+                        payload_range: FileRange { start: 0x3020, end: 0x3820 },
+                        kind: RewriteKind::CompressedSlice {
+                            uncompressed_size: 0x1000,
+                            used_kernels: vec!["gemm".into(), "softmax".into()],
+                        },
+                    },
+                ],
                 stats: LocateStats {
                     total_functions: 120,
                     used_functions: 7,
@@ -698,7 +795,8 @@ mod tests {
             version: FORMAT_VERSION,
             key: PlanKey {
                 framework: FrameworkKind::PyTorch,
-                arch: SmArch::SM75,
+                fleet: FleetSpec::new(&[SmArch::SM75, SmArch::SM80, SmArch::SM90])
+                    .expect("three distinct architectures form a fleet"),
                 workloads: 0xaaaa_bbbb_cccc_dddd,
                 config: 0x1111_2222_3333_4444,
             },
@@ -724,6 +822,9 @@ mod tests {
                     kept_elements: 2,
                     bytes_copied: 4_000_000,
                     bytes_shared: 0,
+                    bytes_sliced_arch: 300_000,
+                    bytes_sliced_compressed: 45_000,
+                    compressed_rewritten: 3,
                 },
             }],
             workloads: vec![WorkloadRecord {
@@ -793,6 +894,32 @@ mod tests {
         ] {
             assert_eq!(parse_gpu(gpu_name(gpu)).unwrap(), gpu);
         }
+    }
+
+    #[test]
+    fn v1_manifests_fail_with_the_version_error_not_a_parse_error() {
+        // Reconstruct what a v1 publisher wrote: `format_version` 1 and
+        // the old scalar `arch` field instead of v2's `fleet` array,
+        // with a correctly spliced self-hash — so the only thing that
+        // can object is the version gate, and it must fire *before*
+        // schema decoding trips over the missing v2 fields.
+        let mut old = sample_manifest().encode();
+        old = old.replacen("\"format_version\": 2", "\"format_version\": 1", 1);
+        let fleet_start = old.find("\"fleet\":").expect("v2 manifests carry a fleet field");
+        let fleet_end = fleet_start + old[fleet_start..].find(']').expect("fleet is an array") + 1;
+        old.replace_range(fleet_start..fleet_end, "\"arch\": 75");
+        let hash_start = old.find(&format!("\"{HASH_KEY}\":")).expect("self-hash field present");
+        old.replace_range(hash_start..hash_start + hash_field(0).len(), &hash_field(0));
+        let rehashed = content_hash(old.as_bytes());
+        let old = old.replacen(&hash_field(0), &hash_field(rehashed), 1);
+
+        let err = StoreManifest::decode(&old).unwrap_err();
+        assert!(
+            err.contains("unsupported manifest format version 1"),
+            "v1 must hit the version gate, got: {err}"
+        );
+        assert!(err.contains("this build reads 2"), "{err}");
+        assert!(!err.contains("missing required field"), "{err}");
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use fatbin::SmArch;
+use fatbin::FleetSpec;
 use simcuda::GpuModel;
 use simml::namegen::stable_hash;
 use simml::{FrameworkKind, GeneratedLibrary, RunConfig, Workload, WorkloadMetrics};
@@ -40,16 +40,17 @@ use crate::pool::Parallelism;
 use crate::Result;
 
 /// Cache key of one [`BundlePlan`]: which framework bundle, which GPU
-/// architecture it was located for, a fingerprint of the workload set
-/// whose union usage produced it, and a fingerprint of the execution
+/// fleet it was located for, a fingerprint of the workload set whose
+/// union usage produced it, and a fingerprint of the execution
 /// configuration the detection runs used (two debloaters with different
 /// cost models or scales must never serve each other's baselines).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// Framework whose bundle the plan compacts.
     pub framework: FrameworkKind,
-    /// GPU architecture the location stage targeted.
-    pub arch: SmArch,
+    /// GPU fleet the location stage targeted. A single-member fleet is
+    /// the paper's original per-GPU plan identity.
+    pub fleet: FleetSpec,
     /// Order-sensitive fold of [`workload_fingerprint`] over the
     /// workload set.
     pub workloads: u64,
@@ -59,10 +60,23 @@ pub struct PlanKey {
 
 impl PlanKey {
     /// The key for debloating `workloads` (already normalized to the
-    /// debloat target GPU) on `gpu` under `config`.
+    /// debloat target GPU) on `gpu` under `config` — a single-member
+    /// fleet of that GPU's architecture.
     pub fn for_workloads(
         framework: FrameworkKind,
         gpu: GpuModel,
+        config: &RunConfig,
+        workloads: &[Workload],
+    ) -> PlanKey {
+        PlanKey::for_fleet(framework, FleetSpec::single(gpu.arch()), config, workloads)
+    }
+
+    /// The key for debloating `workloads` for an entire GPU `fleet`
+    /// under `config`: one artifact identity serving every member
+    /// architecture.
+    pub fn for_fleet(
+        framework: FrameworkKind,
+        fleet: FleetSpec,
         config: &RunConfig,
         workloads: &[Workload],
     ) -> PlanKey {
@@ -71,7 +85,7 @@ impl PlanKey {
         let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
         PlanKey {
             framework,
-            arch: gpu.arch(),
+            fleet,
             workloads: stable_hash(&refs),
             config: config_fingerprint(config),
         }
@@ -80,12 +94,14 @@ impl PlanKey {
     /// A filesystem- and log-friendly rendering of this identity, used
     /// by the artifact store to name per-identity directories and by
     /// [`crate::store::StoreError::PlanKeyMismatch`] to say *which* two
-    /// artifacts collided: `torch-sm75-<workloads hex>-<config hex>`.
+    /// artifacts collided: `torch-sm75-<workloads hex>-<config hex>`
+    /// (single-member fleet, unchanged from the pre-fleet format) or
+    /// `torch-sm75x80x90-...` (multi-member).
     pub fn artifact_id(&self) -> String {
         format!(
-            "{}-sm{}-{:016x}-{:016x}",
+            "{}-{}-{:016x}-{:016x}",
             self.framework.tag(),
-            self.arch.0,
+            self.fleet.label(),
             self.workloads,
             self.config
         )
@@ -179,10 +195,10 @@ pub struct BundlePlan {
 pub fn locate_all(
     libraries: &[GeneratedLibrary],
     usage: &UsageMap,
-    gpu: SmArch,
+    fleet: FleetSpec,
     parallelism: &Parallelism,
 ) -> Result<Vec<RetainPlan>> {
-    parallelism.run(libraries, |_, lib| locate(&lib.image, usage, gpu))
+    parallelism.run(libraries, |_, lib| locate(&lib.image, usage, fleet))
 }
 
 /// Incrementally re-locate `libraries` after a usage change: libraries
@@ -210,7 +226,7 @@ pub fn locate_all_incremental(
     prior: &BundlePlan,
     old_usage: &UsageMap,
     new_usage: &UsageMap,
-    gpu: SmArch,
+    fleet: FleetSpec,
     parallelism: &Parallelism,
 ) -> Result<Vec<RetainPlan>> {
     let diff = old_usage.diff(new_usage);
@@ -224,7 +240,7 @@ pub fn locate_all_incremental(
                 Ok((*prior_retain).clone())
             }
             // Touched, or new to the roster: locate from scratch.
-            _ => locate(&lib.image, new_usage, gpu),
+            _ => locate(&lib.image, new_usage, fleet),
         }
     })
 }
@@ -797,6 +813,7 @@ pub fn cache_insert(key: PlanKey, plan: Arc<BundlePlan>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fatbin::SmArch;
     use simcuda::LoadMode;
     use simml::{cached_bundle, ModelKind, Operation};
 
@@ -805,7 +822,12 @@ mod tests {
     }
 
     fn key(tag: u64) -> PlanKey {
-        PlanKey { framework: FrameworkKind::PyTorch, arch: SmArch::SM75, workloads: tag, config: 0 }
+        PlanKey {
+            framework: FrameworkKind::PyTorch,
+            fleet: FleetSpec::single(SmArch::SM75),
+            workloads: tag,
+            config: 0,
+        }
     }
 
     fn plan(tag: u64) -> Arc<BundlePlan> {
@@ -857,6 +879,39 @@ mod tests {
         let mut c = a;
         c.framework = FrameworkKind::TensorFlow;
         assert_ne!(a.artifact_id(), c.artifact_id());
+        // Multi-member fleets widen the identity without touching the
+        // single-member (legacy) format.
+        let mut d = a;
+        d.fleet = FleetSpec::new(&[SmArch::SM75, SmArch::SM80, SmArch::SM90]).unwrap();
+        let fleet_id = d.artifact_id();
+        assert_eq!(fleet_id, "torch-sm75x80x90-0000000000000abc-0000000000000000");
+        assert!(fleet_id.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'), "{fleet_id}");
+    }
+
+    #[test]
+    fn fleet_keys_distinguish_and_normalize_membership() {
+        let config = RunConfig::default();
+        let w = [workload()];
+        let single = PlanKey::for_workloads(FrameworkKind::PyTorch, GpuModel::T4, &config, &w);
+        assert_eq!(
+            single,
+            PlanKey::for_fleet(
+                FrameworkKind::PyTorch,
+                FleetSpec::single(SmArch::SM75),
+                &config,
+                &w
+            ),
+            "for_workloads is the single-member fleet key"
+        );
+        let fleet = FleetSpec::new(&[SmArch::SM90, SmArch::SM75]).unwrap();
+        let multi = PlanKey::for_fleet(FrameworkKind::PyTorch, fleet, &config, &w);
+        assert_ne!(single, multi, "fleet membership is part of the identity");
+        let reordered = FleetSpec::new(&[SmArch::SM75, SmArch::SM90]).unwrap();
+        assert_eq!(
+            multi,
+            PlanKey::for_fleet(FrameworkKind::PyTorch, reordered, &config, &w),
+            "member order never splits the cache"
+        );
     }
 
     #[test]
@@ -884,10 +939,9 @@ mod tests {
                 usage.record_host_fn(&lib.manifest.soname, f);
             }
         }
-        let serial =
-            locate_all(bundle.libraries(), &usage, SmArch::SM75, &Parallelism::Serial).unwrap();
-        let pooled =
-            locate_all(bundle.libraries(), &usage, SmArch::SM75, &Parallelism::shared()).unwrap();
+        let fleet = FleetSpec::single(SmArch::SM75);
+        let serial = locate_all(bundle.libraries(), &usage, fleet, &Parallelism::Serial).unwrap();
+        let pooled = locate_all(bundle.libraries(), &usage, fleet, &Parallelism::shared()).unwrap();
         assert_eq!(serial, pooled, "fan-out must not change any plan byte");
     }
 
@@ -989,7 +1043,7 @@ mod tests {
     }
 
     fn key_for(framework: FrameworkKind, tag: u64) -> PlanKey {
-        PlanKey { framework, arch: SmArch::SM75, workloads: tag, config: 0 }
+        PlanKey { framework, fleet: FleetSpec::single(SmArch::SM75), workloads: tag, config: 0 }
     }
 
     #[test]

@@ -59,6 +59,14 @@ pub struct PoolStats {
     /// (untouched libraries surviving compaction, responses fanned out
     /// to multiple requesters). Reported via [`WorkerPool::record_bytes`].
     pub bytes_shared: u64,
+    /// Fatbin payload bytes removed because their architecture runs on
+    /// no fleet member (multi-member fleet plans only). Reported via
+    /// [`WorkerPool::record_sliced`].
+    pub bytes_sliced_arch: u64,
+    /// Non-zero bytes eliminated by in-place compressed-element rewrites
+    /// (multi-member fleet plans only). Reported via
+    /// [`WorkerPool::record_sliced`].
+    pub bytes_sliced_compressed: u64,
 }
 
 /// A bounded admission gate for per-library work, shared across every
@@ -82,6 +90,8 @@ pub struct WorkerPool {
     verify_deduped: AtomicU64,
     bytes_copied: AtomicU64,
     bytes_shared: AtomicU64,
+    bytes_sliced_arch: AtomicU64,
+    bytes_sliced_compressed: AtomicU64,
 }
 
 impl WorkerPool {
@@ -105,6 +115,8 @@ impl WorkerPool {
             verify_deduped: AtomicU64::new(0),
             bytes_copied: AtomicU64::new(0),
             bytes_shared: AtomicU64::new(0),
+            bytes_sliced_arch: AtomicU64::new(0),
+            bytes_sliced_compressed: AtomicU64::new(0),
         })
     }
 
@@ -134,6 +146,8 @@ impl WorkerPool {
             verify_deduped: self.verify_deduped.load(Ordering::Relaxed),
             bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
             bytes_shared: self.bytes_shared.load(Ordering::Relaxed),
+            bytes_sliced_arch: self.bytes_sliced_arch.load(Ordering::Relaxed),
+            bytes_sliced_compressed: self.bytes_sliced_compressed.load(Ordering::Relaxed),
         }
     }
 
@@ -144,6 +158,16 @@ impl WorkerPool {
     pub fn record_bytes(&self, copied: u64, shared: u64) {
         self.bytes_copied.fetch_add(copied, Ordering::Relaxed);
         self.bytes_shared.fetch_add(shared, Ordering::Relaxed);
+    }
+
+    /// Account fleet-slicing work routed through this pool: `arch`
+    /// payload bytes removed for targeting architectures outside the
+    /// fleet, `compressed` non-zero bytes eliminated by in-place
+    /// compressed-element rewrites. Called by the debloat session after
+    /// its compact fan-out; both stay 0 for single-member fleets.
+    pub fn record_sliced(&self, arch: u64, compressed: u64) {
+        self.bytes_sliced_arch.fetch_add(arch, Ordering::Relaxed);
+        self.bytes_sliced_compressed.fetch_add(compressed, Ordering::Relaxed);
     }
 
     /// Account one verify pass routed through this pool: `runs` unique

@@ -83,6 +83,14 @@ pub struct LibraryReport {
     /// Bytes the compacted library still shares with the original image
     /// (the whole file iff the plan had nothing to zero).
     pub bytes_shared: u64,
+    /// Payload bytes of elements removed because their architecture runs
+    /// on no fleet member (0 for single-member fleets).
+    pub bytes_sliced_arch: u64,
+    /// Non-zero bytes eliminated by in-place compressed-element rewrites
+    /// (0 for single-member fleets).
+    pub bytes_sliced_compressed: u64,
+    /// Compressed elements rewritten in place.
+    pub compressed_rewritten: u64,
 }
 
 impl LibraryReport {
@@ -102,6 +110,9 @@ impl LibraryReport {
             kept_elements: stats.kept_elements,
             bytes_copied: outcome.bytes_copied,
             bytes_shared: outcome.bytes_shared,
+            bytes_sliced_arch: outcome.bytes_sliced_arch,
+            bytes_sliced_compressed: outcome.bytes_sliced_compressed,
+            compressed_rewritten: outcome.compressed_rewritten,
         }
     }
 
@@ -136,6 +147,13 @@ pub struct Totals {
     pub device_before: u64,
     /// Total `.nv_fatbin` occupied bytes after.
     pub device_after: u64,
+    /// Total payload bytes arch-sliced for targeting SMs outside the
+    /// fleet (0 for single-member fleets).
+    pub bytes_sliced_arch: u64,
+    /// Total non-zero bytes eliminated by compressed-element rewrites.
+    pub bytes_sliced_compressed: u64,
+    /// Total compressed elements rewritten in place.
+    pub compressed_rewritten: u64,
 }
 
 impl Totals {
@@ -151,8 +169,18 @@ impl Totals {
             t.host_after += lib.host_after;
             t.device_before += lib.device_before;
             t.device_after += lib.device_after;
+            t.bytes_sliced_arch += lib.bytes_sliced_arch;
+            t.bytes_sliced_compressed += lib.bytes_sliced_compressed;
+            t.compressed_rewritten += lib.compressed_rewritten;
         }
         t
+    }
+
+    /// Bytes the fleet slicing removed in total — the arch-slice and
+    /// compressed-rewrite contributions combined (the bench's
+    /// `fleet_slice_bytes_removed`).
+    pub fn fleet_slice_bytes_removed(&self) -> u64 {
+        self.bytes_sliced_arch + self.bytes_sliced_compressed
     }
 
     /// Whole-bundle file size reduction in percent.
@@ -420,6 +448,9 @@ mod tests {
             kept_elements: 1,
             bytes_copied: file.0,
             bytes_shared: 0,
+            bytes_sliced_arch: 64,
+            bytes_sliced_compressed: 16,
+            compressed_rewritten: 1,
         }
     }
 
@@ -461,6 +492,11 @@ mod tests {
         assert!((t.file_reduction_pct() - 50.0).abs() < 1e-9);
         assert!((t.host_reduction_pct() - 60.0).abs() < 1e-9);
         assert!((t.device_reduction_pct() - 50.0).abs() < 1e-9);
+        // The fleet-slicing counters sum alongside the sizes.
+        assert_eq!(t.bytes_sliced_arch, 128);
+        assert_eq!(t.bytes_sliced_compressed, 32);
+        assert_eq!(t.compressed_rewritten, 2);
+        assert_eq!(t.fleet_slice_bytes_removed(), 160);
     }
 
     #[test]

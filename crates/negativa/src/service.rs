@@ -16,8 +16,8 @@
 //!    [`ServiceError::Overloaded`] so callers can retry or fail fast
 //!    instead of piling up unbounded work.
 //! 2. **Batching.** A batcher thread drains admitted requests and
-//!    groups those sharing a *plan identity* — framework, GPU
-//!    architecture, and the workload/config fingerprints of
+//!    groups those sharing a *plan identity* — framework, target GPU
+//!    fleet, and the workload/config fingerprints of
 //!    [`crate::PlanKey`] — into one batch. Batching is adaptive: while
 //!    every executor is busy, arriving requests accumulate into the
 //!    pending batch of their identity (up to a configurable cap), so a
@@ -78,6 +78,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use fatbin::FleetSpec;
 use simcuda::GpuModel;
 use simml::{FrameworkKind, GeneratedLibrary, RunConfig, Workload};
 
@@ -165,10 +166,9 @@ pub struct DebloatResponse {
 /// Counters and live gauges of one [`DebloatService`]; see
 /// [`DebloatService::stats`].
 ///
-/// `accepted`, `completed`, `failed`, `shed`, `batches`,
-/// `batched_requests`, `published`, and `publish_failed` are lifetime
-/// counters; `queue_depth` and `executing` are point-in-time gauges
-/// that move with the pipeline.
+/// Every field except `queue_depth` and `executing` (point-in-time
+/// gauges that move with the pipeline) and `store_root` (fixed
+/// configuration) is a lifetime counter that only grows.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServiceStats {
     /// Requests taken off the admission queue by the batcher.
@@ -224,6 +224,19 @@ pub struct ServiceStats {
     /// instead of re-reading
     /// ([`crate::store::StoreStats::bytes_shared`], summed).
     pub store_bytes_shared: u64,
+    /// Payload bytes executed batches removed because the element's
+    /// architecture runs on no fleet member
+    /// ([`crate::LibraryReport::bytes_sliced_arch`], summed); always 0
+    /// for a single-architecture fleet.
+    pub bytes_sliced_arch: u64,
+    /// Non-zero bytes executed batches eliminated by rewriting kept
+    /// compressed elements in place with their unused kernels sliced
+    /// ([`crate::LibraryReport::bytes_sliced_compressed`], summed);
+    /// always 0 for a single-architecture fleet.
+    pub bytes_sliced_compressed: u64,
+    /// Compressed elements executed batches rewrote in place
+    /// ([`crate::LibraryReport::compressed_rewritten`], summed).
+    pub compressed_rewritten: u64,
     /// Objects auto-publishing found already present under their
     /// content-hash name and did not rewrite
     /// ([`crate::store::StoreStats::objects_skipped`], summed) — a hot
@@ -280,6 +293,7 @@ impl ServiceStats {
 pub struct DebloatServiceBuilder {
     gpu: GpuModel,
     config: RunConfig,
+    fleet: Option<FleetSpec>,
     service_workers: usize,
     queue_capacity: usize,
     max_batch: usize,
@@ -295,6 +309,18 @@ impl DebloatServiceBuilder {
     /// model, sampling, subscribers).
     pub fn run_config(mut self, config: RunConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Scope every plan to an entire GPU **fleet** instead of just the
+    /// service's own GPU ([`crate::Debloater::with_fleet`]): one
+    /// artifact per identity serves every member architecture, with
+    /// foreign-arch elements sliced and kept compressed elements
+    /// rewritten in place. The service GPU's architecture is always
+    /// folded in; batching then groups by the full fleet-scoped
+    /// identity.
+    pub fn fleet(mut self, fleet: FleetSpec) -> Self {
+        self.fleet = Some(fleet);
         self
     }
 
@@ -387,14 +413,18 @@ impl DebloatServiceBuilder {
                 None => PlanCache::new(self.cache_capacity),
             })
         });
-        let debloater = Debloater::with_config(self.gpu, self.config.clone())
+        let mut debloater = Debloater::with_config(self.gpu, self.config.clone())
             .with_pool(pool.clone())
             .with_plan_cache(cache.clone());
+        if let Some(fleet) = self.fleet {
+            debloater = debloater.with_fleet(fleet);
+        }
+        let fleet = debloater.fleet();
         let shared = Arc::new(ServiceShared {
             debloater,
             pool,
             cache,
-            gpu: self.gpu,
+            fleet,
             config: self.config,
             queue_capacity: self.queue_capacity,
             publish_root: self.publish_root,
@@ -416,6 +446,9 @@ impl DebloatServiceBuilder {
             store_bytes_read: AtomicU64::new(0),
             store_bytes_shared: AtomicU64::new(0),
             store_objects_skipped: AtomicU64::new(0),
+            bytes_sliced_arch: AtomicU64::new(0),
+            bytes_sliced_compressed: AtomicU64::new(0),
+            compressed_rewritten: AtomicU64::new(0),
         });
         let (admission_tx, admission_rx) = mpsc::sync_channel::<QueueItem>(self.queue_capacity);
         // One rendezvous channel per executor: a batch leaves the
@@ -491,7 +524,9 @@ struct ServiceShared {
     debloater: Debloater,
     pool: Arc<WorkerPool>,
     cache: Arc<PlanCache>,
-    gpu: GpuModel,
+    /// The fleet every plan identity is scoped to (always contains the
+    /// service GPU's architecture).
+    fleet: FleetSpec,
     config: RunConfig,
     queue_capacity: usize,
     /// Root for per-identity artifact stores; `None` disables
@@ -517,6 +552,9 @@ struct ServiceShared {
     store_bytes_read: AtomicU64,
     store_bytes_shared: AtomicU64,
     store_objects_skipped: AtomicU64,
+    bytes_sliced_arch: AtomicU64,
+    bytes_sliced_compressed: AtomicU64,
+    compressed_rewritten: AtomicU64,
 }
 
 impl ServiceShared {
@@ -645,7 +683,7 @@ fn admit(
         let session = shared.session(framework);
         let normalized: Vec<Workload> =
             workloads.iter().map(|w| session.normalize(w)).collect::<Result<_>>()?;
-        let key = PlanKey::for_workloads(framework, shared.gpu, &shared.config, &normalized);
+        let key = PlanKey::for_fleet(framework, shared.fleet, &shared.config, &normalized);
         Ok((key, framework, normalized))
     })();
     match prepared {
@@ -758,6 +796,10 @@ fn execute(shared: &ServiceShared, batch: Batch) {
             .bytes_shared
             .fetch_add(artifact.report.bytes_shared + size as u64 * fanned_out, Ordering::Relaxed);
         shared.plan_diff_ns.fetch_add(artifact.report.plan_diff_ns, Ordering::Relaxed);
+        let totals = artifact.report.totals();
+        shared.bytes_sliced_arch.fetch_add(totals.bytes_sliced_arch, Ordering::Relaxed);
+        shared.bytes_sliced_compressed.fetch_add(totals.bytes_sliced_compressed, Ordering::Relaxed);
+        shared.compressed_rewritten.fetch_add(totals.compressed_rewritten, Ordering::Relaxed);
         DebloatResponse { report: artifact.report, libraries: Arc::new(artifact.libraries) }
     });
     let counter = if result.is_ok() { &shared.completed } else { &shared.failed };
@@ -897,6 +939,7 @@ impl DebloatService {
             service_workers: 2,
             queue_capacity: Self::DEFAULT_QUEUE_CAPACITY,
             max_batch: Self::DEFAULT_MAX_BATCH,
+            fleet: None,
             pool: None,
             cache: None,
             cache_capacity: PlanCache::DEFAULT_CAPACITY,
@@ -943,6 +986,9 @@ impl DebloatService {
             store_bytes_read: self.shared.store_bytes_read.load(Ordering::Relaxed),
             store_bytes_shared: self.shared.store_bytes_shared.load(Ordering::Relaxed),
             store_objects_skipped: self.shared.store_objects_skipped.load(Ordering::Relaxed),
+            bytes_sliced_arch: self.shared.bytes_sliced_arch.load(Ordering::Relaxed),
+            bytes_sliced_compressed: self.shared.bytes_sliced_compressed.load(Ordering::Relaxed),
+            compressed_rewritten: self.shared.compressed_rewritten.load(Ordering::Relaxed),
             store_root: self.shared.publish_root.clone(),
         }
     }

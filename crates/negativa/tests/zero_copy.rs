@@ -113,7 +113,7 @@ fn roster_drift_replans_incrementally_and_equals_full() {
     let old_detection = session.detect(&[mobilenet()]).expect("seed detection");
     let new_detection = session.detect(&[mobilenet(), transformer()]).expect("grown detection");
     let libraries = session.bundle().libraries();
-    let arch = GpuModel::T4.arch();
+    let arch = negativa_ml::FleetSpec::single(GpuModel::T4.arch());
     let serial = Parallelism::Serial;
 
     // The prior plan knows one library fewer than the bundle now holds

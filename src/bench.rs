@@ -41,11 +41,17 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "verify_parallel_speedup",
     "store_open_ns",
     "store_objects_deduped",
+    "fleet",
+    "fleet_slice_bytes_removed",
+    "compressed_elements_rewritten",
+    "fleet_artifact_bytes",
+    "single_arch_artifact_bytes",
+    "fleet_over_single_arch_size_ratio",
 ];
 
 /// Keys whose values are strings; every other required key must be a
 /// number.
-pub const TEXT_KEYS: &[&str] = &["workload", "gpu"];
+pub const TEXT_KEYS: &[&str] = &["workload", "gpu", "fleet"];
 
 /// One scalar in the flat report object.
 #[derive(Debug, Clone, PartialEq)]

@@ -33,6 +33,15 @@
 //!   `load_bundle` of a just-published artifact;
 //!   `store_objects_deduped` counts the objects a republish over the
 //!   same identity found already present and did not rewrite.
+//! * **fleet-scoped debloat** — one three-architecture artifact
+//!   (sm_75 + sm_80 + sm_90) against shipping three single-arch
+//!   artifacts (T4, A100, H100) for the same workload.
+//!   `fleet_slice_bytes_removed` is the payload recovered by
+//!   arch-slicing plus in-place compressed-element rewrites,
+//!   `compressed_elements_rewritten` counts the rewrites, and
+//!   `fleet_artifact_bytes` / `single_arch_artifact_bytes` /
+//!   `fleet_over_single_arch_size_ratio` compare the occupied footprint
+//!   of one fleet artifact with the three-artifact status quo.
 //!
 //! The copy-on-write byte counters (`bytes_copied_total` /
 //! `bytes_shared_total`, from the service's `ServiceStats`) record how much of the
@@ -52,7 +61,7 @@ use negativa_repro::ml::{FrameworkKind, ModelKind, Operation, Workload};
 use negativa_repro::negativa::service::DebloatService;
 use negativa_repro::negativa::store::Store;
 use negativa_repro::negativa::verify::verify_indexed;
-use negativa_repro::negativa::{Debloater, PlanCache, WorkerPool};
+use negativa_repro::negativa::{Debloater, FleetSpec, PlanCache, SmArch, WorkerPool};
 
 fn main() {
     let gpu = GpuModel::T4;
@@ -177,6 +186,38 @@ fn main() {
     assert!(store_objects_deduped > 0, "an intact republish must skip every object");
     std::fs::remove_dir_all(&store_root).ok();
 
+    // Fleet-scoped debloat: one artifact planned for the T4 session's
+    // sm_75 widened by sm_80 + sm_90, vs shipping a separate
+    // single-arch artifact per deployment GPU. The fleet pass must
+    // recover bytes by arch-slicing and in-place compressed rewrites,
+    // and one fleet artifact must occupy fewer bytes than three
+    // single-arch ones (the host code and PTX ship once, not thrice).
+    let fleet_debloater = Debloater::new(gpu)
+        .with_plan_cache(Arc::new(PlanCache::new(4)))
+        .with_fleet(FleetSpec::new(&[SmArch::SM80, SmArch::SM90]).expect("two named archs"));
+    let fleet_label = fleet_debloater.fleet().label();
+    let fleet_report =
+        fleet_debloater.debloat_many(std::slice::from_ref(&workload)).expect("fleet debloat");
+    assert!(fleet_report.all_verified(), "the fleet artifact reproduces the baseline");
+    let fleet_totals = fleet_report.totals();
+    assert!(fleet_totals.fleet_slice_bytes_removed() > 0, "fleet slicing must recover bytes");
+    assert!(fleet_totals.compressed_rewritten > 0, "at least one in-place compressed rewrite");
+    let fleet_artifact_bytes = fleet_totals.file_after;
+    let single_arch_artifact_bytes: u64 = [GpuModel::T4, GpuModel::A100, GpuModel::H100]
+        .into_iter()
+        .map(|member_gpu| {
+            let single = Debloater::new(member_gpu).with_plan_cache(Arc::new(PlanCache::new(4)));
+            let report =
+                single.debloat_many(std::slice::from_ref(&workload)).expect("single-arch debloat");
+            report.totals().file_after
+        })
+        .sum();
+    assert!(
+        fleet_artifact_bytes < single_arch_artifact_bytes,
+        "one fleet artifact ({fleet_artifact_bytes} B) must undercut three single-arch \
+         artifacts ({single_arch_artifact_bytes} B)"
+    );
+
     // Batched: the same burst, concurrently, through the staged
     // admission pipeline; requests sharing the plan identity group into
     // union debloats while the executors are busy.
@@ -218,7 +259,7 @@ fn main() {
 
     let rps = |total_ns: u128| requests as f64 / (total_ns.max(1) as f64 / 1e9);
     let entries: Vec<(&str, BenchValue)> = vec![
-        ("schema_version", BenchValue::int(1)),
+        ("schema_version", BenchValue::int(2)),
         ("workload", BenchValue::Text(workload.label())),
         ("gpu", BenchValue::Text(gpu.to_string())),
         ("cold_ns", BenchValue::int(cold_ns)),
@@ -244,6 +285,23 @@ fn main() {
         ("verify_parallel_speedup", BenchValue::Number(verify_parallel_speedup)),
         ("store_open_ns", BenchValue::int(store_open_ns)),
         ("store_objects_deduped", BenchValue::int(u128::from(store_objects_deduped))),
+        ("fleet", BenchValue::Text(fleet_label)),
+        (
+            "fleet_slice_bytes_removed",
+            BenchValue::int(u128::from(fleet_totals.fleet_slice_bytes_removed())),
+        ),
+        (
+            "compressed_elements_rewritten",
+            BenchValue::int(u128::from(fleet_totals.compressed_rewritten)),
+        ),
+        ("fleet_artifact_bytes", BenchValue::int(u128::from(fleet_artifact_bytes))),
+        ("single_arch_artifact_bytes", BenchValue::int(u128::from(single_arch_artifact_bytes))),
+        (
+            "fleet_over_single_arch_size_ratio",
+            BenchValue::Number(
+                fleet_artifact_bytes as f64 / single_arch_artifact_bytes.max(1) as f64,
+            ),
+        ),
     ];
     let json = render(&entries);
     validate(&json).expect("the bench report must satisfy its own schema");

@@ -12,9 +12,13 @@
 //! 2. **Perf floors** — the headline optimizations must still pay off:
 //!    `batched_over_unbatched_speedup >= 2.0` (admission batching),
 //!    `bytes_shared_total > bytes_copied_total` (copy-on-write
-//!    fan-out), and `verify_parallel_speedup >= 1.0` (pooled
-//!    verification). A regression fails the build instead of silently
-//!    rotting the uploaded artifact.
+//!    fan-out), `verify_parallel_speedup >= 1.0` (pooled
+//!    verification), `fleet_slice_bytes_removed > 0` and
+//!    `compressed_elements_rewritten >= 1` (fleet-scoped slicing), and
+//!    `fleet_artifact_bytes < single_arch_artifact_bytes` (one fleet
+//!    artifact beats shipping one artifact per architecture). A
+//!    regression fails the build instead of silently rotting the
+//!    uploaded artifact.
 
 use negativa_repro::bench::{parse_flat_object, validate, BenchValue, REQUIRED_KEYS};
 
@@ -56,6 +60,25 @@ fn main() {
         eprintln!(
             "bench_check: {path}: copy-on-write fan-out regressed: bytes_shared_total \
              ({shared}) must exceed bytes_copied_total ({copied})"
+        );
+        std::process::exit(1);
+    }
+    let sliced = number("fleet_slice_bytes_removed");
+    let rewritten = number("compressed_elements_rewritten");
+    if sliced <= 0.0 || rewritten < 1.0 {
+        eprintln!(
+            "bench_check: {path}: fleet-scoped slicing regressed: \
+             fleet_slice_bytes_removed = {sliced} (must be > 0), \
+             compressed_elements_rewritten = {rewritten} (must be >= 1)"
+        );
+        std::process::exit(1);
+    }
+    let fleet_bytes = number("fleet_artifact_bytes");
+    let single_bytes = number("single_arch_artifact_bytes");
+    if fleet_bytes >= single_bytes {
+        eprintln!(
+            "bench_check: {path}: fleet artifact size regressed: fleet_artifact_bytes \
+             ({fleet_bytes}) must undercut single_arch_artifact_bytes ({single_bytes})"
         );
         std::process::exit(1);
     }
