@@ -127,6 +127,7 @@ pub mod locate;
 pub mod manifest;
 pub mod plan;
 pub mod pool;
+pub mod registry;
 pub mod report;
 pub mod service;
 pub mod store;
@@ -140,6 +141,9 @@ pub use locate::{locate, ElementRewrite, LocateStats, RetainPlan, RewriteKind};
 pub use manifest::{ManifestEntry, StoreManifest, WorkloadRecord};
 pub use plan::{BundlePlan, PlanCache, PlanCacheStats, PlanKey, PlanSource, WorkloadBaseline};
 pub use pool::{Parallelism, PoolStats, WorkerPool};
+pub use registry::{
+    ArtifactOffer, ExpireReport, GcReport, Registry, RegistryStats, ShipReport, WantList,
+};
 pub use report::{DebloatReport, LibraryReport, MultiDebloatReport, Totals, WorkloadVerification};
 pub use service::{
     DebloatRequest, DebloatResponse, DebloatService, ServiceError, ServiceHandle, ServiceStats,
@@ -219,6 +223,45 @@ impl DetectionCache {
     }
 }
 
+/// Bound on the cross-pair verification memo; same reset-past-the-cap
+/// policy as the detection memo (outcomes are pure measurements, so a
+/// reset only costs re-verification, never correctness).
+const VERIFY_MEMO_CAP: usize = 256;
+
+/// Cross-pair verification memo shared by a [`Debloater`]'s sessions
+/// (and their clones): one proven [`RunOutcome`] per
+/// ([`plan::workload_fingerprint`], [`plan::config_fingerprint`],
+/// [`plan::bundle_fingerprint`]) triple. The bundle fingerprint folds
+/// the per-library content hashes — the same digests the store's
+/// manifest entries record — so a hit means *these exact bytes* were
+/// already verified for this workload under this config, and runs are
+/// deterministic in exactly that triple. This closes the last
+/// in-process duplicate run: identical (workload, bundle) pairs are
+/// deduplicated **across** verify passes, not just within one.
+#[derive(Debug, Default)]
+struct VerifyCache {
+    memos: Mutex<HashMap<(u64, u64, u64), RunOutcome>>,
+}
+
+/// One verification the memo could not serve: the unique slot it
+/// fills, its `(workload fp, config fp, bundle fp)` memo key, and the
+/// workload with its expected baseline checksum.
+type PendingVerify<'w> = (usize, (u64, u64, u64), &'w Workload, u64);
+
+impl VerifyCache {
+    fn get(&self, key: (u64, u64, u64)) -> Option<RunOutcome> {
+        self.memos.lock().expect("verify memo poisoned").get(&key).cloned()
+    }
+
+    fn insert(&self, key: (u64, u64, u64), outcome: RunOutcome) {
+        let mut memos = self.memos.lock().expect("verify memo poisoned");
+        if memos.len() >= VERIFY_MEMO_CAP && !memos.contains_key(&key) {
+            memos.clear();
+        }
+        memos.insert(key, outcome);
+    }
+}
+
 /// The end-to-end debloat pipeline for one GPU model.
 #[derive(Debug, Clone)]
 pub struct Debloater {
@@ -230,6 +273,10 @@ pub struct Debloater {
     /// Per-workload detection memo, shared across this debloater's
     /// sessions (and their clones) to feed incremental re-planning.
     detections: Arc<DetectionCache>,
+    /// Cross-pair verification memo, shared the same way: identical
+    /// (workload, config, bundle content) verifications run once per
+    /// debloater, across passes.
+    verifications: Arc<VerifyCache>,
     /// Last planned identity per framework: the diff base for
     /// incremental re-planning when the workload set changes.
     prior: PriorPlans,
@@ -255,6 +302,7 @@ impl Debloater {
             parallelism: Parallelism::shared(),
             cache: plan::process_cache(),
             detections: Arc::new(DetectionCache::default()),
+            verifications: Arc::new(VerifyCache::default()),
             prior: Arc::new(Mutex::new(HashMap::new())),
         }
     }
@@ -325,6 +373,7 @@ impl Debloater {
             parallelism: self.parallelism.clone(),
             cache: self.cache.clone(),
             detections: self.detections.clone(),
+            verifications: self.verifications.clone(),
             prior: self.prior.clone(),
             framework,
             bundle: self.bundle_for(framework),
@@ -561,6 +610,7 @@ pub struct DebloatSession {
     parallelism: Parallelism,
     cache: Arc<PlanCache>,
     detections: Arc<DetectionCache>,
+    verifications: Arc<VerifyCache>,
     prior: PriorPlans,
     framework: FrameworkKind,
     bundle: BundleHandle,
@@ -990,8 +1040,16 @@ impl DebloatSession {
     /// workload twice re-executes it once and hands the duplicate a
     /// clone of the [`RunOutcome`], and the unique runs fan out through
     /// the session's bounded [`WorkerPool`] — the same admission
-    /// discipline as the locate and compact passes. Dedup and pooling
-    /// are both invisible in the result: outcomes come back in input
+    /// discipline as the locate and compact passes. On top of that,
+    /// unique runs are memoized **across** verify passes on the
+    /// debloater's shared cache, keyed by (workload, config, bundle
+    /// *content* fingerprint — the same per-library hashes the store's
+    /// manifest records): re-verifying a pair already proven against
+    /// byte-identical debloated libraries costs a lookup, not a run. A
+    /// memo hit is consumed only when its outcome reproduced exactly
+    /// the baseline checksum this pass expects; any other expectation
+    /// falls through to a real run. Dedup, pooling, and memoization
+    /// are all invisible in the result: outcomes come back in input
     /// order, byte-identical to the serial per-workload loop.
     ///
     /// # Errors
@@ -1031,12 +1089,42 @@ impl DebloatSession {
             });
             slots.push(slot);
         }
-        let outcomes = self.parallelism.run(&unique, |_, &(workload, checksum)| {
+        // Split the unique runs into cross-pass memo hits and real
+        // work. A hit is usable only when the memoized outcome proved
+        // *this pass's* claim — it reproduced the expected baseline
+        // checksum against these exact bundle bytes; a different
+        // expectation (e.g. a caller probing a corrupted baseline)
+        // falls through to a real run, which then fails exactly as the
+        // unmemoized path would.
+        let bundle_fp = plan::bundle_fingerprint(debloated);
+        let mut outcomes: Vec<Option<RunOutcome>> = Vec::with_capacity(unique.len());
+        let mut to_run: Vec<PendingVerify> = Vec::new();
+        for (i, &(workload, checksum)) in unique.iter().enumerate() {
+            let (workload_fp, config_fp) = self.memo_key(workload);
+            let key = (workload_fp, config_fp, bundle_fp);
+            match self.verifications.get(key) {
+                Some(outcome) if outcome.checksum == checksum => outcomes.push(Some(outcome)),
+                _ => {
+                    to_run.push((i, key, workload, checksum));
+                    outcomes.push(None);
+                }
+            }
+        }
+        // Memo hits are proven-good, so errors can only come from the
+        // real runs — whose first-appearance order is a subsequence of
+        // `unique`'s, preserving first-error semantics.
+        let ran = self.parallelism.run(&to_run, |_, &(_, _, workload, checksum)| {
             verify_indexed(workload, debloated, Some(&self.indexes), checksum, &self.config)
         })?;
-        if let Parallelism::Pool(pool) = &self.parallelism {
-            pool.record_verifies(unique.len() as u64, (workloads.len() - unique.len()) as u64);
+        for (&(slot, key, _, _), outcome) in to_run.iter().zip(&ran) {
+            self.verifications.insert(key, outcome.clone());
+            outcomes[slot] = Some(outcome.clone());
         }
+        if let Parallelism::Pool(pool) = &self.parallelism {
+            pool.record_verifies(to_run.len() as u64, (workloads.len() - to_run.len()) as u64);
+        }
+        let outcomes: Vec<RunOutcome> =
+            outcomes.into_iter().map(|o| o.expect("every unique slot was filled")).collect();
         Ok(slots.into_iter().map(|slot| outcomes[slot].clone()).collect())
     }
 

@@ -58,7 +58,25 @@ pub const PLAN_FILE: &str = "plan.json";
 /// Directory holding the content-addressed library objects.
 pub const OBJECTS_DIR: &str = "objects";
 
+/// File name of the registry tier's self-hashed index at a registry
+/// root; see [`crate::registry`].
+pub const REGISTRY_FILE: &str = "REGISTRY.json";
+
+/// Directory holding one `MANIFEST.json` per artifact at a registry
+/// root (`manifests/<artifact-id>.json`), each pinned by its index
+/// record's [`RegistryRecord::manifest_hash`].
+pub const MANIFESTS_DIR: &str = "manifests";
+
+/// On-disk format version of `REGISTRY.json`. Versioned independently
+/// of [`FORMAT_VERSION`]: the index can evolve (new record fields, new
+/// GC metadata) without invalidating every artifact manifest it points
+/// at. Decoding rejects other versions through the same
+/// gate-before-schema rule as the manifest.
+pub const REGISTRY_FORMAT_VERSION: u32 = 1;
+
 const HASH_KEY: &str = "manifest_hash";
+
+const REGISTRY_HASH_KEY: &str = "registry_hash";
 
 /// One library of a published bundle: where its bytes live (by content
 /// hash) and what compaction did to them.
@@ -238,6 +256,187 @@ impl StoreManifest {
 
 fn hash_field(hash: u64) -> String {
     format!("\"{HASH_KEY}\": \"{hash:#018x}\"")
+}
+
+/// One object in a registry's shared pool, as referenced by an index
+/// record: the content hash that names the pool file and the exact
+/// length presence checks verify against (the store's object-reuse
+/// rule, applied across artifacts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectRef {
+    /// FNV-1a digest of the object bytes; also the pool file name.
+    pub hash: u64,
+    /// Exact stored length in bytes.
+    pub byte_len: u64,
+}
+
+impl ObjectRef {
+    /// Relative path of this object within a registry root
+    /// (`objects/<hash as 16 hex digits>.bin` — identical to the
+    /// single-artifact store's object naming, so a store entry and a
+    /// pool entry for the same bytes are the same file name).
+    pub fn object_path(&self) -> String {
+        format!("{OBJECTS_DIR}/{:016x}.bin", self.hash)
+    }
+}
+
+/// One artifact in a registry index: its identity, the hash pinning its
+/// manifest file, its plan object, its library objects, and when it was
+/// published — the clock [`crate::registry::Registry::expire`] ages
+/// against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryRecord {
+    /// [`crate::plan::PlanKey::artifact_id`] — the record's lookup key
+    /// and its manifest's file stem under [`MANIFESTS_DIR`].
+    pub artifact_id: String,
+    /// Content hash of the artifact's encoded `MANIFEST.json` bytes,
+    /// pinning exactly which manifest file the index points at.
+    pub manifest_hash: u64,
+    /// The serialized plan's object in the shared pool — plans are
+    /// content-addressed and refcounted exactly like libraries.
+    pub plan: ObjectRef,
+    /// Nanoseconds since the Unix epoch at publish (or install) time.
+    pub published_ns: u64,
+    /// The artifact's library objects, in bundle order.
+    pub objects: Vec<ObjectRef>,
+}
+
+impl RegistryRecord {
+    /// Every pool object this record keeps alive: the plan first, then
+    /// the libraries in bundle order — the reference set the registry's
+    /// refcounting GC and want-list exchange both walk.
+    pub fn referenced(&self) -> impl Iterator<Item = &ObjectRef> {
+        std::iter::once(&self.plan).chain(self.objects.iter())
+    }
+}
+
+/// The decoded content of `REGISTRY.json`: every live artifact of one
+/// registry root. Self-hashed and version-gated exactly like
+/// [`StoreManifest`], and written last (atomically) by every mutation,
+/// so a torn publish or install never leaves an index pointing at
+/// missing bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryIndex {
+    /// On-disk format version ([`REGISTRY_FORMAT_VERSION`]).
+    pub version: u32,
+    /// Live artifact records, in first-published order.
+    pub records: Vec<RegistryRecord>,
+}
+
+impl RegistryIndex {
+    /// An index holding no artifacts — what a fresh registry root reads
+    /// as before anything is published.
+    pub fn empty() -> RegistryIndex {
+        RegistryIndex { version: REGISTRY_FORMAT_VERSION, records: Vec::new() }
+    }
+
+    /// The live record for `artifact_id`, if any.
+    pub fn find(&self, artifact_id: &str) -> Option<&RegistryRecord> {
+        self.records.iter().find(|record| record.artifact_id == artifact_id)
+    }
+
+    /// Encode to the exact `REGISTRY.json` bytes, embedding the
+    /// self-hash through the same zero-render-splice scheme as
+    /// [`StoreManifest::encode`].
+    pub fn encode(&self) -> String {
+        let mut text = self.to_json(0).render();
+        text.push('\n');
+        let hash = content_hash(text.as_bytes());
+        text.replacen(&registry_hash_field(0), &registry_hash_field(hash), 1)
+    }
+
+    /// Decode and integrity-check `REGISTRY.json` bytes: parse, verify
+    /// the embedded self-hash, and gate the format version *before*
+    /// schema decoding — a future-version index reports "unsupported
+    /// version", never a missing-field error.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation; the registry wraps it in
+    /// [`crate::store::StoreError::CorruptIndex`].
+    pub fn decode(text: &str) -> Result<RegistryIndex, String> {
+        let doc = JsonValue::parse(text)?;
+        let stored_hash = doc
+            .get(REGISTRY_HASH_KEY)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| missing(REGISTRY_HASH_KEY))?;
+        let stamped = registry_hash_field(stored_hash);
+        if !text.contains(&stamped) {
+            return Err(format!("{REGISTRY_HASH_KEY} field is not in canonical fixed-width form"));
+        }
+        let restored = text.replacen(&stamped, &registry_hash_field(0), 1);
+        let actual = content_hash(restored.as_bytes());
+        if actual != stored_hash {
+            return Err(format!(
+                "registry index self-hash mismatch: stored {stored_hash:#018x}, content hashes \
+                 to {actual:#018x} — the file was modified after it was written"
+            ));
+        }
+        let version = get_usize(&doc, "format_version")? as u32;
+        if version != REGISTRY_FORMAT_VERSION {
+            return Err(format!(
+                "unsupported registry index format version {version} (this build reads \
+                 {REGISTRY_FORMAT_VERSION})"
+            ));
+        }
+        Ok(RegistryIndex {
+            version,
+            records: get_array(&doc, "artifacts")?
+                .iter()
+                .map(registry_record_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+
+    fn to_json(&self, self_hash: u64) -> JsonValue {
+        JsonValue::Object(vec![
+            ("format_version".into(), JsonValue::int(self.version as u64)),
+            (REGISTRY_HASH_KEY.into(), JsonValue::u64(self_hash)),
+            (
+                "artifacts".into(),
+                JsonValue::Array(self.records.iter().map(registry_record_to_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn registry_hash_field(hash: u64) -> String {
+    format!("\"{REGISTRY_HASH_KEY}\": \"{hash:#018x}\"")
+}
+
+fn registry_record_to_json(record: &RegistryRecord) -> JsonValue {
+    JsonValue::Object(vec![
+        ("artifact_id".into(), JsonValue::Text(record.artifact_id.clone())),
+        ("manifest_hash".into(), JsonValue::u64(record.manifest_hash)),
+        ("plan_hash".into(), JsonValue::u64(record.plan.hash)),
+        ("plan_len".into(), JsonValue::u64(record.plan.byte_len)),
+        ("published_ns".into(), JsonValue::u64(record.published_ns)),
+        ("objects".into(), JsonValue::Array(record.objects.iter().map(object_to_json).collect())),
+    ])
+}
+
+fn registry_record_from_json(doc: &JsonValue) -> Result<RegistryRecord, String> {
+    Ok(RegistryRecord {
+        artifact_id: get_str(doc, "artifact_id")?.to_owned(),
+        manifest_hash: get_u64(doc, "manifest_hash")?,
+        plan: ObjectRef { hash: get_u64(doc, "plan_hash")?, byte_len: get_u64(doc, "plan_len")? },
+        published_ns: get_u64(doc, "published_ns")?,
+        objects: get_array(doc, "objects")?
+            .iter()
+            .map(object_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+fn object_to_json(object: &ObjectRef) -> JsonValue {
+    JsonValue::Object(vec![
+        ("hash".into(), JsonValue::u64(object.hash)),
+        ("byte_len".into(), JsonValue::u64(object.byte_len)),
+    ])
+}
+
+fn object_from_json(doc: &JsonValue) -> Result<ObjectRef, String> {
+    Ok(ObjectRef { hash: get_u64(doc, "hash")?, byte_len: get_u64(doc, "byte_len")? })
 }
 
 /// Encode a [`BundlePlan`] to the exact `plan.json` bytes.
@@ -919,6 +1118,100 @@ mod tests {
             "v1 must hit the version gate, got: {err}"
         );
         assert!(err.contains("this build reads 2"), "{err}");
+        assert!(!err.contains("missing required field"), "{err}");
+    }
+
+    fn sample_index() -> RegistryIndex {
+        RegistryIndex {
+            version: REGISTRY_FORMAT_VERSION,
+            records: vec![
+                RegistryRecord {
+                    artifact_id: "torch-sm75-0000000000000abc-0000000000000000".into(),
+                    manifest_hash: 0x1234_5678_9abc_def0,
+                    plan: ObjectRef { hash: 0x0f0f_0f0f_0f0f_0f0f, byte_len: 4321 },
+                    published_ns: u64::MAX - 17,
+                    objects: vec![
+                        ObjectRef { hash: 0x9999_aaaa_bbbb_cccc, byte_len: 4_000_000 },
+                        ObjectRef { hash: 0x1111_2222_3333_4444, byte_len: 2_500_000 },
+                    ],
+                },
+                RegistryRecord {
+                    artifact_id: "tf-sm75x80-0000000000000def-0000000000000001".into(),
+                    manifest_hash: 7,
+                    plan: ObjectRef { hash: 8, byte_len: 9 },
+                    published_ns: 0,
+                    objects: vec![ObjectRef { hash: 0x9999_aaaa_bbbb_cccc, byte_len: 4_000_000 }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn registry_index_round_trips_exactly() {
+        let index = sample_index();
+        let text = index.encode();
+        let decoded = RegistryIndex::decode(&text).expect("encoded index decodes");
+        assert_eq!(decoded, index);
+        assert_eq!(decoded.encode(), text, "re-encoding is byte-stable");
+        let record = decoded.find("torch-sm75-0000000000000abc-0000000000000000").unwrap();
+        assert_eq!(record.objects[0].object_path(), "objects/9999aaaabbbbcccc.bin");
+        assert_eq!(
+            record.referenced().count(),
+            3,
+            "a record references its plan object plus every library object"
+        );
+        assert!(decoded.find("missing-id").is_none());
+
+        let empty = RegistryIndex::empty();
+        let decoded = RegistryIndex::decode(&empty.encode()).unwrap();
+        assert!(decoded.records.is_empty());
+    }
+
+    #[test]
+    fn any_single_byte_registry_index_flip_is_detected() {
+        let text = sample_index().encode();
+        let bytes = text.as_bytes();
+        for at in 0..bytes.len() {
+            let mut broken = bytes.to_vec();
+            broken[at] ^= 0x01;
+            let Ok(corrupted) = String::from_utf8(broken) else { continue };
+            assert!(
+                RegistryIndex::decode(&corrupted).is_err(),
+                "flipping index byte {at} ({:?}) went undetected",
+                bytes[at] as char
+            );
+        }
+    }
+
+    #[test]
+    fn registry_index_versions_are_gated_before_schema_decoding() {
+        // A future-version index with a correctly spliced self-hash and
+        // a record shape this build has never seen: only the version
+        // gate may object, and it must fire before any field decoding.
+        let mut next = sample_index().encode();
+        next = next.replacen(
+            &format!("\"format_version\": {REGISTRY_FORMAT_VERSION}"),
+            &format!("\"format_version\": {}", REGISTRY_FORMAT_VERSION + 1),
+            1,
+        );
+        next = next.replacen("\"artifact_id\"", "\"artifact_ref\"", 1);
+        let hash_start =
+            next.find(&format!("\"{REGISTRY_HASH_KEY}\":")).expect("self-hash field present");
+        next.replace_range(
+            hash_start..hash_start + registry_hash_field(0).len(),
+            &registry_hash_field(0),
+        );
+        let rehashed = content_hash(next.as_bytes());
+        let next = next.replacen(&registry_hash_field(0), &registry_hash_field(rehashed), 1);
+
+        let err = RegistryIndex::decode(&next).unwrap_err();
+        assert!(
+            err.contains(&format!(
+                "unsupported registry index format version {}",
+                REGISTRY_FORMAT_VERSION + 1
+            )),
+            "future versions must hit the gate, got: {err}"
+        );
         assert!(!err.contains("missing required field"), "{err}");
     }
 

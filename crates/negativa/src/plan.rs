@@ -143,6 +143,22 @@ pub fn workload_fingerprint(workload: &Workload) -> u64 {
     ])
 }
 
+/// A stable fingerprint of a bundle's *content*: the per-library
+/// content hashes — exactly what the store's manifest entries record —
+/// folded in roster order. Two bundles fingerprint equal iff every
+/// library's bytes are identical, so a verification outcome measured
+/// against one bundle is valid for any bundle with the same
+/// fingerprint (runs are deterministic in (workload, config, bundle
+/// bytes)). This is the bundle half of the cross-pair verification
+/// memo key.
+pub fn bundle_fingerprint(libraries: &[GeneratedLibrary]) -> u64 {
+    let mut folded = Vec::with_capacity(libraries.len() * 8);
+    for library in libraries {
+        folded.extend_from_slice(&crate::codec::content_hash(library.image.bytes()).to_le_bytes());
+    }
+    crate::codec::content_hash(&folded)
+}
+
 /// What detection measured for one workload on the *original* bundle:
 /// the reference checksum verification must reproduce, plus the metrics
 /// the report compares against.

@@ -84,6 +84,7 @@ use simml::{FrameworkKind, GeneratedLibrary, RunConfig, Workload};
 
 use crate::plan::{PlanCache, PlanKey};
 use crate::pool::WorkerPool;
+use crate::registry::Registry;
 use crate::report::MultiDebloatReport;
 use crate::store::Store;
 use crate::{shared_framework, DebloatSession, Debloater, NegativaError, Result};
@@ -248,6 +249,30 @@ pub struct ServiceStats {
     /// (each plan identity gets its own store at
     /// `<root>/<`[`PlanKey::artifact_id`]`>`).
     pub store_root: Option<PathBuf>,
+    /// Batches whose verified result was also published into the
+    /// shared-pool registry
+    /// ([`DebloatServiceBuilder::publish_registry`]); always 0 without
+    /// a registry root.
+    pub registry_published: u64,
+    /// Registry publish attempts that failed (best-effort, like
+    /// [`ServiceStats::publish_failed`] — the requesters still got
+    /// their responses).
+    pub registry_publish_failed: u64,
+    /// Objects registry publishes newly wrote into the shared pool
+    /// ([`crate::registry::RegistryStats::objects_pooled`], summed over
+    /// every per-batch publish).
+    pub registry_objects_pooled: u64,
+    /// Objects registry publishes found already pooled under their
+    /// content-hash name and did not rewrite
+    /// ([`crate::registry::RegistryStats::objects_deduped`], summed) —
+    /// cross-artifact dedup plus hot identities republishing per batch.
+    pub registry_objects_deduped: u64,
+    /// The registry root executed batches publish into, if the service
+    /// was built with [`DebloatServiceBuilder::publish_registry`]. All
+    /// identities share this one root (and its object pool) — unlike
+    /// [`ServiceStats::store_root`], which holds one store per
+    /// identity.
+    pub registry_root: Option<PathBuf>,
 }
 
 impl ServiceStats {
@@ -302,6 +327,7 @@ pub struct DebloatServiceBuilder {
     cache_capacity: usize,
     plan_ttl: Option<Duration>,
     publish_root: Option<PathBuf>,
+    publish_registry: Option<PathBuf>,
 }
 
 impl DebloatServiceBuilder {
@@ -403,6 +429,22 @@ impl DebloatServiceBuilder {
         self
     }
 
+    /// Auto-publish every successfully executed batch into the
+    /// **registry** at `root` ([`crate::registry::Registry`]): all
+    /// served identities share one content-addressed object pool, so a
+    /// service cycling through related workload sets pools their
+    /// common libraries once and fleet nodes can
+    /// [`pull`](crate::registry::Registry::pull) any of them with
+    /// delta shipping. Best-effort like
+    /// [`DebloatServiceBuilder::publish_root`]
+    /// ([`ServiceStats::registry_published`] /
+    /// [`ServiceStats::registry_publish_failed`]); both targets may be
+    /// configured at once.
+    pub fn publish_registry(mut self, root: impl Into<PathBuf>) -> Self {
+        self.publish_registry = Some(root.into());
+        self
+    }
+
     /// Start the service: spawn the batcher and the executors and
     /// return the running front end.
     pub fn build(self) -> DebloatService {
@@ -428,6 +470,7 @@ impl DebloatServiceBuilder {
             config: self.config,
             queue_capacity: self.queue_capacity,
             publish_root: self.publish_root,
+            publish_registry: self.publish_registry,
             sessions: Mutex::new(HashMap::new()),
             stopping: AtomicBool::new(false),
             accepted: AtomicU64::new(0),
@@ -440,6 +483,10 @@ impl DebloatServiceBuilder {
             batched_requests: AtomicU64::new(0),
             published: AtomicU64::new(0),
             publish_failed: AtomicU64::new(0),
+            registry_published: AtomicU64::new(0),
+            registry_publish_failed: AtomicU64::new(0),
+            registry_objects_pooled: AtomicU64::new(0),
+            registry_objects_deduped: AtomicU64::new(0),
             bytes_copied: AtomicU64::new(0),
             bytes_shared: AtomicU64::new(0),
             plan_diff_ns: AtomicU64::new(0),
@@ -532,6 +579,9 @@ struct ServiceShared {
     /// Root for per-identity artifact stores; `None` disables
     /// auto-publishing.
     publish_root: Option<PathBuf>,
+    /// Root of the shared-pool registry batches publish into; `None`
+    /// disables registry publishing.
+    publish_registry: Option<PathBuf>,
     /// One pinned session per framework, created on first request.
     sessions: Mutex<HashMap<FrameworkKind, DebloatSession>>,
     /// Set by shutdown so handles reject new submissions immediately.
@@ -546,6 +596,10 @@ struct ServiceShared {
     batched_requests: AtomicU64,
     published: AtomicU64,
     publish_failed: AtomicU64,
+    registry_published: AtomicU64,
+    registry_publish_failed: AtomicU64,
+    registry_objects_pooled: AtomicU64,
+    registry_objects_deduped: AtomicU64,
     bytes_copied: AtomicU64,
     bytes_shared: AtomicU64,
     plan_diff_ns: AtomicU64,
@@ -782,6 +836,19 @@ fn execute(shared: &ServiceShared, batch: Batch) {
             shared.store_bytes_shared.fetch_add(io.bytes_shared, Ordering::Relaxed);
             shared.store_objects_skipped.fetch_add(io.objects_skipped, Ordering::Relaxed);
         }
+        // Registry publishing: all identities into one shared pool,
+        // same best-effort contract. A fresh Registry handle per batch
+        // makes its stats exactly this publish's delta.
+        if let Some(root) = &shared.publish_registry {
+            let registry = Registry::at(root);
+            match registry.publish(&artifact) {
+                Ok(_) => shared.registry_published.fetch_add(1, Ordering::Relaxed),
+                Err(_) => shared.registry_publish_failed.fetch_add(1, Ordering::Relaxed),
+            };
+            let pool = registry.stats();
+            shared.registry_objects_pooled.fetch_add(pool.objects_pooled, Ordering::Relaxed);
+            shared.registry_objects_deduped.fetch_add(pool.objects_deduped, Ordering::Relaxed);
+        }
         artifact.report.batch_size = size;
         artifact.report.batched = size > 1;
         // Zero-copy accounting: the batch's single compaction copied
@@ -945,6 +1012,7 @@ impl DebloatService {
             cache_capacity: PlanCache::DEFAULT_CAPACITY,
             plan_ttl: None,
             publish_root: None,
+            publish_registry: None,
         }
     }
 
@@ -990,6 +1058,11 @@ impl DebloatService {
             bytes_sliced_compressed: self.shared.bytes_sliced_compressed.load(Ordering::Relaxed),
             compressed_rewritten: self.shared.compressed_rewritten.load(Ordering::Relaxed),
             store_root: self.shared.publish_root.clone(),
+            registry_published: self.shared.registry_published.load(Ordering::Relaxed),
+            registry_publish_failed: self.shared.registry_publish_failed.load(Ordering::Relaxed),
+            registry_objects_pooled: self.shared.registry_objects_pooled.load(Ordering::Relaxed),
+            registry_objects_deduped: self.shared.registry_objects_deduped.load(Ordering::Relaxed),
+            registry_root: self.shared.publish_registry.clone(),
         }
     }
 

@@ -166,6 +166,23 @@ pub enum StoreError {
         /// The fingerprint of the config passed to verify.
         provided: u64,
     },
+    /// A registry root's `REGISTRY.json` exists but fails parsing, its
+    /// format-version gate, or its embedded self-hash — the index was
+    /// corrupted after it was written.
+    CorruptIndex {
+        /// The index path.
+        path: String,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// A registry operation named an artifact its index does not hold
+    /// (never published here, expired, or removed).
+    MissingArtifact {
+        /// The artifact id that was requested.
+        artifact_id: String,
+        /// The registry root that was asked.
+        registry: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -199,11 +216,73 @@ impl fmt::Display for StoreError {
                 "run-config fingerprint {provided:#018x} does not match the manifest's \
                  {stored:#018x}; baselines were recorded under a different configuration"
             ),
+            StoreError::CorruptIndex { path, detail } => {
+                write!(f, "corrupt registry index at {path}: {detail}")
+            }
+            StoreError::MissingArtifact { artifact_id, registry } => {
+                write!(f, "registry at {registry} holds no artifact {artifact_id}")
+            }
         }
     }
 }
 
 impl std::error::Error for StoreError {}
+
+/// Read-only transport a [`StoredArtifact`] loads its content through.
+///
+/// An opened artifact never writes; everything it needs is three kinds
+/// of read, all addressed by *store-relative* path: `MANIFEST.json`,
+/// `plan.json`, and `objects/<hash>.bin`. Abstracting that read path
+/// lets one `StoredArtifact` implementation serve both layouts: a
+/// plain single-artifact store directory ([`DirSource`]) and a
+/// registry root whose objects live in a shared pool keyed by content
+/// hash ([`crate::registry::Registry::open`]). Every byte an
+/// implementation returns is still content-hash checked by the caller
+/// — a transport can lose bytes or serve stale ones, but it can never
+/// forge them.
+pub trait ObjectSource: fmt::Debug + Send + Sync {
+    /// Where `relative` resolves for this transport, for error
+    /// messages ([`StoreError::MissingEntry::path`] and friends).
+    fn describe(&self, relative: &str) -> String;
+
+    /// Read the full contents at `relative`. `Ok(None)` means the file
+    /// does not exist (the caller turns it into the right typed
+    /// missing-entry error); `Err` is any other I/O failure.
+    ///
+    /// # Errors
+    ///
+    /// The underlying transport failure (permissions, disk, ...).
+    fn fetch(&self, relative: &str) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// The local-directory [`ObjectSource`]: every store-relative path
+/// resolves directly under one root — the layout [`Store::publish`]
+/// writes.
+#[derive(Debug, Clone)]
+pub struct DirSource {
+    root: PathBuf,
+}
+
+impl DirSource {
+    /// A source reading the single-artifact store layout under `root`.
+    pub fn new(root: impl Into<PathBuf>) -> DirSource {
+        DirSource { root: root.into() }
+    }
+}
+
+impl ObjectSource for DirSource {
+    fn describe(&self, relative: &str) -> String {
+        display(&self.root.join(relative))
+    }
+
+    fn fetch(&self, relative: &str) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(self.root.join(relative)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
 
 /// Cumulative I/O accounting for one [`Store`] (shared across its
 /// clones and every [`StoredArtifact`] it opens): how much object
@@ -313,48 +392,20 @@ impl Store {
         let objects = self.root.join(OBJECTS_DIR);
         fs::create_dir_all(&objects).map_err(|e| io_error(&objects, &e))?;
 
-        let mut entries = Vec::with_capacity(artifact.libraries.len());
-        for (library, report) in artifact.libraries.iter().zip(&artifact.report.libraries) {
-            let bytes = library.image.bytes();
-            let entry = ManifestEntry {
-                soname: library.manifest.soname.clone(),
-                content_hash: content_hash(bytes),
-                byte_len: bytes.len() as u64,
-                report: report.clone(),
-            };
+        let plan_text = encode_plan(&artifact.plan);
+        let manifest = manifest_for(artifact, &plan_text);
+        for (entry, library) in manifest.entries.iter().zip(&artifact.libraries) {
             // Object-reuse rule (module docs): the filename is the
             // content hash and writes are atomic, so presence at the
             // recorded length proves the bytes are already these bytes.
             if self.object_present(&entry.object_path(), entry.byte_len) {
                 self.counters.objects_skipped.fetch_add(1, Ordering::Relaxed);
             } else {
-                self.write_atomic(&entry.object_path(), bytes)?;
+                self.write_atomic(&entry.object_path(), library.image.bytes())?;
             }
-            entries.push(entry);
         }
 
-        let plan_text = encode_plan(&artifact.plan);
         self.write_atomic(PLAN_FILE, plan_text.as_bytes())?;
-
-        let manifest = StoreManifest {
-            version: FORMAT_VERSION,
-            key: artifact.key,
-            gpu: artifact.gpu,
-            plan_hash: content_hash(plan_text.as_bytes()),
-            used_kernels: artifact.plan.used_kernels,
-            used_host_fns: artifact.plan.used_host_fns,
-            entries,
-            workloads: artifact
-                .workloads
-                .iter()
-                .zip(&artifact.plan.baselines)
-                .map(|(workload, base)| WorkloadRecord {
-                    workload: workload.clone(),
-                    label: base.label.clone(),
-                    baseline_checksum: base.checksum,
-                })
-                .collect(),
-        };
         self.write_atomic(MANIFEST_FILE, manifest.encode().as_bytes())?;
         Ok(manifest)
     }
@@ -369,11 +420,34 @@ impl Store {
     /// [`StoreError::CorruptManifest`] if the manifest fails parsing or
     /// its self-hash, [`StoreError::Io`] for filesystem failures.
     pub fn open(&self) -> Result<StoredArtifact> {
-        let manifest = self.read_manifest()?;
+        Self::open_with(Arc::new(DirSource::new(self.root.clone())), self.counters.clone())
+    }
+
+    /// Open an artifact through any read-only transport — the
+    /// distribution-tier form of [`Store::open`]. The manifest is read
+    /// and integrity-checked through `source`, and every later plan or
+    /// object load goes through the same transport, so a cold node can
+    /// consume an artifact straight out of a registry's shared pool
+    /// (or any future remote transport) with the exact verification
+    /// guarantees of a local store directory.
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::open`], with paths rendered by
+    /// [`ObjectSource::describe`].
+    pub fn open_from(source: Arc<dyn ObjectSource>) -> Result<StoredArtifact> {
+        Self::open_with(source, Arc::new(StoreCounters::default()))
+    }
+
+    fn open_with(
+        source: Arc<dyn ObjectSource>,
+        counters: Arc<StoreCounters>,
+    ) -> Result<StoredArtifact> {
+        let manifest = read_manifest_from(source.as_ref())?;
         Ok(StoredArtifact {
-            root: self.root.clone(),
+            source,
             manifest,
-            counters: self.counters.clone(),
+            counters,
             objects: Arc::new(Mutex::new(HashMap::new())),
         })
     }
@@ -399,20 +473,7 @@ impl Store {
     }
 
     fn read_manifest(&self) -> Result<StoreManifest> {
-        let path = self.root.join(MANIFEST_FILE);
-        let bytes = match fs::read(&path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                return Err(StoreError::MissingManifest { path: display(&path) }.into())
-            }
-            Err(e) => return Err(io_error(&path, &e)),
-        };
-        let text = String::from_utf8(bytes).map_err(|_| StoreError::CorruptManifest {
-            path: display(&path),
-            detail: "not valid UTF-8".into(),
-        })?;
-        StoreManifest::decode(&text)
-            .map_err(|detail| StoreError::CorruptManifest { path: display(&path), detail }.into())
+        read_manifest_from(&DirSource::new(self.root.clone()))
     }
 
     /// Cheap layout check behind idempotent republish: the manifest's
@@ -430,31 +491,97 @@ impl Store {
     /// for a hash-named, atomically renamed object file, proves it
     /// already holds the content being published (module docs).
     fn object_present(&self, relative: &str, byte_len: u64) -> bool {
-        fs::metadata(self.root.join(relative)).is_ok_and(|m| m.len() == byte_len)
+        object_present_at(&self.root, relative, byte_len)
     }
 
     /// Write `bytes` to `relative` through a uniquely named temp file +
-    /// rename, so a torn write never leaves a half-written file under
-    /// its final name — and two racing publishers (e.g. two service
-    /// executors running same-identity batches back to back) never
-    /// share a temp file: each renames its own complete bytes into
-    /// place, and rename replaces atomically.
+    /// rename; see [`write_atomic_at`].
     fn write_atomic(&self, relative: &str, bytes: &[u8]) -> Result<()> {
-        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let path = self.root.join(relative);
-        let tmp = self.root.join(format!("{relative}.{}.{seq}.tmp", std::process::id()));
-        fs::write(&tmp, bytes).map_err(|e| io_error(&tmp, &e))?;
-        fs::rename(&tmp, &path).map_err(|e| io_error(&path, &e))?;
-        Ok(())
+        write_atomic_at(&self.root, relative, bytes)
     }
+}
+
+/// The presence half of the object-reuse rule, shared with the
+/// registry tier: a hash-named, atomically renamed file that exists at
+/// exactly `byte_len` bytes already holds the content being written.
+pub(crate) fn object_present_at(root: &Path, relative: &str, byte_len: u64) -> bool {
+    fs::metadata(root.join(relative)).is_ok_and(|m| m.len() == byte_len)
+}
+
+/// Write `bytes` to `root/relative` through a uniquely named temp
+/// file followed by a rename, so a torn write never leaves a
+/// half-written file under its final name — and two racing publishers
+/// (e.g. two service executors running same-identity batches back to
+/// back, or a local publish racing a registry pull) never share a
+/// temp file: each renames its own complete bytes into place, and
+/// rename replaces atomically.
+pub(crate) fn write_atomic_at(root: &Path, relative: &str, bytes: &[u8]) -> Result<()> {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let path = root.join(relative);
+    let tmp = root.join(format!("{relative}.{}.{seq}.tmp", std::process::id()));
+    fs::write(&tmp, bytes).map_err(|e| io_error(&tmp, &e))?;
+    fs::rename(&tmp, &path).map_err(|e| io_error(&path, &e))?;
+    Ok(())
+}
+
+/// Build the manifest that persists `artifact`: one content-addressed
+/// entry per compacted library plus the plan's content hash — shared
+/// by [`Store::publish`] and the registry tier so the two layouts can
+/// never drift on what an artifact's on-disk identity is.
+pub(crate) fn manifest_for(artifact: &DebloatArtifact, plan_text: &str) -> StoreManifest {
+    let mut entries = Vec::with_capacity(artifact.libraries.len());
+    for (library, report) in artifact.libraries.iter().zip(&artifact.report.libraries) {
+        let bytes = library.image.bytes();
+        entries.push(ManifestEntry {
+            soname: library.manifest.soname.clone(),
+            content_hash: content_hash(bytes),
+            byte_len: bytes.len() as u64,
+            report: report.clone(),
+        });
+    }
+    StoreManifest {
+        version: FORMAT_VERSION,
+        key: artifact.key,
+        gpu: artifact.gpu,
+        plan_hash: content_hash(plan_text.as_bytes()),
+        used_kernels: artifact.plan.used_kernels,
+        used_host_fns: artifact.plan.used_host_fns,
+        entries,
+        workloads: artifact
+            .workloads
+            .iter()
+            .zip(&artifact.plan.baselines)
+            .map(|(workload, base)| WorkloadRecord {
+                workload: workload.clone(),
+                label: base.label.clone(),
+                baseline_checksum: base.checksum,
+            })
+            .collect(),
+    }
+}
+
+/// Read and integrity-check `MANIFEST.json` through a transport.
+fn read_manifest_from(source: &dyn ObjectSource) -> Result<StoreManifest> {
+    let path = source.describe(MANIFEST_FILE);
+    let bytes = match source.fetch(MANIFEST_FILE) {
+        Ok(Some(bytes)) => bytes,
+        Ok(None) => return Err(StoreError::MissingManifest { path }.into()),
+        Err(e) => return Err(StoreError::Io { path, detail: e.to_string() }.into()),
+    };
+    let text = String::from_utf8(bytes).map_err(|_| StoreError::CorruptManifest {
+        path: path.clone(),
+        detail: "not valid UTF-8".into(),
+    })?;
+    StoreManifest::decode(&text)
+        .map_err(|detail| StoreError::CorruptManifest { path, detail }.into())
 }
 
 fn io_error(path: &Path, e: &io::Error) -> NegativaError {
     StoreError::Io { path: display(path), detail: e.to_string() }.into()
 }
 
-fn display(path: &Path) -> String {
+pub(crate) fn display(path: &Path) -> String {
     path.display().to_string()
 }
 
@@ -468,7 +595,7 @@ fn display(path: &Path) -> String {
 /// ([`ElfImage::shares_bytes_with`]).
 #[derive(Debug, Clone)]
 pub struct StoredArtifact {
-    root: PathBuf,
+    source: Arc<dyn ObjectSource>,
     manifest: StoreManifest,
     counters: Arc<StoreCounters>,
     objects: Arc<Mutex<HashMap<u64, Arc<Vec<u8>>>>>,
@@ -495,14 +622,14 @@ impl StoredArtifact {
     /// naming `plan.json`, or [`StoreError::CorruptPlan`] if the bytes
     /// hash correctly but fail decoding (a schema bug, not bit rot).
     pub fn load_plan(&self) -> Result<BundlePlan> {
-        let path = self.root.join(PLAN_FILE);
-        let bytes = self.read_entry(PLAN_FILE, &path, self.manifest.plan_hash)?;
+        let bytes = self.read_entry(PLAN_FILE, PLAN_FILE, self.manifest.plan_hash)?;
+        let path = || self.source.describe(PLAN_FILE);
         let text = String::from_utf8(bytes).map_err(|_| StoreError::CorruptPlan {
-            path: display(&path),
+            path: path(),
             detail: "not valid UTF-8".into(),
         })?;
         crate::manifest::decode_plan(&text)
-            .map_err(|detail| StoreError::CorruptPlan { path: display(&path), detail }.into())
+            .map_err(|detail| StoreError::CorruptPlan { path: path(), detail }.into())
     }
 
     /// Seed `cache` with the stored plan under the artifact's own key,
@@ -557,8 +684,8 @@ impl StoredArtifact {
             self.counters.bytes_shared.fetch_add(entry.byte_len, Ordering::Relaxed);
             return Ok(bytes.clone());
         }
-        let path = self.root.join(entry.object_path());
-        let bytes = Arc::new(self.read_entry(&entry.soname, &path, entry.content_hash)?);
+        let bytes =
+            Arc::new(self.read_entry(&entry.soname, &entry.object_path(), entry.content_hash)?);
         self.counters.bytes_read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         cache.insert(entry.content_hash, bytes.clone());
         Ok(bytes)
@@ -619,18 +746,25 @@ impl StoredArtifact {
         Ok(StoreVerification { workloads })
     }
 
-    /// Read one stored file and check its content hash.
-    fn read_entry(&self, entry: &str, path: &Path, expected: u64) -> Result<Vec<u8>> {
-        let bytes = match fs::read(path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+    /// Read one stored file through the transport and check its
+    /// content hash.
+    fn read_entry(&self, entry: &str, relative: &str, expected: u64) -> Result<Vec<u8>> {
+        let bytes = match self.source.fetch(relative) {
+            Ok(Some(bytes)) => bytes,
+            Ok(None) => {
                 return Err(StoreError::MissingEntry {
                     entry: entry.to_owned(),
-                    path: display(path),
+                    path: self.source.describe(relative),
                 }
                 .into())
             }
-            Err(e) => return Err(io_error(path, &e)),
+            Err(e) => {
+                return Err(StoreError::Io {
+                    path: self.source.describe(relative),
+                    detail: e.to_string(),
+                }
+                .into())
+            }
         };
         let actual = content_hash(&bytes);
         if actual != expected {

@@ -200,6 +200,72 @@ fn pooled_verification_is_byte_identical_to_serial() {
     );
 }
 
+/// Cross-pair verification memoization, the last in-process duplicate
+/// run: identical (workload, config, bundle content) pairs verify once
+/// per debloater — across `verify_all` passes and across sessions —
+/// with byte-identical outcomes, while different bundle bytes or a
+/// different expected baseline always fall through to a real run.
+#[test]
+fn verification_memo_spans_passes_and_stays_byte_identical() {
+    let workloads = vec![mobilenet(), transformer(), mobilenet(), transformer(), mobilenet()];
+    let pool = WorkerPool::new(4);
+    let debloater = Debloater::new(GpuModel::T4)
+        .with_pool(pool.clone())
+        .with_plan_cache(Arc::new(PlanCache::new(4)));
+    let session = debloater.session(FrameworkKind::PyTorch);
+    let (plan, _) = session.plan_cached(&workloads).expect("plan");
+    let (_, debloated) = session.apply(&plan).expect("apply");
+    let normalized: Vec<Workload> =
+        workloads.iter().map(|w| session.normalize(w).unwrap()).collect();
+
+    let first = session.verify_all(&normalized, &plan, &debloated).expect("first pass");
+    let stats = pool.stats();
+    assert_eq!(stats.verify_runs, 2, "five workloads, two unique fingerprints");
+    assert_eq!(stats.verify_deduped, 3);
+
+    // A second pass over byte-identical libraries re-runs nothing:
+    // every unique pair is served from the cross-pass memo, and the
+    // outcomes are indistinguishable from the first pass's.
+    let second = session.verify_all(&normalized, &plan, &debloated).expect("second pass");
+    assert_eq!(second, first, "memoization must be invisible in the outcomes");
+    let stats = pool.stats();
+    assert_eq!(stats.verify_runs, 2, "the memoized pass re-ran nothing");
+    assert_eq!(stats.verify_deduped, 3 + 5, "all five workloads rode the memo");
+
+    // The memo belongs to the debloater, not one session: a sibling
+    // session serves the same pairs without a run either.
+    let sibling = debloater.session(FrameworkKind::PyTorch);
+    let third = sibling.verify_all(&normalized, &plan, &debloated).expect("sibling pass");
+    assert_eq!(third, first);
+    assert_eq!(pool.stats().verify_runs, 2);
+
+    // Different bundle *content* is never served from the memo: the
+    // same workload against differently compacted bytes re-runs.
+    let (small_plan, _) = session.plan_cached(&workloads[..1]).expect("small plan");
+    let (_, small_bundle) = session.apply(&small_plan).expect("small apply");
+    session
+        .verify_all(&normalized[..1], &small_plan, &small_bundle)
+        .expect("the small bundle verifies");
+    assert_eq!(pool.stats().verify_runs, 3, "new bundle bytes cost a real run");
+
+    // A memo hit never masks a changed expectation: flipping the
+    // expected baseline checksum falls through to a real run that
+    // fails exactly as an unmemoized debloater does.
+    let mut corrupted = (*plan).clone();
+    corrupted.baselines[0].checksum ^= 1;
+    let memo_err = session.verify_all(&normalized, &corrupted, &debloated).unwrap_err();
+    let cold_session = Debloater::new(GpuModel::T4)
+        .with_parallelism(false)
+        .with_plan_cache(Arc::new(PlanCache::new(4)))
+        .session(FrameworkKind::PyTorch);
+    let cold_err = cold_session.verify_all(&normalized, &corrupted, &debloated).unwrap_err();
+    assert_eq!(memo_err.to_string(), cold_err.to_string());
+    assert!(
+        matches!(memo_err, NegativaError::ChecksumMismatch { .. }),
+        "a corrupted expectation fails as a checksum mismatch: {memo_err}"
+    );
+}
+
 /// The store's read side of the object-reuse rule: each unique content
 /// hash is read once per opened artifact, and every image handed out
 /// for that hash shares the one buffer.

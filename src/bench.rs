@@ -41,6 +41,10 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "verify_parallel_speedup",
     "store_open_ns",
     "store_objects_deduped",
+    "delta_bytes_shipped",
+    "full_bytes_shipped",
+    "registry_objects_deduped",
+    "registry_dedup_ratio",
     "fleet",
     "fleet_slice_bytes_removed",
     "compressed_elements_rewritten",

@@ -33,6 +33,14 @@
 //!   `load_bundle` of a just-published artifact;
 //!   `store_objects_deduped` counts the objects a republish over the
 //!   same identity found already present and did not rewrite.
+//! * **registry tier** — two same-fleet artifacts with overlapping
+//!   workload sets publish into one origin registry
+//!   (`registry_objects_deduped` / `registry_dedup_ratio` count the
+//!   pool writes the shared content-addressed pool absorbed), then a
+//!   cold mirror pulls both: the first pull ships the full object
+//!   closure (`full_bytes_shipped`), the second only the objects the
+//!   mirror still lacks (`delta_bytes_shipped`, floored below full by
+//!   `bench_check`).
 //! * **fleet-scoped debloat** — one three-architecture artifact
 //!   (sm_75 + sm_80 + sm_90) against shipping three single-arch
 //!   artifacts (T4, A100, H100) for the same workload.
@@ -61,7 +69,7 @@ use negativa_repro::ml::{FrameworkKind, ModelKind, Operation, Workload};
 use negativa_repro::negativa::service::DebloatService;
 use negativa_repro::negativa::store::Store;
 use negativa_repro::negativa::verify::verify_indexed;
-use negativa_repro::negativa::{Debloater, FleetSpec, PlanCache, SmArch, WorkerPool};
+use negativa_repro::negativa::{Debloater, FleetSpec, PlanCache, Registry, SmArch, WorkerPool};
 
 fn main() {
     let gpu = GpuModel::T4;
@@ -155,12 +163,26 @@ fn main() {
                 .expect("serial verification passes");
         }
     });
-    let verify_ns = best_of_3(&|| {
-        let outcomes = pooled_session
-            .verify_all(&normalized, &verify_plan, &verify_libs)
-            .expect("pooled verification passes");
-        assert_eq!(outcomes.len(), verify_set.len());
-    });
+    // `verify_all` memoizes (workload, bundle content) outcomes across
+    // passes within one debloater, so repeating the timing on a single
+    // session would measure the memo lookup, not the pooled pass: each
+    // timed run gets its own fresh debloater, constructed outside the
+    // timer.
+    let verify_ns = (0..3)
+        .map(|_| {
+            let timed_session = Debloater::new(gpu)
+                .with_pool(WorkerPool::new(4))
+                .with_plan_cache(Arc::new(PlanCache::new(4)))
+                .session(FrameworkKind::PyTorch);
+            let begun = Instant::now();
+            let outcomes = timed_session
+                .verify_all(&normalized, &verify_plan, &verify_libs)
+                .expect("pooled verification passes");
+            assert_eq!(outcomes.len(), verify_set.len());
+            begun.elapsed().as_nanos()
+        })
+        .min()
+        .expect("three timed runs");
     let verify_parallel_speedup = verify_serial_ns as f64 / verify_ns.max(1) as f64;
 
     // Store I/O: publish once into a scratch root, time the cold
@@ -185,6 +207,51 @@ fn main() {
     let store_objects_deduped = republisher.stats().objects_skipped;
     assert!(store_objects_deduped > 0, "an intact republish must skip every object");
     std::fs::remove_dir_all(&store_root).ok();
+
+    // Registry tier: the single-workload artifact and a superset
+    // artifact publish into one origin pool (their untouched libraries
+    // are byte-identical, so the pool stores them once), then a cold
+    // mirror pulls the superset — the full closure — and afterwards the
+    // small artifact, which ships only the objects the mirror lacks.
+    let registry_root =
+        std::env::temp_dir().join(format!("negativa-bench-registry-{}", std::process::id()));
+    let mirror_root =
+        std::env::temp_dir().join(format!("negativa-bench-mirror-{}", std::process::id()));
+    std::fs::remove_dir_all(&registry_root).ok();
+    std::fs::remove_dir_all(&mirror_root).ok();
+    let origin = Registry::at(&registry_root);
+    let small_record =
+        origin.publish(&store_artifact).expect("publish the single-workload artifact");
+    let big_set = vec![
+        workload.clone(),
+        Workload::paper(FrameworkKind::PyTorch, ModelKind::Transformer, Operation::Train),
+    ];
+    let big_artifact =
+        pooled_session.debloat_many_artifact(&big_set).expect("registry-bench debloat verifies");
+    let big_record = origin.publish(&big_artifact).expect("publish the superset artifact");
+    let pool_stats = origin.stats();
+    let registry_objects_deduped = pool_stats.objects_deduped;
+    assert!(registry_objects_deduped >= 1, "overlapping artifacts must share pool objects");
+    let registry_dedup_ratio = pool_stats.bytes_deduped as f64
+        / (pool_stats.bytes_pooled + pool_stats.bytes_deduped).max(1) as f64;
+    let mirror = Registry::at(&mirror_root);
+    let full =
+        mirror.pull(&origin, &big_record.artifact_id).expect("cold pull ships the full closure");
+    let full_bytes_shipped = full.bytes_shipped;
+    let delta =
+        mirror.pull(&origin, &small_record.artifact_id).expect("second pull ships the delta");
+    let delta_bytes_shipped = delta.bytes_shipped;
+    assert!(
+        delta_bytes_shipped < full_bytes_shipped,
+        "delta shipping ({delta_bytes_shipped} B) must undercut a cold pull \
+         ({full_bytes_shipped} B)"
+    );
+    assert!(
+        mirror.verify(&small_record.artifact_id).expect("mirror opens").all_verified(),
+        "the delta-shipped artifact reproduces its baselines on the mirror"
+    );
+    std::fs::remove_dir_all(&registry_root).ok();
+    std::fs::remove_dir_all(&mirror_root).ok();
 
     // Fleet-scoped debloat: one artifact planned for the T4 session's
     // sm_75 widened by sm_80 + sm_90, vs shipping a separate
@@ -259,7 +326,7 @@ fn main() {
 
     let rps = |total_ns: u128| requests as f64 / (total_ns.max(1) as f64 / 1e9);
     let entries: Vec<(&str, BenchValue)> = vec![
-        ("schema_version", BenchValue::int(2)),
+        ("schema_version", BenchValue::int(3)),
         ("workload", BenchValue::Text(workload.label())),
         ("gpu", BenchValue::Text(gpu.to_string())),
         ("cold_ns", BenchValue::int(cold_ns)),
@@ -285,6 +352,10 @@ fn main() {
         ("verify_parallel_speedup", BenchValue::Number(verify_parallel_speedup)),
         ("store_open_ns", BenchValue::int(store_open_ns)),
         ("store_objects_deduped", BenchValue::int(u128::from(store_objects_deduped))),
+        ("delta_bytes_shipped", BenchValue::int(u128::from(delta_bytes_shipped))),
+        ("full_bytes_shipped", BenchValue::int(u128::from(full_bytes_shipped))),
+        ("registry_objects_deduped", BenchValue::int(u128::from(registry_objects_deduped))),
+        ("registry_dedup_ratio", BenchValue::Number(registry_dedup_ratio)),
         ("fleet", BenchValue::Text(fleet_label)),
         (
             "fleet_slice_bytes_removed",

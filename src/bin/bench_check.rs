@@ -16,9 +16,12 @@
 //!    verification), `fleet_slice_bytes_removed > 0` and
 //!    `compressed_elements_rewritten >= 1` (fleet-scoped slicing), and
 //!    `fleet_artifact_bytes < single_arch_artifact_bytes` (one fleet
-//!    artifact beats shipping one artifact per architecture). A
-//!    regression fails the build instead of silently rotting the
-//!    uploaded artifact.
+//!    artifact beats shipping one artifact per architecture),
+//!    `delta_bytes_shipped < full_bytes_shipped` (registry delta
+//!    shipping undercuts a cold pull), and
+//!    `registry_objects_deduped >= 1` (the cross-artifact pool stores
+//!    shared objects once). A regression fails the build instead of
+//!    silently rotting the uploaded artifact.
 
 use negativa_repro::bench::{parse_flat_object, validate, BenchValue, REQUIRED_KEYS};
 
@@ -79,6 +82,23 @@ fn main() {
         eprintln!(
             "bench_check: {path}: fleet artifact size regressed: fleet_artifact_bytes \
              ({fleet_bytes}) must undercut single_arch_artifact_bytes ({single_bytes})"
+        );
+        std::process::exit(1);
+    }
+    let delta_shipped = number("delta_bytes_shipped");
+    let full_shipped = number("full_bytes_shipped");
+    if delta_shipped >= full_shipped {
+        eprintln!(
+            "bench_check: {path}: registry delta shipping regressed: delta_bytes_shipped \
+             ({delta_shipped}) must undercut full_bytes_shipped ({full_shipped})"
+        );
+        std::process::exit(1);
+    }
+    let pool_deduped = number("registry_objects_deduped");
+    if pool_deduped < 1.0 {
+        eprintln!(
+            "bench_check: {path}: cross-artifact pooling regressed: registry_objects_deduped \
+             = {pool_deduped} (overlapping artifacts must share at least one pool object)"
         );
         std::process::exit(1);
     }

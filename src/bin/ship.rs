@@ -1,20 +1,22 @@
 //! `ship` — publish a debloated bundle as an on-disk artifact.
 //!
 //! Runs the paper's shared-bundle scenario (PyTorch MobileNetV2, the
-//! union of Train and Inference, T4) through
-//! `Debloater::debloat_and_publish` and persists the result —
-//! compacted libraries, `plan.json`, and the self-hashed
-//! content-addressed `MANIFEST.json` — under the store directory
-//! (first CLI argument, else `STORE_DIR`, else `ARTIFACT_store`). The
-//! counterpart `verify_artifact` binary reopens the store **in a
-//! separate process** and re-runs every contributing workload against
-//! its recorded baseline checksum; CI runs the pair back to back as
-//! the packaging round-trip gate.
+//! union of Train and Inference, T4) through a debloat session and
+//! persists the result — compacted libraries, `plan.json`, and the
+//! self-hashed content-addressed `MANIFEST.json` — under the store
+//! directory (first CLI argument, else `STORE_DIR`, else
+//! `ARTIFACT_store`). With `REGISTRY_DIR=path` set, the same verified
+//! artifact is additionally published into that multi-artifact
+//! registry's shared content-addressed object pool, ready for
+//! `registry pull` delta shipping. The counterpart `verify_artifact`
+//! binary reopens either layout **in a separate process** and re-runs
+//! every contributing workload against its recorded baseline checksum;
+//! CI runs the pair back to back as the packaging round-trip gate.
 
 use negativa_repro::cuda::GpuModel;
 use negativa_repro::ml::{FrameworkKind, ModelKind, Operation, Workload};
 use negativa_repro::negativa::store::Store;
-use negativa_repro::negativa::{Debloater, Totals};
+use negativa_repro::negativa::{Debloater, Registry, Totals};
 
 fn main() {
     let dir = std::env::args()
@@ -27,17 +29,24 @@ fn main() {
         Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2, Operation::Inference),
     ];
 
-    let (report, manifest) =
-        match Debloater::new(GpuModel::T4).debloat_and_publish(&workloads, &store) {
-            Ok(published) => published,
-            Err(e) => {
-                eprintln!("ship: publish to {dir} failed: {e}");
-                std::process::exit(1);
-            }
-        };
+    let session = Debloater::new(GpuModel::T4).session(FrameworkKind::PyTorch);
+    let artifact = match session.debloat_many_artifact(&workloads) {
+        Ok(artifact) => artifact,
+        Err(e) => {
+            eprintln!("ship: debloat failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let manifest = match store.publish(&artifact) {
+        Ok(manifest) => manifest,
+        Err(e) => {
+            eprintln!("ship: publish to {dir} failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
-    let totals = Totals::sum(&report.libraries);
-    println!("{}", report.summary());
+    let totals = Totals::sum(&artifact.report.libraries);
+    println!("{}", artifact.report.summary());
     println!(
         "shipped {} to {dir}: {} libraries ({:.1}% smaller), {} workload baselines, plan {:#018x}",
         manifest.key.artifact_id(),
@@ -48,6 +57,27 @@ fn main() {
     );
     for entry in &manifest.entries {
         println!("  {} -> {} ({} bytes)", entry.soname, entry.object_path(), entry.byte_len);
+    }
+
+    if let Ok(registry_dir) = std::env::var("REGISTRY_DIR") {
+        let registry = Registry::at(&registry_dir);
+        match registry.publish(&artifact) {
+            Ok(record) => {
+                let stats = registry.stats();
+                println!(
+                    "published {} into registry {registry_dir}: {} pool objects \
+                     ({} written, {} already pooled)",
+                    record.artifact_id,
+                    record.referenced().count(),
+                    stats.objects_pooled,
+                    stats.objects_deduped,
+                );
+            }
+            Err(e) => {
+                eprintln!("ship: registry publish to {registry_dir} failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     println!("re-verify out of process with: cargo run --release --bin verify_artifact -- {dir}");
 }

@@ -1,24 +1,83 @@
 //! `verify_artifact` — the cold half of the packaging contract.
 //!
-//! Opens the artifact store a previous `ship` process published (first
-//! CLI argument, else `STORE_DIR`, else `ARTIFACT_store`) and runs
-//! `Store::verify`: the manifest's self-hash, the plan's content hash,
-//! and every library's content hash are checked, the bundle is
+//! Opens what a previous `ship` or `registry` process published (first
+//! CLI argument, else `STORE_DIR`, else `ARTIFACT_store`) and re-runs
+//! the full integrity + behavior check from nothing but the stored
+//! bytes. The directory's layout picks the path:
+//!
+//! * a `REGISTRY.json` marks a multi-artifact registry — every record
+//!   in the index is opened out of the shared object pool and
+//!   verified;
+//! * otherwise the directory is a single-artifact store and
+//!   `Store::verify` runs as before.
+//!
+//! Either way the manifest self-hash, the plan's content hash, and
+//! every library's content hash are checked, the bundle is
 //! reconstructed from the stored bytes alone, and **every**
 //! contributing workload is re-executed, required to reproduce the
 //! baseline checksum recorded at publish time. Exits non-zero with the
 //! typed error on any integrity or behavioral failure, so CI catches a
 //! corrupted or wrongly-debloated artifact before it ships anywhere.
 
+use std::path::Path;
+
+use negativa_repro::negativa::manifest::REGISTRY_FILE;
 use negativa_repro::negativa::store::Store;
+use negativa_repro::negativa::Registry;
 
 fn main() {
     let dir = std::env::args()
         .nth(1)
         .or_else(|| std::env::var("STORE_DIR").ok())
         .unwrap_or_else(|| "ARTIFACT_store".into());
-    let store = Store::at(&dir);
+    if Path::new(&dir).join(REGISTRY_FILE).exists() {
+        verify_registry(&dir);
+    } else {
+        verify_store(&dir);
+    }
+}
 
+/// Verify every artifact a registry's index records, out of the shared
+/// object pool.
+fn verify_registry(dir: &str) {
+    let registry = Registry::at(dir);
+    let records = match registry.artifacts() {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("verify_artifact: cannot read registry {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if records.is_empty() {
+        eprintln!("verify_artifact: registry {dir} holds no artifacts");
+        std::process::exit(1);
+    }
+    println!("verifying registry {dir}: {} artifacts", records.len());
+    for record in &records {
+        match registry.verify(&record.artifact_id) {
+            Ok(verification) => {
+                for w in &verification.workloads {
+                    println!("  verified {:<40} checksum {:#018x}", w.label, w.verified_checksum);
+                }
+                assert!(verification.all_verified(), "verify() returned with a mismatch");
+                println!(
+                    "  {} OK ({} workloads reproduced their baselines)",
+                    record.artifact_id,
+                    verification.workloads.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("verify_artifact: {} in {dir} FAILED: {e}", record.artifact_id);
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("verify_artifact: registry {dir} OK ({} artifacts verified)", records.len());
+}
+
+/// Verify a single-artifact store directory (the pre-registry layout).
+fn verify_store(dir: &str) {
+    let store = Store::at(dir);
     let artifact = match store.open() {
         Ok(artifact) => artifact,
         Err(e) => {

@@ -30,6 +30,13 @@
 //!   serialized plan, and a self-hashed manifest with per-workload
 //!   baseline checksums — and re-verifies it from a cold process (the
 //!   `ship` / `verify_artifact` binaries run exactly that split in CI).
+//!   The [`negativa::registry`] tier generalizes the store to many
+//!   artifacts over one shared content-addressed object pool:
+//!   libraries two artifacts both ship are stored once, `push`/`pull`
+//!   move only the objects the receiving registry lacks (a want-list
+//!   delta), refcounting GC reclaims what no surviving record
+//!   references, and a cold node seeds its plan cache straight from a
+//!   pulled artifact (the `registry` binary drives all of it in CI).
 //!
 //! # Quickstart
 //!
@@ -113,6 +120,52 @@
 //!     Err(e) => return Err(e.into()),
 //! }
 //! service.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Registry: ship artifacts between fleets
+//!
+//! A [`Registry`](negativa::Registry) holds many published artifacts
+//! over one content-addressed object pool, so two artifacts that ship
+//! the same library bytes store them once. `pull` moves an artifact
+//! between registries as a *delta*: the receiver names the object
+//! hashes it lacks, and only those bytes travel — pulling a second,
+//! overlapping artifact ships a fraction of the first:
+//!
+//! ```
+//! use negativa_repro::ml::{FrameworkKind, ModelKind, Operation, Workload};
+//! use negativa_repro::cuda::GpuModel;
+//! use negativa_repro::negativa::{Debloater, Registry};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let scratch = std::env::temp_dir().join(format!("negativa-doc-{}", std::process::id()));
+//! # let (origin_dir, mirror_dir) = (scratch.join("origin"), scratch.join("mirror"));
+//! let infer = Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2,
+//!                             Operation::Inference);
+//! let train = Workload::paper(FrameworkKind::PyTorch, ModelKind::MobileNetV2,
+//!                             Operation::Train);
+//! let session = Debloater::new(GpuModel::T4).session(FrameworkKind::PyTorch);
+//!
+//! // Publish two overlapping artifacts: their untouched libraries are
+//! // byte-identical, so the shared pool stores those objects once.
+//! let origin = Registry::at(&origin_dir);
+//! let small = origin.publish(&session.debloat_many_artifact(&[infer.clone()])?)?;
+//! let big = origin.publish(&session.debloat_many_artifact(&[infer, train])?)?;
+//! assert!(origin.stats().objects_deduped >= 1);
+//!
+//! // A cold mirror pulls the big artifact in full; the overlapping
+//! // small one then ships only the objects the mirror still lacks.
+//! let mirror = Registry::at(&mirror_dir);
+//! let full = mirror.pull(&origin, &big.artifact_id)?;
+//! let delta = mirror.pull(&origin, &small.artifact_id)?;
+//! assert!(delta.bytes_shipped < full.bytes_shipped);
+//!
+//! // The mirror re-verifies from its pooled bytes alone, and GC keeps
+//! // every object a surviving record still references.
+//! assert!(mirror.verify(&small.artifact_id)?.all_verified());
+//! assert_eq!(mirror.gc()?.objects_reclaimed, 0);
+//! # std::fs::remove_dir_all(&scratch).ok();
 //! # Ok(())
 //! # }
 //! ```
