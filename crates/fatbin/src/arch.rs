@@ -183,6 +183,22 @@ impl FleetSpec {
         self.members().iter().any(|&gpu| arch.runs_on(gpu))
     }
 
+    /// True if an artifact built for this fleet can execute on a GPU of
+    /// architecture `gpu` — the reverse direction of
+    /// [`FleetSpec::any_member_runs`], used by registry resolution
+    /// ("which published artifact serves *my* arch?").
+    ///
+    /// The locator retains, per fleet member `m`, an element whose arch
+    /// `a` satisfies `a.runs_on(m)` (same major, `a.minor <= m.minor`).
+    /// If some member `m` itself runs on `gpu` (`m.major == gpu.major`,
+    /// `m.minor <= gpu.minor`), then `a.minor <= m.minor <= gpu.minor`
+    /// in the same major, so the retained SASS runs on `gpu` too. This
+    /// is therefore conservative-correct: every `true` is backed by
+    /// retained code that executes on `gpu`.
+    pub fn runs_on(&self, gpu: SmArch) -> bool {
+        self.members().iter().any(|&m| m.runs_on(gpu))
+    }
+
     /// Path-safe label used inside artifact identifiers: `sm75` for a
     /// single-member fleet (unchanged from the pre-fleet identity
     /// format), `sm75x80x90` for larger fleets. ASCII alphanumeric only.
@@ -298,5 +314,20 @@ mod tests {
         assert!(fleet.any_member_runs(SmArch::SM70), "sm_70 SASS runs on the sm_75 member");
         assert!(fleet.any_member_runs(SmArch::SM90));
         assert!(!fleet.any_member_runs(SmArch::SM80), "no Ampere member");
+    }
+
+    #[test]
+    fn fleet_runs_on_is_the_reverse_direction() {
+        let fleet = FleetSpec::new(&[SmArch::SM70, SmArch::SM80]).unwrap();
+        // A member at or below the GPU's minor within the same major
+        // guarantees retained SASS that executes there.
+        assert!(fleet.runs_on(SmArch::SM75), "sm_70 member serves an sm_75 GPU");
+        assert!(fleet.runs_on(SmArch::SM86), "sm_80 member serves an sm_86 GPU");
+        assert!(fleet.runs_on(SmArch::SM80));
+        // No member's major matches — nothing retained can run.
+        assert!(!fleet.runs_on(SmArch::SM90), "no Hopper-major member");
+        // Higher-minor member does not serve a lower-minor GPU.
+        let ada = FleetSpec::single(SmArch::SM89);
+        assert!(!ada.runs_on(SmArch::SM86));
     }
 }

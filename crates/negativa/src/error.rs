@@ -50,6 +50,10 @@ pub enum NegativaError {
     /// publish into a root holding a different artifact. See
     /// [`crate::store::StoreError`].
     Store(crate::store::StoreError),
+    /// The wire transport failed: a malformed or wrong-version frame,
+    /// a timeout or connection failure that outlived the retry budget,
+    /// or a remote-reported fault. See [`crate::net::NetError`].
+    Net(crate::net::NetError),
 }
 
 impl fmt::Display for NegativaError {
@@ -74,6 +78,7 @@ impl fmt::Display for NegativaError {
             }
             NegativaError::Service(e) => write!(f, "{e}"),
             NegativaError::Store(e) => write!(f, "{e}"),
+            NegativaError::Net(e) => write!(f, "{e}"),
         }
     }
 }
@@ -117,6 +122,12 @@ impl From<crate::service::ServiceError> for NegativaError {
 impl From<crate::store::StoreError> for NegativaError {
     fn from(e: crate::store::StoreError) -> Self {
         NegativaError::Store(e)
+    }
+}
+
+impl From<crate::net::NetError> for NegativaError {
+    fn from(e: crate::net::NetError) -> Self {
+        NegativaError::Net(e)
     }
 }
 

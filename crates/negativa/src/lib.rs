@@ -90,6 +90,25 @@
 //! formats live in [`manifest`], encoded through the shared
 //! dependency-free JSON codec in [`codec`].
 //!
+//! ## The distribution layer
+//!
+//! Above the store, [`registry`] holds *many* artifacts over one
+//! shared content-addressed object pool (byte-identical libraries two
+//! artifacts both ship are stored once), ships between registries as
+//! a want-list delta (only the objects the receiver lacks move,
+//! hash-checked on both ends), garbage-collects by refcounting over
+//! the index, and resolves by compatibility
+//! ([`registry::Registry::resolve`] — the newest artifact whose
+//! [`fatbin::FleetSpec`] runs on a given architecture). The [`net`]
+//! module puts those verbs on the wire with nothing but `std::net`
+//! loopback TCP: a [`RegistryServer`] serves one registry over a
+//! length-prefixed framed RPC protocol, and [`RemoteRegistry`] pulls,
+//! pushes, resolves, and even cold-verifies over the socket — with
+//! bounded retries, range-read resumption of interrupted transfers,
+//! whole-object hash checks (corruption is re-fetched, never
+//! installed), and a deterministic [`FaultInjector`] to prove all of
+//! that under dropped connections, truncations, and flipped bytes.
+//!
 //! ```
 //! use negativa_ml::Debloater;
 //! use simcuda::GpuModel;
@@ -125,6 +144,7 @@ pub mod detect;
 mod error;
 pub mod locate;
 pub mod manifest;
+pub mod net;
 pub mod plan;
 pub mod pool;
 pub mod registry;
@@ -139,6 +159,10 @@ pub use error::NegativaError;
 pub use fatbin::{FleetSpec, SmArch};
 pub use locate::{locate, ElementRewrite, LocateStats, RetainPlan, RewriteKind};
 pub use manifest::{ManifestEntry, StoreManifest, WorkloadRecord};
+pub use net::{
+    Dialer, FaultInjector, NetClient, NetError, NetStats, RegistryServer, RemoteRegistry,
+    RetryPolicy, TcpDialer,
+};
 pub use plan::{BundlePlan, PlanCache, PlanCacheStats, PlanKey, PlanSource, WorkloadBaseline};
 pub use pool::{Parallelism, PoolStats, WorkerPool};
 pub use registry::{

@@ -1,0 +1,2048 @@
+//! The **wire transport** — registry distribution over real sockets.
+//!
+//! The registry tier ships artifacts by want-list delta
+//! ([`Registry::push`] / [`Registry::pull`]), but until this module
+//! both sides lived in one process. Here the same protocol runs over
+//! loopback TCP, dependency-free on `std::net`:
+//!
+//! - **Framed RPC** — every message is one length-prefixed frame:
+//!   a 12-byte header (magic, protocol version, verb, payload length)
+//!   followed by a hand-rolled little-endian binary payload. Framing
+//!   faults are *typed* ([`NetError::FrameTooLarge`],
+//!   [`NetError::ProtocolVersion`], [`NetError::Truncated`],
+//!   [`NetError::Malformed`]) so a transport failure is never confused
+//!   with a content failure.
+//! - **[`RegistryServer`]** — a thread-per-connection server exposing
+//!   one [`Registry`] behind a read-write lock: index reads and object
+//!   streaming take the read side, installs the write side, and every
+//!   request re-reads the index so each response is a consistent
+//!   snapshot. Objects stream in bounded chunks via `get_object` with
+//!   **range reads** (offset + length), so an interrupted transfer
+//!   resumes instead of restarting.
+//! - **[`NetClient`] / [`RemoteRegistry`]** — the pulling side: each
+//!   request carries a per-request timeout and bounded retries with
+//!   exponential backoff plus deterministic xorshift jitter. Every
+//!   object is content-hash checked on completion; a mismatch throws
+//!   the bytes away and retries — corruption is *never* installed. A
+//!   transfer cut mid-object resumes with a range read from the last
+//!   received offset ([`NetStats::range_resumes`] counts the wins).
+//! - **`RemoteSource`** — [`ObjectSource`] over the wire, so
+//!   [`Store::open_from`] consumes an artifact straight off a remote
+//!   registry with the exact hash-checking guarantees of a local open.
+//! - **Compatibility-keyed resolution** — the `resolve` verb returns
+//!   the best artifact whose [`fatbin::FleetSpec::runs_on`] the asking
+//!   architecture ([`Registry::resolve`]), so a node stops naming
+//!   artifact ids and asks for "whatever serves my arch".
+//! - **[`FaultInjector`]** — a deterministic (xorshift-seeded)
+//!   [`Dialer`] wrapper that drops dials, cuts connections mid-frame,
+//!   truncates streams, delays reads, and flips payload bytes, with a
+//!   bounded fault budget so tests pin that a faulty pull *converges*
+//!   via retries and cold-verifies byte-identical to a local pull.
+//!
+//! The server never trusts the wire: uploaded objects are staged,
+//! hash-checked, and only then pooled; installs presence-verify the
+//! full referenced closure first ([`StoreError::MissingObject`]). The
+//! client never trusts it either: every object and manifest read is
+//! checked against the hash the index record pinned. The transport can
+//! lose bytes or delay them, but it can never forge content.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+use std::time::Duration;
+
+use fatbin::SmArch;
+
+use crate::codec::content_hash;
+use crate::manifest::{ObjectRef, RegistryRecord, MANIFEST_FILE, PLAN_FILE};
+use crate::registry::{manifest_relative, ArtifactOffer, Registry, ShipReport};
+use crate::store::{ObjectSource, Store, StoreError, StoreVerification, StoredArtifact};
+use crate::Result;
+
+/// Frame magic: every frame starts with these four bytes.
+const FRAME_MAGIC: [u8; 4] = *b"NGRP";
+
+/// Wire protocol version carried in every frame header.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frame header length: magic (4) + version (2) + kind (1) +
+/// reserved (1) + payload length (4).
+const HEADER_LEN: usize = 12;
+
+/// Hard ceiling on one frame's payload. Object bytes move in chunks
+/// well under this; anything larger is a corrupt or hostile header.
+pub const MAX_FRAME_PAYLOAD: u32 = 4 * 1024 * 1024;
+
+/// Default object-transfer chunk length (range-read granularity).
+pub const DEFAULT_CHUNK_LEN: u32 = 256 * 1024;
+
+// Request verbs.
+const REQ_PING: u8 = 1;
+const REQ_RESOLVE: u8 = 2;
+const REQ_OFFER: u8 = 3;
+const REQ_MANIFEST: u8 = 4;
+const REQ_GET_OBJECT: u8 = 5;
+const REQ_RECORDS: u8 = 6;
+const REQ_WANT: u8 = 7;
+const REQ_PUT_OBJECT: u8 = 8;
+const REQ_INSTALL: u8 = 9;
+
+// Response verbs.
+const RESP_OK: u8 = 128;
+const RESP_RECORD: u8 = 129;
+const RESP_MANIFEST: u8 = 130;
+const RESP_CHUNK: u8 = 131;
+const RESP_WANT: u8 = 132;
+const RESP_RECORDS: u8 = 133;
+const RESP_ERROR: u8 = 134;
+
+// Remote error codes (the `code` field of an error response).
+const ERR_NOT_FOUND_ARTIFACT: u8 = 1;
+const ERR_MISSING_OBJECT: u8 = 2;
+const ERR_NO_COMPATIBLE: u8 = 3;
+const ERR_BAD_REQUEST: u8 = 4;
+const ERR_INTERNAL: u8 = 5;
+const ERR_CORRUPT: u8 = 6;
+const ERR_NOT_FOUND_OBJECT: u8 = 7;
+
+/// Why a wire operation failed. Carried inside
+/// [`NegativaError::Net`](crate::NegativaError::Net).
+///
+/// The variants split **transport** faults (retryable: the bytes were
+/// lost or mangled in flight — [`NetError::Io`], [`NetError::Timeout`],
+/// [`NetError::Truncated`], [`NetError::Malformed`],
+/// [`NetError::FrameTooLarge`], [`NetError::ProtocolVersion`]) from
+/// **content** faults (not retryable at the transport layer:
+/// [`NetError::Remote`], [`NetError::Corrupt`]) and terminal outcomes
+/// ([`NetError::RetriesExhausted`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A registry URL did not parse (`tcp://host:port` is the only
+    /// accepted shape).
+    InvalidUrl {
+        /// The URL as given.
+        url: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A socket operation failed (connect, read, write).
+    Io {
+        /// The peer address involved.
+        addr: String,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// A socket operation exceeded the per-request timeout.
+    Timeout {
+        /// The peer address involved.
+        addr: String,
+        /// Which operation timed out.
+        detail: String,
+    },
+    /// A frame header announced a payload larger than
+    /// [`MAX_FRAME_PAYLOAD`] — a corrupt header or a hostile peer.
+    FrameTooLarge {
+        /// The announced payload length.
+        len: u32,
+        /// The ceiling it exceeded.
+        max: u32,
+    },
+    /// The peer speaks a different protocol version.
+    ProtocolVersion {
+        /// The version the frame carried.
+        got: u16,
+        /// The version this side speaks ([`PROTOCOL_VERSION`]).
+        want: u16,
+    },
+    /// The stream ended mid-frame: the peer (or the network) cut the
+    /// connection before a full header or payload arrived.
+    Truncated {
+        /// Bytes the frame needed.
+        expected: u64,
+        /// Bytes that actually arrived.
+        got: u64,
+    },
+    /// A frame arrived complete but does not decode: bad magic, an
+    /// unknown verb, or a payload that underruns its own fields.
+    Malformed {
+        /// What exactly failed to decode.
+        detail: String,
+    },
+    /// The remote reported a fault this side cannot retype (an internal
+    /// server error, a rejected upload, a bad request).
+    Remote {
+        /// The remote's rendering of the fault.
+        detail: String,
+    },
+    /// A fully transferred entry failed its content-hash check. The
+    /// bytes are discarded, never installed; bounded retries re-fetch.
+    Corrupt {
+        /// The entry that failed (object path or manifest).
+        entry: String,
+        /// The hash the index record pinned.
+        expected: u64,
+        /// What the received bytes hash to.
+        actual: u64,
+    },
+    /// The retry budget ran out before an operation succeeded.
+    RetriesExhausted {
+        /// Attempts made (the policy's budget).
+        attempts: u32,
+        /// The last failure, rendered.
+        last: String,
+    },
+}
+
+impl NetError {
+    /// Whether this failure is a transport fault a retry may fix
+    /// (dropped or mangled bytes), as opposed to a typed content or
+    /// protocol outcome that will recur identically.
+    fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io { .. }
+                | NetError::Timeout { .. }
+                | NetError::Truncated { .. }
+                | NetError::Malformed { .. }
+                | NetError::FrameTooLarge { .. }
+                | NetError::ProtocolVersion { .. }
+        )
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidUrl { url, detail } => {
+                write!(f, "invalid registry url {url:?}: {detail}")
+            }
+            NetError::Io { addr, detail } => write!(f, "net I/O error with {addr}: {detail}"),
+            NetError::Timeout { addr, detail } => {
+                write!(f, "net timeout with {addr}: {detail}")
+            }
+            NetError::FrameTooLarge { len, max } => write!(
+                f,
+                "frame payload of {len} bytes exceeds the {max}-byte ceiling \
+                 (corrupt header or incompatible peer)"
+            ),
+            NetError::ProtocolVersion { got, want } => {
+                write!(f, "peer speaks protocol version {got}, this side speaks {want}")
+            }
+            NetError::Truncated { expected, got } => {
+                write!(f, "stream truncated mid-frame: needed {expected} bytes, got {got}")
+            }
+            NetError::Malformed { detail } => write!(f, "malformed frame: {detail}"),
+            NetError::Remote { detail } => write!(f, "remote registry error: {detail}"),
+            NetError::Corrupt { entry, expected, actual } => write!(
+                f,
+                "received bytes for {entry} hash to {actual:#018x}, record pins \
+                 {expected:#018x}; discarded, never installed"
+            ),
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last failure: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Snapshot of one client's cumulative wire accounting; see
+/// [`NetClient::stats`] / [`RemoteRegistry::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Operations re-attempted after a retryable transport fault (or a
+    /// failed whole-object hash check).
+    pub retries: u64,
+    /// Attempts that failed specifically on the per-request timeout.
+    pub timeouts: u64,
+    /// Connections dialed after the first one was lost.
+    pub reconnects: u64,
+    /// Frame bytes written to the wire (headers + payloads).
+    pub bytes_sent: u64,
+    /// Frame bytes read off the wire (headers + payloads).
+    pub bytes_received: u64,
+    /// Interrupted object transfers resumed with a range read from the
+    /// last received offset instead of restarting at zero.
+    pub range_resumes: u64,
+}
+
+/// The atomics behind [`NetStats`], `Arc`-shared across clones.
+#[derive(Debug, Default)]
+struct NetCounters {
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    reconnects: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    range_resumes: AtomicU64,
+}
+
+// ---------------------------------------------------------------------
+// Binary payload codec: little-endian scalars, length-prefixed blobs.
+// ---------------------------------------------------------------------
+
+/// Little-endian payload writer.
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Little-endian payload reader with strict bounds: any underrun is
+/// [`NetError::Malformed`], and [`Reader::finish`] rejects trailing
+/// garbage.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> std::result::Result<&'a [u8], NetError> {
+        if self.buf.len() - self.pos < n {
+            return Err(NetError::Malformed {
+                detail: format!(
+                    "payload underrun: needed {n} more bytes at offset {}, have {}",
+                    self.pos,
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> std::result::Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> std::result::Result<u32, NetError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> std::result::Result<u64, NetError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn bytes(&mut self) -> std::result::Result<Vec<u8>, NetError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self) -> std::result::Result<String, NetError> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| NetError::Malformed { detail: "string field is not UTF-8".into() })
+    }
+
+    fn finish(self) -> std::result::Result<(), NetError> {
+        if self.pos != self.buf.len() {
+            return Err(NetError::Malformed {
+                detail: format!(
+                    "{} trailing bytes after the last payload field",
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn put_record(w: &mut Writer, record: &RegistryRecord) {
+    w.put_str(&record.artifact_id);
+    w.put_u64(record.manifest_hash);
+    w.put_u64(record.plan.hash);
+    w.put_u64(record.plan.byte_len);
+    w.put_u64(record.published_ns);
+    w.put_u32(record.objects.len() as u32);
+    for object in &record.objects {
+        w.put_u64(object.hash);
+        w.put_u64(object.byte_len);
+    }
+}
+
+fn read_record(r: &mut Reader<'_>) -> std::result::Result<RegistryRecord, NetError> {
+    let artifact_id = r.string()?;
+    let manifest_hash = r.u64()?;
+    let plan = ObjectRef { hash: r.u64()?, byte_len: r.u64()? };
+    let published_ns = r.u64()?;
+    let count = r.u32()? as usize;
+    // 16 bytes per object: an impossible count cannot make us
+    // pre-allocate past the (already bounded) payload.
+    if count > r.buf.len() / 16 {
+        return Err(NetError::Malformed {
+            detail: format!("record announces {count} objects, payload cannot hold them"),
+        });
+    }
+    let mut objects = Vec::with_capacity(count);
+    for _ in 0..count {
+        objects.push(ObjectRef { hash: r.u64()?, byte_len: r.u64()? });
+    }
+    Ok(RegistryRecord { artifact_id, manifest_hash, plan, published_ns, objects })
+}
+
+// ---------------------------------------------------------------------
+// Requests and responses.
+// ---------------------------------------------------------------------
+
+/// One client request — the wire protocol's verb set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Compatibility-keyed lookup: the best record whose fleet runs on
+    /// this architecture.
+    Resolve { arch: u32 },
+    /// One artifact's index record (the offer half of the handshake).
+    Offer { artifact_id: String },
+    /// One artifact's raw manifest bytes.
+    Manifest { artifact_id: String },
+    /// A range read of one pool object.
+    GetObject { hash: u64, offset: u64, len: u32 },
+    /// Every live index record.
+    Records,
+    /// The want half of a push: which of a record's objects the server
+    /// pool lacks.
+    Want { record: RegistryRecord },
+    /// One chunk of an object upload (staged server-side, hash-checked
+    /// on completion, only then pooled).
+    PutObject { hash: u64, total_len: u64, offset: u64, bytes: Vec<u8> },
+    /// Finish a push: install the record after the server
+    /// presence-verifies its full closure.
+    Install { record: RegistryRecord, manifest_bytes: Vec<u8> },
+}
+
+impl Request {
+    fn encode(&self) -> (u8, Vec<u8>) {
+        let mut w = Writer::default();
+        let kind = match self {
+            Request::Ping => REQ_PING,
+            Request::Resolve { arch } => {
+                w.put_u32(*arch);
+                REQ_RESOLVE
+            }
+            Request::Offer { artifact_id } => {
+                w.put_str(artifact_id);
+                REQ_OFFER
+            }
+            Request::Manifest { artifact_id } => {
+                w.put_str(artifact_id);
+                REQ_MANIFEST
+            }
+            Request::GetObject { hash, offset, len } => {
+                w.put_u64(*hash);
+                w.put_u64(*offset);
+                w.put_u32(*len);
+                REQ_GET_OBJECT
+            }
+            Request::Records => REQ_RECORDS,
+            Request::Want { record } => {
+                put_record(&mut w, record);
+                REQ_WANT
+            }
+            Request::PutObject { hash, total_len, offset, bytes } => {
+                w.put_u64(*hash);
+                w.put_u64(*total_len);
+                w.put_u64(*offset);
+                w.put_bytes(bytes);
+                REQ_PUT_OBJECT
+            }
+            Request::Install { record, manifest_bytes } => {
+                put_record(&mut w, record);
+                w.put_bytes(manifest_bytes);
+                REQ_INSTALL
+            }
+        };
+        (kind, w.buf)
+    }
+
+    fn decode(kind: u8, payload: &[u8]) -> std::result::Result<Request, NetError> {
+        let mut r = Reader::new(payload);
+        let req = match kind {
+            REQ_PING => Request::Ping,
+            REQ_RESOLVE => Request::Resolve { arch: r.u32()? },
+            REQ_OFFER => Request::Offer { artifact_id: r.string()? },
+            REQ_MANIFEST => Request::Manifest { artifact_id: r.string()? },
+            REQ_GET_OBJECT => {
+                Request::GetObject { hash: r.u64()?, offset: r.u64()?, len: r.u32()? }
+            }
+            REQ_RECORDS => Request::Records,
+            REQ_WANT => Request::Want { record: read_record(&mut r)? },
+            REQ_PUT_OBJECT => Request::PutObject {
+                hash: r.u64()?,
+                total_len: r.u64()?,
+                offset: r.u64()?,
+                bytes: r.bytes()?,
+            },
+            REQ_INSTALL => {
+                Request::Install { record: read_record(&mut r)?, manifest_bytes: r.bytes()? }
+            }
+            other => {
+                return Err(NetError::Malformed { detail: format!("unknown request verb {other}") })
+            }
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Response {
+    /// The request succeeded and carries no data.
+    Ok,
+    /// One index record.
+    Record { record: RegistryRecord },
+    /// Raw manifest bytes.
+    Manifest { bytes: Vec<u8> },
+    /// One range of an object, plus the object's full length.
+    Chunk { total_len: u64, bytes: Vec<u8> },
+    /// The hashes the server pool lacks, in offer order.
+    Want { hashes: Vec<u64> },
+    /// Every live index record.
+    Records { records: Vec<RegistryRecord> },
+    /// A typed remote fault: a small fixed code plus a text and a
+    /// numeric detail slot, enough for the client to rebuild the
+    /// original typed error.
+    Error { code: u8, text: String, num: u64 },
+}
+
+impl Response {
+    fn encode(&self) -> (u8, Vec<u8>) {
+        let mut w = Writer::default();
+        let kind = match self {
+            Response::Ok => RESP_OK,
+            Response::Record { record } => {
+                put_record(&mut w, record);
+                RESP_RECORD
+            }
+            Response::Manifest { bytes } => {
+                w.put_bytes(bytes);
+                RESP_MANIFEST
+            }
+            Response::Chunk { total_len, bytes } => {
+                w.put_u64(*total_len);
+                w.put_bytes(bytes);
+                RESP_CHUNK
+            }
+            Response::Want { hashes } => {
+                w.put_u32(hashes.len() as u32);
+                for hash in hashes {
+                    w.put_u64(*hash);
+                }
+                RESP_WANT
+            }
+            Response::Records { records } => {
+                w.put_u32(records.len() as u32);
+                for record in records {
+                    put_record(&mut w, record);
+                }
+                RESP_RECORDS
+            }
+            Response::Error { code, text, num } => {
+                w.put_u8(*code);
+                w.put_str(text);
+                w.put_u64(*num);
+                RESP_ERROR
+            }
+        };
+        (kind, w.buf)
+    }
+
+    fn decode(kind: u8, payload: &[u8]) -> std::result::Result<Response, NetError> {
+        let mut r = Reader::new(payload);
+        let resp = match kind {
+            RESP_OK => Response::Ok,
+            RESP_RECORD => Response::Record { record: read_record(&mut r)? },
+            RESP_MANIFEST => Response::Manifest { bytes: r.bytes()? },
+            RESP_CHUNK => Response::Chunk { total_len: r.u64()?, bytes: r.bytes()? },
+            RESP_WANT => {
+                let count = r.u32()? as usize;
+                if count > r.buf.len() / 8 {
+                    return Err(NetError::Malformed {
+                        detail: format!(
+                            "want list announces {count} hashes, payload cannot hold them"
+                        ),
+                    });
+                }
+                let mut hashes = Vec::with_capacity(count);
+                for _ in 0..count {
+                    hashes.push(r.u64()?);
+                }
+                Response::Want { hashes }
+            }
+            RESP_RECORDS => {
+                let count = r.u32()? as usize;
+                if count > r.buf.len() / 16 {
+                    return Err(NetError::Malformed {
+                        detail: format!(
+                            "index announces {count} records, payload cannot hold them"
+                        ),
+                    });
+                }
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    records.push(read_record(&mut r)?);
+                }
+                Response::Records { records }
+            }
+            RESP_ERROR => Response::Error { code: r.u8()?, text: r.string()?, num: r.u64()? },
+            other => {
+                return Err(NetError::Malformed {
+                    detail: format!("unknown response verb {other}"),
+                })
+            }
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame I/O.
+// ---------------------------------------------------------------------
+
+fn transport_error(addr: &str, what: &str, e: &io::Error) -> NetError {
+    match e.kind() {
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
+            NetError::Timeout { addr: addr.to_owned(), detail: format!("{what}: {e}") }
+        }
+        _ => NetError::Io { addr: addr.to_owned(), detail: format!("{what}: {e}") },
+    }
+}
+
+/// Write one frame (header + payload) as a single buffered write.
+/// Returns the bytes put on the wire.
+fn write_frame<W: Write + ?Sized>(
+    stream: &mut W,
+    addr: &str,
+    kind: u8,
+    payload: &[u8],
+) -> std::result::Result<u64, NetError> {
+    debug_assert!(payload.len() as u32 <= MAX_FRAME_PAYLOAD);
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    frame.push(kind);
+    frame.push(0); // reserved
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    stream.write_all(&frame).map_err(|e| transport_error(addr, "writing frame", &e))?;
+    stream.flush().map_err(|e| transport_error(addr, "flushing frame", &e))?;
+    Ok(frame.len() as u64)
+}
+
+/// Fill `buf` from the stream, reporting exactly how many bytes made
+/// it if the stream ends early.
+fn read_full<R: Read + ?Sized>(
+    stream: &mut R,
+    addr: &str,
+    buf: &mut [u8],
+) -> std::result::Result<usize, NetError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(filled),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(transport_error(addr, "reading frame", &e)),
+        }
+    }
+    Ok(filled)
+}
+
+/// Read one frame. `Ok(None)` is a clean disconnect (EOF before any
+/// header byte); every other short read is [`NetError::Truncated`].
+/// Returns the verb, the payload, and the bytes read off the wire.
+fn read_frame<R: Read + ?Sized>(
+    stream: &mut R,
+    addr: &str,
+) -> std::result::Result<Option<(u8, Vec<u8>, u64)>, NetError> {
+    let mut header = [0u8; HEADER_LEN];
+    let got = read_full(stream, addr, &mut header)?;
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < HEADER_LEN {
+        return Err(NetError::Truncated { expected: HEADER_LEN as u64, got: got as u64 });
+    }
+    if header[..4] != FRAME_MAGIC {
+        return Err(NetError::Malformed {
+            detail: format!("bad frame magic {:02x?}", &header[..4]),
+        });
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != PROTOCOL_VERSION {
+        return Err(NetError::ProtocolVersion { got: version, want: PROTOCOL_VERSION });
+    }
+    let kind = header[6];
+    let payload_len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    if payload_len > MAX_FRAME_PAYLOAD {
+        return Err(NetError::FrameTooLarge { len: payload_len, max: MAX_FRAME_PAYLOAD });
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    let got = read_full(stream, addr, &mut payload)?;
+    if got < payload.len() {
+        return Err(NetError::Truncated { expected: payload_len as u64, got: got as u64 });
+    }
+    Ok(Some((kind, payload, (HEADER_LEN as u64) + payload_len as u64)))
+}
+
+// ---------------------------------------------------------------------
+// Dialing: the pluggable connection layer.
+// ---------------------------------------------------------------------
+
+/// A bidirectional byte stream a [`Dialer`] hands out. Blanket-implemented
+/// for anything `Read + Write + Send`.
+pub trait NetStream: Read + Write + Send {}
+
+impl<T: Read + Write + Send> NetStream for T {}
+
+/// How a [`NetClient`] obtains connections. The production
+/// implementation is [`TcpDialer`]; [`FaultInjector`] wraps any dialer
+/// to make its connections misbehave deterministically.
+pub trait Dialer: fmt::Debug + Send + Sync {
+    /// Open one connection to `addr` (a `host:port` pair), with
+    /// `timeout` applied to the connect and to every read and write on
+    /// the returned stream.
+    ///
+    /// # Errors
+    ///
+    /// The underlying connect failure.
+    fn dial(&self, addr: &str, timeout: Duration) -> io::Result<Box<dyn NetStream>>;
+}
+
+/// The production [`Dialer`]: plain `std::net::TcpStream` with the
+/// per-request timeout applied to connect, reads, and writes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpDialer;
+
+impl Dialer for TcpDialer {
+    fn dial(&self, addr: &str, timeout: Duration) -> io::Result<Box<dyn NetStream>> {
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "address resolves to nothing")
+        })?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Box::new(stream))
+    }
+}
+
+/// One xorshift64 step — the workspace's stand-in for a PRNG; fully
+/// deterministic from the seed.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// What one faulty connection does to its bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    /// The dial itself fails.
+    DropDial,
+    /// The connection dies (read error) after N clean bytes.
+    Drop,
+    /// The stream ends (clean EOF) mid-conversation after N bytes.
+    Truncate,
+    /// One payload byte is flipped after N clean bytes; the stream
+    /// then continues normally — only hash checks can catch this.
+    Flip,
+    /// Reads stall briefly once, then proceed.
+    Delay,
+}
+
+/// A deterministic chaos [`Dialer`]: wraps an inner dialer and makes a
+/// bounded number of its connections misbehave — failed dials, dropped
+/// or truncated streams, flipped payload bytes, delayed reads — all
+/// drawn from one xorshift-seeded sequence, so a test run is exactly
+/// reproducible. Once the fault budget is spent every further
+/// connection is clean, which makes convergence-under-retry a
+/// deterministic property rather than a probabilistic one.
+#[derive(Debug)]
+pub struct FaultInjector {
+    inner: Arc<dyn Dialer>,
+    state: Mutex<u64>,
+    budget: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Wrap `inner` so that up to `fault_budget` of its future
+    /// connections misbehave, the kinds and trigger points drawn
+    /// deterministically from `seed` (forced nonzero).
+    pub fn new(inner: Arc<dyn Dialer>, seed: u64, fault_budget: u64) -> FaultInjector {
+        FaultInjector {
+            inner,
+            state: Mutex::new(seed | 1),
+            budget: AtomicU64::new(fault_budget),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// How many faults have actually been injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Claim one unit of fault budget; false once it is spent.
+    fn try_consume(&self) -> bool {
+        self.budget.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1)).is_ok()
+    }
+}
+
+impl Dialer for FaultInjector {
+    fn dial(&self, addr: &str, timeout: Duration) -> io::Result<Box<dyn NetStream>> {
+        let draw = {
+            let mut state = self.state.lock().expect("fault injector state poisoned");
+            xorshift(&mut state)
+        };
+        // Draw the connection's fate: most draws fault while budget
+        // remains (that is the injector's job), spreading across all
+        // five kinds; once the budget is spent everything is clean.
+        let kind = match draw % 5 {
+            0 => FaultKind::DropDial,
+            1 => FaultKind::Drop,
+            2 => FaultKind::Truncate,
+            3 => FaultKind::Flip,
+            _ => FaultKind::Delay,
+        };
+        if !self.try_consume() {
+            return self.inner.dial(addr, timeout);
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        if kind == FaultKind::DropDial {
+            return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "injected dial failure"));
+        }
+        let stream = self.inner.dial(addr, timeout)?;
+        // Trigger somewhere in the first ~400 KiB of reads: early
+        // enough to hit headers, late enough to land mid-object once
+        // real chunks are flowing.
+        let trigger = (draw >> 8) % 400_000;
+        let delay = Duration::from_millis(1 + (draw >> 40) % 20);
+        Ok(Box::new(FaultyStream { inner: stream, kind, remaining: trigger, fired: false, delay }))
+    }
+}
+
+/// The stream wrapper [`FaultInjector`] hands out: byte-accurate fault
+/// triggering on the read side, writes passed through untouched.
+struct FaultyStream {
+    inner: Box<dyn NetStream>,
+    kind: FaultKind,
+    /// Clean bytes left before the fault fires.
+    remaining: u64,
+    fired: bool,
+    delay: Duration,
+}
+
+impl Read for FaultyStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.kind {
+            FaultKind::DropDial => unreachable!("DropDial never yields a stream"),
+            FaultKind::Delay => {
+                if !self.fired {
+                    self.fired = true;
+                    thread::sleep(self.delay);
+                }
+                self.inner.read(buf)
+            }
+            FaultKind::Truncate => {
+                if self.fired {
+                    return Ok(0);
+                }
+                let n = self.inner.read(buf)?;
+                if n as u64 >= self.remaining {
+                    let keep = self.remaining as usize;
+                    self.fired = true;
+                    return Ok(keep);
+                }
+                self.remaining -= n as u64;
+                Ok(n)
+            }
+            FaultKind::Drop => {
+                if self.fired {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "injected connection drop",
+                    ));
+                }
+                let n = self.inner.read(buf)?;
+                if n as u64 >= self.remaining {
+                    self.fired = true;
+                }
+                self.remaining = self.remaining.saturating_sub(n as u64);
+                Ok(n)
+            }
+            FaultKind::Flip => {
+                let n = self.inner.read(buf)?;
+                if !self.fired && self.remaining < n as u64 {
+                    buf[self.remaining as usize] ^= 0x40;
+                    self.fired = true;
+                } else {
+                    self.remaining = self.remaining.saturating_sub(n as u64);
+                }
+                Ok(n)
+            }
+        }
+    }
+}
+
+impl Write for FaultyStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The client.
+// ---------------------------------------------------------------------
+
+/// Retry and timeout policy for one [`NetClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (first try included).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub base_backoff: Duration,
+    /// Ceiling on one backoff sleep.
+    pub max_backoff: Duration,
+    /// Per-request timeout, applied to connect and to every read and
+    /// write.
+    pub timeout: Duration,
+    /// Seed for the deterministic xorshift backoff jitter.
+    pub jitter_seed: u64,
+    /// Object-transfer chunk length: the range-read granularity, and
+    /// therefore the most a mid-object interruption can cost.
+    pub chunk_len: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 6,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+            timeout: Duration::from_secs(5),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+            chunk_len: DEFAULT_CHUNK_LEN,
+        }
+    }
+}
+
+/// The framed-RPC client: one logical connection to a
+/// [`RegistryServer`], re-dialed on loss, every operation bounded by
+/// the [`RetryPolicy`]. Wire traffic and recovery events accumulate in
+/// [`NetStats`].
+pub struct NetClient {
+    addr: String,
+    dialer: Arc<dyn Dialer>,
+    policy: RetryPolicy,
+    counters: Arc<NetCounters>,
+    conn: Mutex<Option<Box<dyn NetStream>>>,
+    connected_once: AtomicBool,
+    jitter: Mutex<u64>,
+}
+
+impl fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetClient")
+            .field("addr", &self.addr)
+            .field("dialer", &self.dialer)
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetClient {
+    /// A client for `addr` (`host:port`) over `dialer` under `policy`.
+    pub fn new(addr: impl Into<String>, dialer: Arc<dyn Dialer>, policy: RetryPolicy) -> NetClient {
+        NetClient {
+            addr: addr.into(),
+            dialer,
+            policy,
+            counters: Arc::new(NetCounters::default()),
+            conn: Mutex::new(None),
+            connected_once: AtomicBool::new(false),
+            jitter: Mutex::new(policy.jitter_seed | 1),
+        }
+    }
+
+    /// Snapshot of this client's cumulative wire accounting.
+    pub fn stats(&self) -> NetStats {
+        let c = &self.counters;
+        NetStats {
+            retries: c.retries.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            reconnects: c.reconnects.load(Ordering::Relaxed),
+            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: c.bytes_received.load(Ordering::Relaxed),
+            range_resumes: c.range_resumes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Exponential backoff with deterministic jitter before retry
+    /// number `attempt` (1-based).
+    fn backoff(&self, attempt: u32) {
+        let base = self.policy.base_backoff.as_millis() as u64;
+        let scaled = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(16));
+        let capped = scaled.min(self.policy.max_backoff.as_millis() as u64);
+        let jitter = {
+            let mut state = self.jitter.lock().expect("jitter state poisoned");
+            xorshift(&mut state) % base.max(1)
+        };
+        thread::sleep(Duration::from_millis(capped + jitter));
+    }
+
+    /// Record a failed attempt: count it, classify timeouts, drop the
+    /// connection so the next attempt re-dials.
+    fn note_failure(&self, e: &NetError) {
+        self.counters.retries.fetch_add(1, Ordering::Relaxed);
+        if matches!(e, NetError::Timeout { .. }) {
+            self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One request/response exchange on the cached connection (dialing
+    /// if necessary), no retries. Any transport failure drops the
+    /// connection.
+    fn attempt(&self, req: &Request) -> std::result::Result<Response, NetError> {
+        let mut guard = self.conn.lock().expect("net connection poisoned");
+        if guard.is_none() {
+            let stream = self
+                .dialer
+                .dial(&self.addr, self.policy.timeout)
+                .map_err(|e| transport_error(&self.addr, "dialing", &e))?;
+            if self.connected_once.swap(true, Ordering::Relaxed) {
+                self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            *guard = Some(stream);
+        }
+        let stream = guard.as_mut().expect("connection just ensured");
+        let (kind, payload) = req.encode();
+        let result = write_frame(stream.as_mut(), &self.addr, kind, &payload).and_then(|sent| {
+            self.counters.bytes_sent.fetch_add(sent, Ordering::Relaxed);
+            match read_frame(stream.as_mut(), &self.addr)? {
+                Some((kind, payload, received)) => {
+                    self.counters.bytes_received.fetch_add(received, Ordering::Relaxed);
+                    Response::decode(kind, &payload)
+                }
+                None => Err(NetError::Truncated { expected: HEADER_LEN as u64, got: 0 }),
+            }
+        });
+        if result.is_err() {
+            *guard = None;
+        }
+        result
+    }
+
+    /// One RPC under the retry policy: transport faults are retried
+    /// with backoff, typed remote errors and decoded responses return
+    /// immediately.
+    fn rpc(&self, req: &Request) -> std::result::Result<Response, NetError> {
+        let mut last: Option<NetError> = None;
+        for attempt in 0..self.policy.attempts {
+            if attempt > 0 {
+                self.backoff(attempt);
+            }
+            match self.attempt(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_retryable() => {
+                    self.note_failure(&e);
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(NetError::RetriesExhausted {
+            attempts: self.policy.attempts,
+            last: last.map(|e| e.to_string()).unwrap_or_else(|| "no attempt ran".into()),
+        })
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures past the retry budget.
+    pub fn ping(&self) -> std::result::Result<(), NetError> {
+        match self.rpc(&Request::Ping)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch one object completely: bounded chunked range reads that
+    /// resume from the last received offset after a transport fault,
+    /// then one whole-object content-hash check. `Ok(None)` means the
+    /// server does not hold the object. Corrupted bytes are discarded
+    /// and re-fetched (bounded); they are **never** returned.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::RetriesExhausted`] when the budget runs out (the
+    /// `last` field names the final transport or hash failure), or a
+    /// non-retryable typed failure.
+    pub fn get_object(
+        &self,
+        entry: &str,
+        hash: u64,
+        total_len: u64,
+    ) -> std::result::Result<Option<Vec<u8>>, NetError> {
+        let mut buf: Vec<u8> = Vec::with_capacity(usize::try_from(total_len).unwrap_or(0));
+        let mut failures: u32 = 0;
+        // One closure for the shared bookkeeping of every retryable
+        // failure inside the transfer loop: count it, bound it, back
+        // off, and note whether partial progress survives (a resume).
+        loop {
+            while (buf.len() as u64) < total_len {
+                let len =
+                    u32::try_from((total_len - buf.len() as u64).min(self.policy.chunk_len as u64))
+                        .expect("chunk bounded by chunk_len");
+                let req = Request::GetObject { hash, offset: buf.len() as u64, len };
+                match self.attempt(&req) {
+                    Ok(Response::Chunk { total_len: reported, bytes }) => {
+                        if reported != total_len || bytes.is_empty() || bytes.len() > len as usize {
+                            let e = NetError::Malformed {
+                                detail: format!(
+                                    "chunk of {entry} reports total {reported}, carries {} bytes \
+                                     against a {len}-byte range at offset {} of {total_len}",
+                                    bytes.len(),
+                                    buf.len(),
+                                ),
+                            };
+                            failures += 1;
+                            if failures >= self.policy.attempts {
+                                return Err(self.exhausted(&e));
+                            }
+                            self.note_failure(&e);
+                            self.backoff(failures);
+                            continue;
+                        }
+                        buf.extend_from_slice(&bytes);
+                    }
+                    Ok(Response::Error { code: ERR_NOT_FOUND_OBJECT, .. }) => return Ok(None),
+                    Ok(Response::Error { code, text, num }) => {
+                        return Err(remote_net_error(code, &text, num))
+                    }
+                    Ok(other) => {
+                        let e = unexpected(&other);
+                        failures += 1;
+                        if failures >= self.policy.attempts {
+                            return Err(self.exhausted(&e));
+                        }
+                        self.note_failure(&e);
+                        self.backoff(failures);
+                    }
+                    Err(e) if e.is_retryable() => {
+                        failures += 1;
+                        if failures >= self.policy.attempts {
+                            return Err(self.exhausted(&e));
+                        }
+                        self.note_failure(&e);
+                        if !buf.is_empty() {
+                            // The next range read continues from
+                            // buf.len() instead of offset zero.
+                            self.counters.range_resumes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.backoff(failures);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let actual = content_hash(&buf);
+            if actual == hash {
+                return Ok(Some(buf));
+            }
+            // A flipped byte survived framing: throw everything away
+            // and re-fetch from offset zero — corruption never leaves
+            // this function.
+            let e = NetError::Corrupt { entry: entry.to_owned(), expected: hash, actual };
+            failures += 1;
+            if failures >= self.policy.attempts {
+                return Err(self.exhausted(&e));
+            }
+            self.note_failure(&e);
+            buf.clear();
+            self.backoff(failures);
+        }
+    }
+
+    fn exhausted(&self, last: &NetError) -> NetError {
+        NetError::RetriesExhausted { attempts: self.policy.attempts, last: last.to_string() }
+    }
+}
+
+/// A response of the wrong shape for the request — protocol breakage.
+fn unexpected(resp: &Response) -> NetError {
+    let label = match resp {
+        Response::Ok => "ok",
+        Response::Record { .. } => "record",
+        Response::Manifest { .. } => "manifest",
+        Response::Chunk { .. } => "chunk",
+        Response::Want { .. } => "want-list",
+        Response::Records { .. } => "records",
+        Response::Error { .. } => "error",
+    };
+    NetError::Malformed { detail: format!("unexpected {label} response for this request") }
+}
+
+/// Rebuild a remote error the client cannot retype more precisely.
+fn remote_net_error(code: u8, text: &str, num: u64) -> NetError {
+    match code {
+        ERR_BAD_REQUEST => NetError::Remote { detail: format!("bad request: {text}") },
+        ERR_CORRUPT => NetError::Remote {
+            detail: format!("server rejected corrupt upload of {text}: bytes hash to {num:#018x}"),
+        },
+        _ => NetError::Remote { detail: text.to_owned() },
+    }
+}
+
+// ---------------------------------------------------------------------
+// The remote registry (client-side façade).
+// ---------------------------------------------------------------------
+
+/// Parse `tcp://host:port` to the bare `host:port` dial address.
+fn parse_url(url: &str) -> std::result::Result<String, NetError> {
+    let invalid =
+        |detail: &str| NetError::InvalidUrl { url: url.to_owned(), detail: detail.into() };
+    let rest =
+        url.strip_prefix("tcp://").ok_or_else(|| invalid("expected the form tcp://host:port"))?;
+    let (_, port) = rest.rsplit_once(':').ok_or_else(|| invalid("missing :port"))?;
+    if rest.is_empty() || port.parse::<u16>().is_err() {
+        return Err(invalid("port is not a number"));
+    }
+    Ok(rest.to_owned())
+}
+
+/// A remote registry spoken to over the wire — the client-side
+/// counterpart of [`RegistryServer`], with the same verbs the
+/// in-process [`Registry`] exposes: offer/want/push/pull delta
+/// shipping, compatibility-keyed [`RemoteRegistry::resolve`], and
+/// [`RemoteRegistry::open`] for consuming an artifact without pulling
+/// it into a local pool first.
+#[derive(Debug, Clone)]
+pub struct RemoteRegistry {
+    client: Arc<NetClient>,
+    url: String,
+}
+
+impl RemoteRegistry {
+    /// Connect to `url` (`tcp://host:port`) over plain TCP under the
+    /// default [`RetryPolicy`]. The dial itself is lazy — this only
+    /// validates the URL.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidUrl`].
+    pub fn connect(url: &str) -> Result<RemoteRegistry> {
+        RemoteRegistry::connect_with(url, Arc::new(TcpDialer), RetryPolicy::default())
+    }
+
+    /// [`RemoteRegistry::connect`] with an explicit dialer (e.g. a
+    /// [`FaultInjector`]) and retry policy.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidUrl`].
+    pub fn connect_with(
+        url: &str,
+        dialer: Arc<dyn Dialer>,
+        policy: RetryPolicy,
+    ) -> Result<RemoteRegistry> {
+        let addr = parse_url(url)?;
+        Ok(RemoteRegistry {
+            client: Arc::new(NetClient::new(addr, dialer, policy)),
+            url: url.to_owned(),
+        })
+    }
+
+    /// The URL this handle speaks to.
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// Snapshot of the underlying client's wire accounting.
+    pub fn stats(&self) -> NetStats {
+        self.client.stats()
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures past the retry budget.
+    pub fn ping(&self) -> Result<()> {
+        Ok(self.client.ping()?)
+    }
+
+    /// Every live record in the remote index, in index order.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures past the retry budget, or a remote fault.
+    pub fn records(&self) -> Result<Vec<RegistryRecord>> {
+        match self.client.rpc(&Request::Records)? {
+            Response::Records { records } => Ok(records),
+            Response::Error { code, text, num } => Err(self.remote_error(code, text, num)),
+            other => Err(unexpected(&other).into()),
+        }
+    }
+
+    /// Compatibility-keyed resolution: the best remote artifact whose
+    /// fleet runs on `arch` (see [`Registry::resolve`] for the
+    /// ordering).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoCompatibleArtifact`] if nothing serves `arch`;
+    /// transport failures past the retry budget.
+    pub fn resolve(&self, arch: SmArch) -> Result<RegistryRecord> {
+        match self.client.rpc(&Request::Resolve { arch: arch.0 })? {
+            Response::Record { record } => Ok(record),
+            Response::Error { code, text, num } => Err(self.remote_error(code, text, num)),
+            other => Err(unexpected(&other).into()),
+        }
+    }
+
+    /// One artifact's remote index record.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingArtifact`] if the remote index lacks the
+    /// id; transport failures past the retry budget.
+    pub fn record(&self, artifact_id: &str) -> Result<RegistryRecord> {
+        match self.client.rpc(&Request::Offer { artifact_id: artifact_id.to_owned() })? {
+            Response::Record { record } => Ok(record),
+            Response::Error { code, text, num } => Err(self.remote_error(code, text, num)),
+            other => Err(unexpected(&other).into()),
+        }
+    }
+
+    /// One artifact's manifest bytes, hash-checked against its record
+    /// with bounded re-fetching — corrupt bytes are never returned.
+    fn fetch_manifest(&self, record: &RegistryRecord) -> Result<Vec<u8>> {
+        let entry = manifest_relative(&record.artifact_id);
+        let mut failures = 0u32;
+        loop {
+            let bytes = match self
+                .client
+                .rpc(&Request::Manifest { artifact_id: record.artifact_id.clone() })?
+            {
+                Response::Manifest { bytes } => bytes,
+                Response::Error { code, text, num } => {
+                    return Err(self.remote_error(code, text, num))
+                }
+                other => return Err(unexpected(&other).into()),
+            };
+            let actual = content_hash(&bytes);
+            if actual == record.manifest_hash {
+                return Ok(bytes);
+            }
+            let e =
+                NetError::Corrupt { entry: entry.clone(), expected: record.manifest_hash, actual };
+            failures += 1;
+            if failures >= self.client.policy.attempts {
+                return Err(self.client.exhausted(&e).into());
+            }
+            self.client.note_failure(&e);
+        }
+    }
+
+    /// Pull one artifact into `local` — the wire form of
+    /// [`Registry::pull`], same want-list delta: fetch the record,
+    /// ask `local` which objects it lacks, range-read only those
+    /// (hash-checked, resumable), then install the manifest and record
+    /// after presence-verifying the full closure.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingArtifact`] /
+    /// [`StoreError::MissingObject`] as the local pull path, transport
+    /// failures past the retry budget.
+    pub fn pull_into(&self, local: &Registry, artifact_id: &str) -> Result<ShipReport> {
+        let record = self.record(artifact_id)?;
+        self.pull_record(local, &record)
+    }
+
+    /// [`RemoteRegistry::resolve`] + [`RemoteRegistry::pull_into`]:
+    /// pull whatever currently serves `arch`. Returns the resolved
+    /// record alongside the ship report.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteRegistry::resolve`] and
+    /// [`RemoteRegistry::pull_into`].
+    pub fn pull_resolved(
+        &self,
+        local: &Registry,
+        arch: SmArch,
+    ) -> Result<(RegistryRecord, ShipReport)> {
+        let record = self.resolve(arch)?;
+        let report = self.pull_record(local, &record)?;
+        Ok((record, report))
+    }
+
+    fn pull_record(&self, local: &Registry, record: &RegistryRecord) -> Result<ShipReport> {
+        let manifest_bytes = self.fetch_manifest(record)?;
+        let want = local.want(&ArtifactOffer { record: record.clone() });
+        local.ensure_layout()?;
+        let mut wanted: HashSet<u64> = want.wanted.iter().map(|object| object.hash).collect();
+        let mut report = ShipReport {
+            artifact_id: record.artifact_id.clone(),
+            objects_shipped: 0,
+            bytes_shipped: 0,
+            objects_skipped: 0,
+            bytes_skipped: 0,
+        };
+        for object in record.referenced() {
+            if wanted.remove(&object.hash) {
+                let bytes = self
+                    .client
+                    .get_object(&object.object_path(), object.hash, object.byte_len)?
+                    .ok_or_else(|| StoreError::MissingObject {
+                        artifact_id: record.artifact_id.clone(),
+                        hash: object.hash,
+                    })?;
+                local.pool_object(object, &bytes)?;
+                report.objects_shipped += 1;
+                report.bytes_shipped += object.byte_len;
+            } else {
+                report.objects_skipped += 1;
+                report.bytes_skipped += object.byte_len;
+            }
+        }
+        local.install_shipped(record, &manifest_bytes)?;
+        Ok(report)
+    }
+
+    /// Push one local artifact to the remote — the wire form of
+    /// [`Registry::push`]: the server's want-list bounds the upload,
+    /// objects stream in chunks into a server-side staging area that is
+    /// hash-checked before pooling, and the final install
+    /// presence-verifies the closure server-side.
+    ///
+    /// # Errors
+    ///
+    /// As [`Registry::push`] locally, plus transport failures past the
+    /// retry budget.
+    pub fn push_from(&self, local: &Registry, artifact_id: &str) -> Result<ShipReport> {
+        let offer = local.offer(artifact_id)?;
+        let wanted: HashSet<u64> = match self
+            .client
+            .rpc(&Request::Want { record: offer.record.clone() })?
+        {
+            Response::Want { hashes } => hashes.into_iter().collect(),
+            Response::Error { code, text, num } => return Err(self.remote_error(code, text, num)),
+            other => return Err(unexpected(&other).into()),
+        };
+        let mut report = ShipReport {
+            artifact_id: artifact_id.to_owned(),
+            objects_shipped: 0,
+            bytes_shipped: 0,
+            objects_skipped: 0,
+            bytes_skipped: 0,
+        };
+        let mut seen = HashSet::new();
+        for object in offer.record.referenced() {
+            if !seen.insert(object.hash) {
+                continue;
+            }
+            if wanted.contains(&object.hash) {
+                let bytes = local.object_bytes(artifact_id, object)?;
+                self.put_object(object, &bytes)?;
+                report.objects_shipped += 1;
+                report.bytes_shipped += object.byte_len;
+            } else {
+                report.objects_skipped += 1;
+                report.bytes_skipped += object.byte_len;
+            }
+        }
+        let manifest_bytes = local.manifest_bytes(&offer.record)?;
+        match self.client.rpc(&Request::Install { record: offer.record.clone(), manifest_bytes })? {
+            Response::Ok => Ok(report),
+            Response::Error { code, text, num } => Err(self.remote_error(code, text, num)),
+            other => Err(unexpected(&other).into()),
+        }
+    }
+
+    /// Upload one object in bounded chunks.
+    fn put_object(&self, object: &ObjectRef, bytes: &[u8]) -> Result<()> {
+        let chunk = self.client.policy.chunk_len as usize;
+        let mut offset = 0usize;
+        loop {
+            let end = (offset + chunk).min(bytes.len());
+            let req = Request::PutObject {
+                hash: object.hash,
+                total_len: object.byte_len,
+                offset: offset as u64,
+                bytes: bytes[offset..end].to_vec(),
+            };
+            match self.client.rpc(&req)? {
+                Response::Ok => {}
+                Response::Error { code, text, num } => {
+                    return Err(self.remote_error(code, text, num))
+                }
+                other => return Err(unexpected(&other).into()),
+            }
+            offset = end;
+            if offset >= bytes.len() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Consume one remote artifact without pulling it into a local
+    /// pool: [`Store::open_from`] over a wire-backed [`ObjectSource`],
+    /// every manifest, plan, and object byte still hash-checked by the
+    /// store layer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::open_from`]; transport failures surface as
+    /// [`StoreError::Io`] naming the remote path.
+    pub fn open(&self, artifact_id: &str) -> Result<StoredArtifact> {
+        let record = self.record(artifact_id)?;
+        Store::open_from(Arc::new(RemoteSource {
+            client: self.client.clone(),
+            url: self.url.clone(),
+            record,
+        }))
+    }
+
+    /// [`RemoteRegistry::open`] + [`StoredArtifact::verify`]: full
+    /// cold re-verification straight over the wire.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteRegistry::open`] and [`StoredArtifact::verify`].
+    pub fn verify(&self, artifact_id: &str) -> Result<StoreVerification> {
+        self.open(artifact_id)?.verify()
+    }
+
+    /// Rebuild the typed error a remote error response encodes.
+    fn remote_error(&self, code: u8, text: String, num: u64) -> crate::NegativaError {
+        match code {
+            ERR_NOT_FOUND_ARTIFACT => {
+                StoreError::MissingArtifact { artifact_id: text, registry: self.url.clone() }.into()
+            }
+            ERR_MISSING_OBJECT => StoreError::MissingObject { artifact_id: text, hash: num }.into(),
+            ERR_NO_COMPATIBLE => {
+                StoreError::NoCompatibleArtifact { arch: text, registry: self.url.clone() }.into()
+            }
+            _ => remote_net_error(code, &text, num).into(),
+        }
+    }
+}
+
+/// The wire-backed [`ObjectSource`]: store-relative paths resolved to
+/// protocol verbs — `MANIFEST.json` to the manifest verb, `plan.json`
+/// to a range-read of the plan's pool object, `objects/<hash>.bin` to
+/// a range-read of that object (its length pinned by the index
+/// record). The store layer hash-checks every byte on top of the
+/// client's own whole-object checks.
+struct RemoteSource {
+    client: Arc<NetClient>,
+    url: String,
+    record: RegistryRecord,
+}
+
+impl fmt::Debug for RemoteSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteSource")
+            .field("url", &self.url)
+            .field("artifact_id", &self.record.artifact_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ObjectSource for RemoteSource {
+    fn describe(&self, relative: &str) -> String {
+        format!("{}/{}/{relative}", self.url, self.record.artifact_id)
+    }
+
+    fn fetch(&self, relative: &str) -> io::Result<Option<Vec<u8>>> {
+        let into_io = io::Error::other;
+        if relative == MANIFEST_FILE {
+            return match self
+                .client
+                .rpc(&Request::Manifest { artifact_id: self.record.artifact_id.clone() })
+                .map_err(into_io)?
+            {
+                Response::Manifest { bytes } => Ok(Some(bytes)),
+                Response::Error { code: ERR_NOT_FOUND_ARTIFACT, .. } => Ok(None),
+                Response::Error { code, text, num } => {
+                    Err(io::Error::other(remote_net_error(code, &text, num)))
+                }
+                other => Err(io::Error::other(unexpected(&other))),
+            };
+        }
+        let object = if relative == PLAN_FILE {
+            Some(self.record.plan)
+        } else {
+            // `objects/<16-hex>.bin` → the referenced object of that
+            // hash; anything unreferenced does not exist remotely.
+            self.record.referenced().find(|object| object.object_path() == relative).cloned()
+        };
+        let Some(object) = object else { return Ok(None) };
+        self.client.get_object(relative, object.hash, object.byte_len).map_err(into_io)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The server.
+// ---------------------------------------------------------------------
+
+/// Server-side idle poll granularity: how often a blocked connection
+/// handler wakes to check the shutdown flag.
+const SERVER_IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Ceiling on one staged upload, mirroring the frame ceiling's intent:
+/// a corrupt or hostile `total_len` cannot balloon server memory.
+const MAX_STAGED_OBJECT: u64 = 256 * 1024 * 1024;
+
+/// What the server threads share.
+struct ServerShared {
+    registry: RwLock<Registry>,
+    root: PathBuf,
+    shutdown: AtomicBool,
+}
+
+/// A loopback TCP server exposing one [`Registry`] over the framed
+/// protocol: thread-per-connection, index reads and object streaming
+/// under the read lock, installs under the write lock, every request
+/// answered from a fresh index snapshot. Shuts down cleanly on
+/// [`RegistryServer::shutdown`] or drop.
+#[derive(Debug)]
+pub struct RegistryServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for ServerShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerShared").field("root", &self.root).finish_non_exhaustive()
+    }
+}
+
+impl RegistryServer {
+    /// Bind `addr` (`host:port`; port 0 picks a free one) and serve
+    /// `registry` until shutdown. Returns once the listener is bound —
+    /// the accept loop runs on its own thread.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] if the bind fails.
+    pub fn serve(registry: Registry, addr: &str) -> Result<RegistryServer> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| NetError::Io { addr: addr.to_owned(), detail: format!("bind: {e}") })?;
+        let bound = listener.local_addr().map_err(|e| NetError::Io {
+            addr: addr.to_owned(),
+            detail: format!("local_addr: {e}"),
+        })?;
+        let root = registry.root().to_path_buf();
+        let shared = Arc::new(ServerShared {
+            registry: RwLock::new(registry),
+            root,
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = shared.clone();
+        let accept = thread::Builder::new()
+            .name("registry-accept".into())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if accept_shared.shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = incoming else { continue };
+                    let conn_shared = accept_shared.clone();
+                    let _ = thread::Builder::new()
+                        .name("registry-conn".into())
+                        .spawn(move || handle_connection(&conn_shared, stream));
+                }
+            })
+            .map_err(|e| NetError::Io { addr: addr.to_owned(), detail: format!("spawn: {e}") })?;
+        Ok(RegistryServer { addr: bound, shared, accept: Some(accept) })
+    }
+
+    /// The bound socket address (with the real port when bound to 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The `tcp://host:port` URL clients connect to.
+    pub fn url(&self) -> String {
+        format!("tcp://{}", self.addr)
+    }
+
+    /// Stop accepting, wake the accept loop, and join it. Connection
+    /// handlers notice the flag at their next idle poll.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RegistryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One connection's request loop: framed requests in, framed responses
+/// out, a per-connection upload staging area, clean exit on EOF,
+/// shutdown flag, or transport failure.
+fn handle_connection(shared: &ServerShared, mut stream: TcpStream) {
+    let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "peer".into());
+    stream.set_read_timeout(Some(SERVER_IDLE_POLL)).ok();
+    stream.set_nodelay(true).ok();
+    let mut staging: HashMap<u64, Vec<u8>> = HashMap::new();
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let (kind, payload) = match read_frame(&mut stream, &peer) {
+            Ok(Some((kind, payload, _))) => (kind, payload),
+            Ok(None) => return,
+            // Idle between frames: poll the shutdown flag and wait on.
+            Err(NetError::Timeout { .. }) => continue,
+            Err(_) => return,
+        };
+        let response = match Request::decode(kind, &payload) {
+            Ok(request) => respond(shared, &mut staging, request),
+            Err(e) => Response::Error { code: ERR_BAD_REQUEST, text: e.to_string(), num: 0 },
+        };
+        let (kind, payload) = response.encode();
+        if write_frame(&mut stream, &peer, kind, &payload).is_err() {
+            return;
+        }
+    }
+}
+
+/// Execute one request against the shared registry.
+fn respond(
+    shared: &ServerShared,
+    staging: &mut HashMap<u64, Vec<u8>>,
+    request: Request,
+) -> Response {
+    match request {
+        Request::Ping => Response::Ok,
+        Request::Records => {
+            match shared.registry.read().expect("registry lock poisoned").artifacts() {
+                Ok(records) => Response::Records { records },
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::Resolve { arch } => {
+            match shared.registry.read().expect("registry lock poisoned").resolve(SmArch(arch)) {
+                Ok(record) => Response::Record { record },
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::Offer { artifact_id } => {
+            match shared.registry.read().expect("registry lock poisoned").record(&artifact_id) {
+                Ok(record) => Response::Record { record },
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::Manifest { artifact_id } => {
+            let registry = shared.registry.read().expect("registry lock poisoned");
+            match registry.record(&artifact_id).and_then(|record| registry.manifest_bytes(&record))
+            {
+                Ok(bytes) => Response::Manifest { bytes },
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::GetObject { hash, offset, len } => {
+            // Hold the read lock across the file read so a concurrent
+            // GC sweep cannot delete the object mid-serve.
+            let _guard = shared.registry.read().expect("registry lock poisoned");
+            let relative = ObjectRef { hash, byte_len: 0 }.object_path();
+            let bytes = match fs::read(shared.root.join(&relative)) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    return Response::Error {
+                        code: ERR_NOT_FOUND_OBJECT,
+                        text: relative,
+                        num: hash,
+                    }
+                }
+                Err(e) => {
+                    return Response::Error {
+                        code: ERR_INTERNAL,
+                        text: format!("reading {relative}: {e}"),
+                        num: 0,
+                    }
+                }
+            };
+            let total_len = bytes.len() as u64;
+            if offset > total_len {
+                return Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    text: format!("offset {offset} past the end of {relative} ({total_len} bytes)"),
+                    num: 0,
+                };
+            }
+            let len = (len as u64).min(MAX_FRAME_PAYLOAD as u64 / 2);
+            let end = (offset + len).min(total_len);
+            Response::Chunk { total_len, bytes: bytes[offset as usize..end as usize].to_vec() }
+        }
+        Request::Want { record } => {
+            let registry = shared.registry.read().expect("registry lock poisoned");
+            let want = registry.want(&ArtifactOffer { record });
+            Response::Want { hashes: want.wanted.iter().map(|object| object.hash).collect() }
+        }
+        Request::PutObject { hash, total_len, offset, bytes } => {
+            if total_len > MAX_STAGED_OBJECT {
+                return Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    text: format!("staged object of {total_len} bytes exceeds {MAX_STAGED_OBJECT}"),
+                    num: 0,
+                };
+            }
+            let staged = staging.entry(hash).or_default();
+            // Idempotent under client retries: a chunk that re-sends
+            // already-staged bytes is acknowledged, not re-appended.
+            if offset + bytes.len() as u64 <= staged.len() as u64 {
+                return Response::Ok;
+            }
+            if offset != staged.len() as u64 || offset + bytes.len() as u64 > total_len {
+                let detail = format!(
+                    "upload chunk at offset {offset} does not extend the {} staged bytes \
+                     of object {hash:#018x} (total {total_len})",
+                    staged.len()
+                );
+                staging.remove(&hash);
+                return Response::Error { code: ERR_BAD_REQUEST, text: detail, num: 0 };
+            }
+            staged.extend_from_slice(&bytes);
+            if (staged.len() as u64) < total_len {
+                return Response::Ok;
+            }
+            // Complete: hash-check before anything touches the pool —
+            // a corrupt upload is dropped, never installed.
+            let staged = staging.remove(&hash).expect("just staged");
+            let object = ObjectRef { hash, byte_len: total_len };
+            let actual = content_hash(&staged);
+            if actual != hash {
+                return Response::Error {
+                    code: ERR_CORRUPT,
+                    text: object.object_path(),
+                    num: actual,
+                };
+            }
+            let registry = shared.registry.write().expect("registry lock poisoned");
+            match registry.ensure_layout().and_then(|()| registry.pool_object(&object, &staged)) {
+                Ok(_) => Response::Ok,
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::Install { record, manifest_bytes } => {
+            let registry = shared.registry.write().expect("registry lock poisoned");
+            match registry.install_shipped(&record, &manifest_bytes) {
+                Ok(()) => Response::Ok,
+                Err(e) => error_response(&e),
+            }
+        }
+    }
+}
+
+/// Map a registry-side failure to its wire error response.
+fn error_response(e: &crate::NegativaError) -> Response {
+    use crate::NegativaError;
+    match e {
+        NegativaError::Store(StoreError::MissingArtifact { artifact_id, .. }) => {
+            Response::Error { code: ERR_NOT_FOUND_ARTIFACT, text: artifact_id.clone(), num: 0 }
+        }
+        NegativaError::Store(StoreError::MissingObject { artifact_id, hash }) => {
+            Response::Error { code: ERR_MISSING_OBJECT, text: artifact_id.clone(), num: *hash }
+        }
+        NegativaError::Store(StoreError::NoCompatibleArtifact { arch, .. }) => {
+            Response::Error { code: ERR_NO_COMPATIBLE, text: arch.clone(), num: 0 }
+        }
+        other => Response::Error { code: ERR_INTERNAL, text: other.to_string(), num: 0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_fixture() -> RegistryRecord {
+        RegistryRecord {
+            artifact_id: "torch-sm75-aabb-ccdd".into(),
+            manifest_hash: 0x1122_3344_5566_7788,
+            plan: ObjectRef { hash: 0xaa, byte_len: 123 },
+            published_ns: 42,
+            objects: vec![
+                ObjectRef { hash: 0xbb, byte_len: 456 },
+                ObjectRef { hash: 0xcc, byte_len: 789 },
+            ],
+        }
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip() {
+        let record = record_fixture();
+        let cases = vec![
+            Request::Ping,
+            Request::Resolve { arch: 75 },
+            Request::Offer { artifact_id: "a-b".into() },
+            Request::Manifest { artifact_id: "a-b".into() },
+            Request::GetObject { hash: 7, offset: 1024, len: 4096 },
+            Request::Records,
+            Request::Want { record: record.clone() },
+            Request::PutObject { hash: 9, total_len: 10, offset: 4, bytes: vec![1, 2, 3] },
+            Request::Install { record: record.clone(), manifest_bytes: b"{}".to_vec() },
+        ];
+        for request in cases {
+            let (kind, payload) = request.encode();
+            assert_eq!(Request::decode(kind, &payload).unwrap(), request);
+        }
+        let cases = vec![
+            Response::Ok,
+            Response::Record { record: record.clone() },
+            Response::Manifest { bytes: b"{}".to_vec() },
+            Response::Chunk { total_len: 999, bytes: vec![4, 5, 6] },
+            Response::Want { hashes: vec![1, 2, 3] },
+            Response::Records { records: vec![record] },
+            Response::Error { code: ERR_CORRUPT, text: "objects/x.bin".into(), num: 5 },
+        ];
+        for response in cases {
+            let (kind, payload) = response.encode();
+            assert_eq!(Response::decode(kind, &payload).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_count_bytes() {
+        let mut wire = Vec::new();
+        let sent = write_frame(&mut wire, "test", REQ_PING, b"hello").unwrap();
+        assert_eq!(sent, (HEADER_LEN + 5) as u64);
+        let mut cursor = &wire[..];
+        let (kind, payload, received) = read_frame(&mut cursor, "test").unwrap().unwrap();
+        assert_eq!(kind, REQ_PING);
+        assert_eq!(payload, b"hello");
+        assert_eq!(received, sent);
+        // A second read on the drained stream is a clean EOF.
+        assert!(read_frame(&mut cursor, "test").unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_errors_are_typed() {
+        // Truncated header.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "test", REQ_PING, b"payload").unwrap();
+        let mut cursor = &wire[..HEADER_LEN - 3];
+        assert_eq!(
+            read_frame(&mut cursor, "test").unwrap_err(),
+            NetError::Truncated { expected: HEADER_LEN as u64, got: (HEADER_LEN - 3) as u64 }
+        );
+        // Truncated payload.
+        let mut cursor = &wire[..HEADER_LEN + 2];
+        assert_eq!(
+            read_frame(&mut cursor, "test").unwrap_err(),
+            NetError::Truncated { expected: 7, got: 2 }
+        );
+        // Wrong protocol version.
+        let mut bad = wire.clone();
+        bad[4] = 9;
+        bad[5] = 0;
+        let mut cursor = &bad[..];
+        assert_eq!(
+            read_frame(&mut cursor, "test").unwrap_err(),
+            NetError::ProtocolVersion { got: 9, want: PROTOCOL_VERSION }
+        );
+        // Oversized payload announcement.
+        let mut bad = wire.clone();
+        bad[8..12].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        let mut cursor = &bad[..];
+        assert_eq!(
+            read_frame(&mut cursor, "test").unwrap_err(),
+            NetError::FrameTooLarge { len: MAX_FRAME_PAYLOAD + 1, max: MAX_FRAME_PAYLOAD }
+        );
+        // Bad magic.
+        let mut bad = wire;
+        bad[0] = b'X';
+        let mut cursor = &bad[..];
+        assert!(matches!(read_frame(&mut cursor, "test").unwrap_err(), NetError::Malformed { .. }));
+    }
+
+    #[test]
+    fn urls_parse_strictly() {
+        assert_eq!(parse_url("tcp://127.0.0.1:8080").unwrap(), "127.0.0.1:8080");
+        for bad in ["http://127.0.0.1:80", "tcp://nohost", "tcp://h:notaport", "127.0.0.1:80"] {
+            assert!(
+                matches!(parse_url(bad), Err(NetError::InvalidUrl { .. })),
+                "{bad} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = 0x1234 | 1;
+        let mut b = 0x1234 | 1;
+        for _ in 0..100 {
+            let x = xorshift(&mut a);
+            assert_eq!(x, xorshift(&mut b));
+            assert_ne!(x, 0);
+        }
+    }
+
+    #[test]
+    fn retryability_splits_transport_from_content() {
+        assert!(NetError::Truncated { expected: 1, got: 0 }.is_retryable());
+        assert!(NetError::Malformed { detail: String::new() }.is_retryable());
+        assert!(NetError::Timeout { addr: String::new(), detail: String::new() }.is_retryable());
+        assert!(!NetError::Remote { detail: String::new() }.is_retryable());
+        assert!(!NetError::Corrupt { entry: String::new(), expected: 1, actual: 2 }.is_retryable());
+        assert!(!NetError::RetriesExhausted { attempts: 3, last: String::new() }.is_retryable());
+    }
+}

@@ -53,10 +53,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
+use fatbin::{FleetSpec, SmArch};
+
 use crate::codec::content_hash;
 use crate::manifest::{
-    encode_plan, ObjectRef, RegistryIndex, RegistryRecord, MANIFESTS_DIR, MANIFEST_FILE,
-    OBJECTS_DIR, PLAN_FILE, REGISTRY_FILE,
+    encode_plan, ObjectRef, RegistryIndex, RegistryRecord, StoreManifest, MANIFESTS_DIR,
+    MANIFEST_FILE, OBJECTS_DIR, PLAN_FILE, REGISTRY_FILE,
 };
 use crate::store::{
     display, manifest_for, object_present_at, write_atomic_at, ObjectSource, Store, StoreError,
@@ -402,8 +404,9 @@ impl Registry {
     ///
     /// # Errors
     ///
-    /// [`StoreError::MissingArtifact`] / [`StoreError::MissingEntry`]
-    /// for an id or object this side no longer holds,
+    /// [`StoreError::MissingArtifact`] for an id this side no longer
+    /// holds, [`StoreError::MissingObject`] naming the first referenced
+    /// hash whose pool file is gone (on either side),
     /// [`StoreError::HashMismatch`] for pool bytes that no longer
     /// match their recorded hash, [`StoreError::Io`] for filesystem
     /// failures.
@@ -421,7 +424,7 @@ impl Registry {
         };
         for object in offer.record.referenced() {
             if wanted.remove(&object.hash) {
-                let bytes = self.object_bytes(object)?;
+                let bytes = self.object_bytes(artifact_id, object)?;
                 to.pool_object(object, &bytes)?;
                 report.objects_shipped += 1;
                 report.bytes_shipped += object.byte_len;
@@ -437,7 +440,59 @@ impl Registry {
 
         // Manifest + record install, in the store's torn-publish-safe
         // order: content first, the consumable record last.
-        let relative = manifest_relative(artifact_id);
+        let manifest_bytes = self.manifest_bytes(&offer.record)?;
+        to.install_shipped(&offer.record, &manifest_bytes)?;
+        Ok(report)
+    }
+
+    /// Receiver-side install of a shipped artifact: presence-verify the
+    /// full referenced closure (a torn ship must fail *here*, typed,
+    /// rather than leave a consumable record pointing at missing
+    /// bytes), then write the manifest and upsert the index record.
+    /// Shared by the in-process ship path and the wire server.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingObject`] naming the first referenced hash
+    /// absent from this pool; otherwise as [`Registry::index`].
+    pub(crate) fn install_shipped(
+        &self,
+        record: &RegistryRecord,
+        manifest_bytes: &[u8],
+    ) -> Result<()> {
+        let actual = content_hash(manifest_bytes);
+        if actual != record.manifest_hash {
+            return Err(StoreError::HashMismatch {
+                entry: manifest_relative(&record.artifact_id),
+                expected: record.manifest_hash,
+                actual,
+            }
+            .into());
+        }
+        for object in record.referenced() {
+            if !object_present_at(&self.root, &object.object_path(), object.byte_len) {
+                return Err(StoreError::MissingObject {
+                    artifact_id: record.artifact_id.clone(),
+                    hash: object.hash,
+                }
+                .into());
+            }
+        }
+        self.ensure_layout()?;
+        write_atomic_at(&self.root, &manifest_relative(&record.artifact_id), manifest_bytes)?;
+        self.install_record(record.clone())
+    }
+
+    /// One artifact's manifest bytes, hash-checked against its index
+    /// record — what a ship (local or wire) sends alongside the
+    /// objects.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingEntry`] if the manifest file is gone,
+    /// [`StoreError::HashMismatch`] if it diverged from the record.
+    pub(crate) fn manifest_bytes(&self, record: &RegistryRecord) -> Result<Vec<u8>> {
+        let relative = manifest_relative(&record.artifact_id);
         let path = self.root.join(&relative);
         let manifest_bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
@@ -451,26 +506,80 @@ impl Registry {
             }
         };
         let actual = content_hash(&manifest_bytes);
-        if actual != offer.record.manifest_hash {
+        if actual != record.manifest_hash {
             return Err(StoreError::HashMismatch {
                 entry: relative,
-                expected: offer.record.manifest_hash,
+                expected: record.manifest_hash,
                 actual,
             }
             .into());
         }
-        for object in offer.record.referenced() {
-            if !object_present_at(&to.root, &object.object_path(), object.byte_len) {
-                return Err(StoreError::MissingEntry {
-                    entry: object.object_path(),
-                    path: display(&to.root.join(object.object_path())),
-                }
-                .into());
+        Ok(manifest_bytes)
+    }
+
+    /// Compatibility-keyed lookup: the **best** indexed artifact whose
+    /// fleet runs on a GPU of architecture `arch` — most recently
+    /// published first, smaller fleet breaking ties (a tighter artifact
+    /// carries less dead SASS for this node), artifact id as the final
+    /// deterministic tie-break. This is what lets a node stop naming
+    /// artifact ids: it asks for "whatever currently serves my arch"
+    /// ([`FleetSpec::runs_on`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoCompatibleArtifact`] if no live record's fleet
+    /// serves `arch`; otherwise as [`Registry::index`] (plus manifest
+    /// read/decode failures — fleet membership lives in the manifest's
+    /// plan key).
+    pub fn resolve(&self, arch: SmArch) -> Result<RegistryRecord> {
+        let mut best: Option<(u64, usize, RegistryRecord)> = None;
+        for record in self.index()?.records {
+            let fleet = self.record_fleet(&record)?;
+            if !fleet.runs_on(arch) {
+                continue;
             }
+            let candidate = (record.published_ns, fleet.len(), record);
+            best = Some(match best.take() {
+                None => candidate,
+                Some(current) => {
+                    let newer = candidate.0 > current.0
+                        || (candidate.0 == current.0
+                            && (candidate.1 < current.1
+                                || (candidate.1 == current.1
+                                    && candidate.2.artifact_id < current.2.artifact_id)));
+                    if newer {
+                        candidate
+                    } else {
+                        current
+                    }
+                }
+            });
         }
-        write_atomic_at(&to.root, &relative, &manifest_bytes)?;
-        to.install_record(offer.record.clone())?;
-        Ok(report)
+        match best {
+            Some((_, _, record)) => Ok(record),
+            None => Err(StoreError::NoCompatibleArtifact {
+                arch: arch.to_string(),
+                registry: display(&self.root),
+            }
+            .into()),
+        }
+    }
+
+    /// The fleet one record's artifact was compacted for, out of its
+    /// manifest's plan key (the index record itself only carries the
+    /// object references).
+    fn record_fleet(&self, record: &RegistryRecord) -> Result<FleetSpec> {
+        let bytes = self.manifest_bytes(record)?;
+        let text = String::from_utf8(bytes).map_err(|_| StoreError::CorruptManifest {
+            path: display(&self.root.join(manifest_relative(&record.artifact_id))),
+            detail: "not valid UTF-8".into(),
+        })?;
+        let manifest =
+            StoreManifest::decode(&text).map_err(|detail| StoreError::CorruptManifest {
+                path: display(&self.root.join(manifest_relative(&record.artifact_id))),
+                detail,
+            })?;
+        Ok(manifest.key.fleet)
     }
 
     /// [`Registry::push`] from the receiver's point of view: pull
@@ -590,7 +699,7 @@ impl Registry {
     }
 
     /// One record by id, or the typed missing-artifact error.
-    fn record(&self, artifact_id: &str) -> Result<RegistryRecord> {
+    pub(crate) fn record(&self, artifact_id: &str) -> Result<RegistryRecord> {
         self.index()?.find(artifact_id).cloned().ok_or_else(|| {
             StoreError::MissingArtifact {
                 artifact_id: artifact_id.to_owned(),
@@ -604,7 +713,7 @@ impl Registry {
     /// present at the recorded length under its hash name ⇒ dedup hit
     /// (no write); otherwise one atomic write. Returns whether bytes
     /// were written.
-    fn pool_object(&self, object: &ObjectRef, bytes: &[u8]) -> Result<bool> {
+    pub(crate) fn pool_object(&self, object: &ObjectRef, bytes: &[u8]) -> Result<bool> {
         let relative = object.object_path();
         if object_present_at(&self.root, &relative, object.byte_len) {
             RegistryCounters::add(&self.counters.objects_deduped, 1);
@@ -618,16 +727,20 @@ impl Registry {
     }
 
     /// Read one pool object for shipping, hash-checked — a transport
-    /// can lose bytes but never forge them.
-    fn object_bytes(&self, object: &ObjectRef) -> Result<Vec<u8>> {
+    /// can lose bytes but never forge them. A missing backing file is
+    /// the typed [`StoreError::MissingObject`], naming the artifact
+    /// whose closure it breaks.
+    pub(crate) fn object_bytes(&self, artifact_id: &str, object: &ObjectRef) -> Result<Vec<u8>> {
         let relative = object.object_path();
         let path = self.root.join(&relative);
         let bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                return Err(
-                    StoreError::MissingEntry { entry: relative, path: display(&path) }.into()
-                )
+                return Err(StoreError::MissingObject {
+                    artifact_id: artifact_id.to_owned(),
+                    hash: object.hash,
+                }
+                .into())
             }
             Err(e) => {
                 return Err(StoreError::Io { path: display(&path), detail: e.to_string() }.into())
@@ -647,7 +760,7 @@ impl Registry {
 
     /// Upsert one record and rewrite the index atomically (written
     /// last — the store's torn-publish discipline).
-    fn install_record(&self, record: RegistryRecord) -> Result<()> {
+    pub(crate) fn install_record(&self, record: RegistryRecord) -> Result<()> {
         let mut index = self.index()?;
         index.records.retain(|existing| existing.artifact_id != record.artifact_id);
         index.records.push(record);
@@ -659,7 +772,7 @@ impl Registry {
         write_atomic_at(&self.root, REGISTRY_FILE, index.encode().as_bytes())
     }
 
-    fn ensure_layout(&self) -> Result<()> {
+    pub(crate) fn ensure_layout(&self) -> Result<()> {
         for dir in [OBJECTS_DIR, MANIFESTS_DIR] {
             let path = self.root.join(dir);
             fs::create_dir_all(&path)
@@ -670,7 +783,7 @@ impl Registry {
 }
 
 /// Where one artifact's manifest lives under a registry root.
-fn manifest_relative(artifact_id: &str) -> String {
+pub(crate) fn manifest_relative(artifact_id: &str) -> String {
     format!("{MANIFESTS_DIR}/{artifact_id}.json")
 }
 

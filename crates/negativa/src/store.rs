@@ -183,6 +183,37 @@ pub enum StoreError {
         /// The registry root that was asked.
         registry: String,
     },
+    /// An artifact's referenced closure is incomplete: a pool object a
+    /// record points at is gone (or was never shipped). Raised by the
+    /// sending side of a ship when its own pool lost an object, and by
+    /// the receiving side's pre-install closure check — a torn ship
+    /// never leaves a consumable record pointing at missing bytes.
+    MissingObject {
+        /// The artifact whose closure is incomplete.
+        artifact_id: String,
+        /// The first referenced object hash with no backing pool file.
+        hash: u64,
+    },
+    /// A stored object's file is shorter (or longer) than the length
+    /// its manifest recorded — truncation or a torn write under the
+    /// final name, caught before any hash is computed.
+    TruncatedObject {
+        /// The entry's name (library soname, `plan.json`, or object
+        /// path).
+        entry: String,
+        /// The byte length the manifest recorded at publish time.
+        expected_len: u64,
+        /// The length actually served.
+        actual_len: u64,
+    },
+    /// A compatibility-keyed resolve found no indexed artifact whose
+    /// fleet serves the requesting architecture.
+    NoCompatibleArtifact {
+        /// The GPU architecture that asked (`sm_NN` rendering).
+        arch: String,
+        /// The registry that was searched.
+        registry: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -221,6 +252,19 @@ impl fmt::Display for StoreError {
             }
             StoreError::MissingArtifact { artifact_id, registry } => {
                 write!(f, "registry at {registry} holds no artifact {artifact_id}")
+            }
+            StoreError::MissingObject { artifact_id, hash } => write!(
+                f,
+                "artifact {artifact_id} references pool object {hash:#018x} \
+                 which has no backing file; its closure is incomplete"
+            ),
+            StoreError::TruncatedObject { entry, expected_len, actual_len } => write!(
+                f,
+                "stored entry {entry} is {actual_len} bytes but its manifest \
+                 records {expected_len}; the file was truncated after publishing"
+            ),
+            StoreError::NoCompatibleArtifact { arch, registry } => {
+                write!(f, "registry at {registry} holds no artifact whose fleet runs on {arch}")
             }
         }
     }
@@ -622,7 +666,7 @@ impl StoredArtifact {
     /// naming `plan.json`, or [`StoreError::CorruptPlan`] if the bytes
     /// hash correctly but fail decoding (a schema bug, not bit rot).
     pub fn load_plan(&self) -> Result<BundlePlan> {
-        let bytes = self.read_entry(PLAN_FILE, PLAN_FILE, self.manifest.plan_hash)?;
+        let bytes = self.read_entry(PLAN_FILE, PLAN_FILE, self.manifest.plan_hash, None)?;
         let path = || self.source.describe(PLAN_FILE);
         let text = String::from_utf8(bytes).map_err(|_| StoreError::CorruptPlan {
             path: path(),
@@ -684,8 +728,12 @@ impl StoredArtifact {
             self.counters.bytes_shared.fetch_add(entry.byte_len, Ordering::Relaxed);
             return Ok(bytes.clone());
         }
-        let bytes =
-            Arc::new(self.read_entry(&entry.soname, &entry.object_path(), entry.content_hash)?);
+        let bytes = Arc::new(self.read_entry(
+            &entry.soname,
+            &entry.object_path(),
+            entry.content_hash,
+            Some(entry.byte_len),
+        )?);
         self.counters.bytes_read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         cache.insert(entry.content_hash, bytes.clone());
         Ok(bytes)
@@ -747,8 +795,17 @@ impl StoredArtifact {
     }
 
     /// Read one stored file through the transport and check its
-    /// content hash.
-    fn read_entry(&self, entry: &str, relative: &str, expected: u64) -> Result<Vec<u8>> {
+    /// content hash — after a length gate when the manifest recorded
+    /// one, so truncation surfaces as the specific
+    /// [`StoreError::TruncatedObject`] rather than a generic hash
+    /// mismatch.
+    fn read_entry(
+        &self,
+        entry: &str,
+        relative: &str,
+        expected: u64,
+        expected_len: Option<u64>,
+    ) -> Result<Vec<u8>> {
         let bytes = match self.source.fetch(relative) {
             Ok(Some(bytes)) => bytes,
             Ok(None) => {
@@ -766,6 +823,16 @@ impl StoredArtifact {
                 .into())
             }
         };
+        if let Some(expected_len) = expected_len {
+            if bytes.len() as u64 != expected_len {
+                return Err(StoreError::TruncatedObject {
+                    entry: entry.to_owned(),
+                    expected_len,
+                    actual_len: bytes.len() as u64,
+                }
+                .into());
+            }
+        }
         let actual = content_hash(&bytes);
         if actual != expected {
             return Err(

@@ -45,6 +45,9 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "full_bytes_shipped",
     "registry_objects_deduped",
     "registry_dedup_ratio",
+    "remote_pull_ns",
+    "remote_delta_bytes",
+    "net_retries",
     "fleet",
     "fleet_slice_bytes_removed",
     "compressed_elements_rewritten",

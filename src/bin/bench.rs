@@ -41,6 +41,14 @@
 //!   closure (`full_bytes_shipped`), the second only the objects the
 //!   mirror still lacks (`delta_bytes_shipped`, floored below full by
 //!   `bench_check`).
+//! * **remote registry** — the same origin served over a real loopback
+//!   socket through the framed RPC protocol: `remote_pull_ns` times
+//!   the cold wire pull of the full closure, `remote_delta_bytes` the
+//!   second pull's want-list delta (floored below the full pull), and
+//!   a fault-injected client (dropped dials and connections,
+//!   truncations, flipped bytes) must converge within its retry
+//!   budget — `net_retries` counts what the faults cost (floored at 1)
+//!   — and still cold-verify byte-perfect.
 //! * **fleet-scoped debloat** — one three-architecture artifact
 //!   (sm_75 + sm_80 + sm_90) against shipping three single-arch
 //!   artifacts (T4, A100, H100) for the same workload.
@@ -61,7 +69,7 @@
 //! the perf trajectory and fail on a malformed report.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use negativa_repro::bench::{percentile, render, validate, BenchValue};
 use negativa_repro::cuda::GpuModel;
@@ -69,7 +77,10 @@ use negativa_repro::ml::{FrameworkKind, ModelKind, Operation, Workload};
 use negativa_repro::negativa::service::DebloatService;
 use negativa_repro::negativa::store::Store;
 use negativa_repro::negativa::verify::verify_indexed;
-use negativa_repro::negativa::{Debloater, FleetSpec, PlanCache, Registry, SmArch, WorkerPool};
+use negativa_repro::negativa::{
+    Debloater, FaultInjector, FleetSpec, PlanCache, Registry, RegistryServer, RemoteRegistry,
+    RetryPolicy, SmArch, TcpDialer, WorkerPool,
+};
 
 fn main() {
     let gpu = GpuModel::T4;
@@ -250,6 +261,74 @@ fn main() {
         mirror.verify(&small_record.artifact_id).expect("mirror opens").all_verified(),
         "the delta-shipped artifact reproduces its baselines on the mirror"
     );
+
+    // Remote registry: the same delta handshake over a real loopback
+    // socket. A cold mirror pulls the superset closure through the
+    // framed protocol (`remote_pull_ns`), then the small artifact —
+    // only the missing objects cross the wire (`remote_delta_bytes`).
+    // A second, fault-injected client repeats the cold pull under
+    // dropped connections, truncations, and flipped bytes; it must
+    // converge within the retry budget (`net_retries` counts what the
+    // faults cost) and still verify byte-perfect.
+    let remote_root =
+        std::env::temp_dir().join(format!("negativa-bench-remote-{}", std::process::id()));
+    let faulty_root =
+        std::env::temp_dir().join(format!("negativa-bench-faulty-{}", std::process::id()));
+    std::fs::remove_dir_all(&remote_root).ok();
+    std::fs::remove_dir_all(&faulty_root).ok();
+    let server = RegistryServer::serve(Registry::at(&registry_root), "127.0.0.1:0")
+        .expect("bench server binds an ephemeral loopback port");
+    let remote = RemoteRegistry::connect(&server.url()).expect("bench client connects");
+    let remote_mirror = Registry::at(&remote_root);
+    let started = Instant::now();
+    let remote_full =
+        remote.pull_into(&remote_mirror, &big_record.artifact_id).expect("remote cold pull");
+    let remote_pull_ns = started.elapsed().as_nanos();
+    assert_eq!(
+        remote_full.bytes_shipped, full_bytes_shipped,
+        "the wire pull ships exactly the closure the in-process pull ships"
+    );
+    let remote_delta =
+        remote.pull_into(&remote_mirror, &small_record.artifact_id).expect("remote delta pull");
+    let remote_delta_bytes = remote_delta.bytes_shipped;
+    assert!(
+        remote_delta_bytes < remote_full.bytes_shipped,
+        "remote delta shipping ({remote_delta_bytes} B) must undercut the remote cold pull \
+         ({} B)",
+        remote_full.bytes_shipped
+    );
+    assert!(
+        remote_mirror
+            .verify(&small_record.artifact_id)
+            .expect("remote mirror opens")
+            .all_verified(),
+        "the wire-shipped artifact reproduces its baselines"
+    );
+    // Fault-injected pull: seed 106's first four draws cover failed
+    // dials, connection drops, truncation, and a flipped byte.
+    let injector = Arc::new(FaultInjector::new(Arc::new(TcpDialer), 106, 4));
+    let faulty_policy = RetryPolicy {
+        attempts: 12,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+        chunk_len: 64 * 1024,
+        ..RetryPolicy::default()
+    };
+    let faulty = RemoteRegistry::connect_with(&server.url(), injector, faulty_policy)
+        .expect("faulty client connects");
+    let faulty_mirror = Registry::at(&faulty_root);
+    faulty
+        .pull_into(&faulty_mirror, &big_record.artifact_id)
+        .expect("the faulty pull converges within the retry budget");
+    let net_retries = faulty.stats().retries;
+    assert!(net_retries >= 1, "injected faults must cost at least one retry");
+    assert!(
+        faulty_mirror.verify(&big_record.artifact_id).expect("faulty mirror opens").all_verified(),
+        "a fault-injected pull never installs corruption"
+    );
+    drop(server);
+    std::fs::remove_dir_all(&remote_root).ok();
+    std::fs::remove_dir_all(&faulty_root).ok();
     std::fs::remove_dir_all(&registry_root).ok();
     std::fs::remove_dir_all(&mirror_root).ok();
 
@@ -326,7 +405,7 @@ fn main() {
 
     let rps = |total_ns: u128| requests as f64 / (total_ns.max(1) as f64 / 1e9);
     let entries: Vec<(&str, BenchValue)> = vec![
-        ("schema_version", BenchValue::int(3)),
+        ("schema_version", BenchValue::int(4)),
         ("workload", BenchValue::Text(workload.label())),
         ("gpu", BenchValue::Text(gpu.to_string())),
         ("cold_ns", BenchValue::int(cold_ns)),
@@ -356,6 +435,9 @@ fn main() {
         ("full_bytes_shipped", BenchValue::int(u128::from(full_bytes_shipped))),
         ("registry_objects_deduped", BenchValue::int(u128::from(registry_objects_deduped))),
         ("registry_dedup_ratio", BenchValue::Number(registry_dedup_ratio)),
+        ("remote_pull_ns", BenchValue::int(remote_pull_ns)),
+        ("remote_delta_bytes", BenchValue::int(u128::from(remote_delta_bytes))),
+        ("net_retries", BenchValue::int(u128::from(net_retries))),
         ("fleet", BenchValue::Text(fleet_label)),
         (
             "fleet_slice_bytes_removed",

@@ -18,10 +18,13 @@
 //!    `fleet_artifact_bytes < single_arch_artifact_bytes` (one fleet
 //!    artifact beats shipping one artifact per architecture),
 //!    `delta_bytes_shipped < full_bytes_shipped` (registry delta
-//!    shipping undercuts a cold pull), and
+//!    shipping undercuts a cold pull),
 //!    `registry_objects_deduped >= 1` (the cross-artifact pool stores
-//!    shared objects once). A regression fails the build instead of
-//!    silently rotting the uploaded artifact.
+//!    shared objects once), `remote_delta_bytes < full_bytes_shipped`
+//!    (delta shipping survives the move onto a real socket), and
+//!    `net_retries >= 1` (the fault-injected pull actually exercised
+//!    the retry path rather than running clean). A regression fails
+//!    the build instead of silently rotting the uploaded artifact.
 
 use negativa_repro::bench::{parse_flat_object, validate, BenchValue, REQUIRED_KEYS};
 
@@ -91,6 +94,22 @@ fn main() {
         eprintln!(
             "bench_check: {path}: registry delta shipping regressed: delta_bytes_shipped \
              ({delta_shipped}) must undercut full_bytes_shipped ({full_shipped})"
+        );
+        std::process::exit(1);
+    }
+    let remote_delta = number("remote_delta_bytes");
+    if remote_delta >= full_shipped {
+        eprintln!(
+            "bench_check: {path}: remote delta shipping regressed: remote_delta_bytes \
+             ({remote_delta}) must undercut full_bytes_shipped ({full_shipped})"
+        );
+        std::process::exit(1);
+    }
+    let net_retries = number("net_retries");
+    if net_retries < 1.0 {
+        eprintln!(
+            "bench_check: {path}: the fault-injected pull ran clean: net_retries \
+             = {net_retries} (injected faults must cost at least one retry)"
         );
         std::process::exit(1);
     }

@@ -37,6 +37,14 @@
 //!   delta), refcounting GC reclaims what no surviving record
 //!   references, and a cold node seeds its plan cache straight from a
 //!   pulled artifact (the `registry` binary drives all of it in CI).
+//!   The [`negativa::net`] tier puts those verbs on a real socket:
+//!   [`negativa::RegistryServer`] serves a registry over framed
+//!   loopback-TCP RPC and [`negativa::RemoteRegistry`] pulls, pushes,
+//!   and compatibility-resolves (`resolve(arch)` → the newest
+//!   artifact whose fleet runs on that GPU) with bounded retries,
+//!   range-read resumption, and whole-object hash checks — CI
+//!   round-trips `registry serve` / `pull --from tcp://…` /
+//!   `verify_artifact` as separate OS processes.
 //!
 //! # Quickstart
 //!

@@ -1,0 +1,50 @@
+//! Façade tests of the `registry` binary's argument handling: bad
+//! invocations must land usage text on stderr and a nonzero exit, so
+//! a typo'd CI pipeline fails loudly instead of half-running.
+
+use std::process::Command;
+
+fn registry(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_registry")).args(args).output().expect("registry binary runs")
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_to_stderr_and_exits_nonzero() {
+    let out = registry(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "bad usage must exit 2");
+    assert!(out.stdout.is_empty(), "usage goes to stderr, not stdout");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.starts_with("usage:"), "stderr must open with usage, got {stderr:?}");
+    for verb in ["publish", "pull", "serve", "resolve", "gc", "verify", "--from tcp://"] {
+        assert!(stderr.contains(verb), "usage must list {verb}, got {stderr:?}");
+    }
+}
+
+#[test]
+fn missing_subcommand_prints_usage_to_stderr_and_exits_nonzero() {
+    let out = registry(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(out.stdout.is_empty());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("usage:"));
+}
+
+#[test]
+fn wrong_arity_is_usage_not_a_crash() {
+    // `serve` needs exactly <dir> <addr>; `pull --from` needs a URL
+    // and a destination.
+    for bad in [&["serve", "/tmp/x"][..], &["pull", "--from"][..], &["resolve", "dir"][..]] {
+        let out = registry(bad);
+        assert_eq!(out.status.code(), Some(2), "{bad:?} must exit 2");
+        assert!(String::from_utf8(out.stderr).unwrap().contains("usage:"));
+    }
+}
+
+#[test]
+fn operational_failures_exit_one_with_a_typed_error() {
+    // A well-formed invocation against a nonexistent registry is an
+    // operational failure (exit 1), distinct from a usage error.
+    let out = registry(&["verify", "/nonexistent/registry/root"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.starts_with("registry:"), "typed failure prefix, got {stderr:?}");
+}
